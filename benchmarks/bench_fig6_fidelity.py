@@ -1,0 +1,66 @@
+"""Figure 6: relative accuracy ("tracking fidelity") of macro-modeling.
+
+The paper plots, for the TCP/IP subsystem at each DMA size, the system
+energy estimated with macro-modeling against the energy from the
+unaccelerated framework, and observes that (i) the ranking of the
+configurations is preserved and (ii) the relationship is close to
+linear.  Both properties are asserted here, with the same six DMA
+configurations.
+"""
+
+from repro.analysis.stats import (
+    linear_fit,
+    ranking_preserved,
+    spearman_rank_correlation,
+)
+
+from benchmarks.common import (
+    TABLE_DMA_SIZES,
+    emit,
+    format_table,
+    tcpip_run,
+    write_result,
+)
+
+
+def run_experiment():
+    reference = []
+    macro = []
+    for dma in TABLE_DMA_SIZES:
+        reference.append(tcpip_run(dma, "full").report.total_energy_j)
+        macro.append(tcpip_run(dma, "macromodel").report.total_energy_j)
+    return reference, macro
+
+
+def test_fig6_relative_accuracy(benchmark, capsys):
+    reference, macro = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+
+    rho = spearman_rank_correlation(reference, macro)
+    slope, intercept, r = linear_fit(reference, macro)
+    preserved = ranking_preserved(reference, macro)
+
+    rows = []
+    for dma, ref_e, mac_e in zip(TABLE_DMA_SIZES, reference, macro):
+        rows.append([
+            str(dma),
+            "%.1f" % (ref_e * 1e9),
+            "%.1f" % (mac_e * 1e9),
+        ])
+    rows.append(["", "", ""])
+    rows.append(["rank corr (rho)", "%.4f" % rho, "paper: ranking preserved"])
+    rows.append(["linear fit r", "%.4f" % r, "paper: near-linear"])
+    rows.append(["fit slope", "%.3f" % slope, ""])
+    table = format_table(
+        ["DMA size", "original (nJ)", "macro-model (nJ)"],
+        rows,
+        "Figure 6: macro-model energy vs. original energy",
+    )
+    emit(capsys, "\n" + table)
+    write_result("fig6_fidelity", table)
+
+    # The paper's two observations.
+    assert preserved, "macro-modeling must preserve configuration ranking"
+    assert rho == 1.0
+    assert r > 0.98, "relationship must be near-linear (r=%.4f)" % r
+    assert slope > 0

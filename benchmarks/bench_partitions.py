@@ -1,0 +1,76 @@
+"""HW/SW partition ranking (paper, end of Section 5.2).
+
+"We have obtained similar results in various other experiments (e.g.
+by attempting to rank several different HW/SW partitions)."
+
+This bench evaluates every feasible partition of the Figure 1 system's
+timer and consumer (the producer's multiply keeps it in software) with
+full co-estimation and with macro-modeling, and checks the paper's
+claim: the cheap macro-model ranks the partitions the same way the
+reference does.
+"""
+
+from repro.analysis.stats import spearman_rank_correlation
+from repro.core import PartitionExplorer
+from repro.systems import producer_consumer
+
+from benchmarks.common import emit, format_table, write_result
+
+ASSIGNMENTS = [
+    {"timer": "hw", "consumer": "hw"},
+    {"timer": "hw", "consumer": "sw"},
+    {"timer": "sw", "consumer": "hw"},
+    {"timer": "sw", "consumer": "sw"},
+]
+
+
+def run_experiment():
+    bundle = producer_consumer.build_system(num_packets=3)
+    explorer = PartitionExplorer(bundle.network, bundle.config,
+                                 bundle.stimuli_factory)
+    full_points = explorer.sweep(ASSIGNMENTS, strategy="full")
+    macro_points = explorer.sweep(ASSIGNMENTS, strategy="macromodel")
+    return full_points, macro_points
+
+
+def test_partition_ranking_fidelity(benchmark, capsys):
+    full_points, macro_points = benchmark.pedantic(run_experiment, rounds=1,
+                                                   iterations=1)
+
+    full_energy = {p.label: p.total_energy_j for p in full_points}
+    macro_energy = {p.label: p.total_energy_j for p in macro_points}
+    labels = sorted(full_energy)
+
+    rows = []
+    for rank, point in enumerate(PartitionExplorer.ranking(full_points), 1):
+        rows.append([
+            str(rank),
+            point.label,
+            "%.2f" % (full_energy[point.label] * 1e6),
+            "%.2f" % (macro_energy[point.label] * 1e6),
+        ])
+    rho = spearman_rank_correlation(
+        [full_energy[label] for label in labels],
+        [macro_energy[label] for label in labels],
+    )
+    rows.append(["", "", "", ""])
+    rows.append(["rank correlation", "%.3f" % rho, "", ""])
+    table = format_table(
+        ["rank (full)", "partition", "full (uJ)", "macro-model (uJ)"],
+        rows,
+        "HW/SW partition ranking: full co-estimation vs. macro-modeling",
+    )
+    emit(capsys, "\n" + table)
+    write_result("partition_ranking", table)
+
+    # Macro-modeling preserves the full-reference partition ranking.
+    full_order = [p.label for p in PartitionExplorer.ranking(full_points)]
+    macro_order = [p.label for p in PartitionExplorer.ranking(macro_points)]
+    assert full_order == macro_order
+    assert rho > 0.999
+    # All-hardware is the energy-optimal partition: hardware blocks are
+    # cheaper than time on the shared embedded processor.
+    assert full_order[0] == "consumer:hw,timer:hw"
+    # And macro-modeling stays conservative per partition.
+    for label in labels:
+        assert macro_energy[label] > full_energy[label] * 0.95

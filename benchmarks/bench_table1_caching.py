@@ -1,0 +1,96 @@
+"""Table 1: speedup and accuracy of energy/delay caching.
+
+Paper's rows (TCP/IP subsystem, varying bus DMA size):
+
+    DMA   Orig. energy (mJ)  Orig. CPU (s)  Caching CPU (s)  Speedup
+    2     0.54               8051.52        428.92           18.8
+    4     0.44               4023.36        248.13           16.2
+    8     0.39               2080.77        156.91           13.3
+    16    0.36               1398.77        117.90           11.9
+    32    0.35                852.25         90.88            9.4
+    64    0.34                680.78         78.88            8.6
+
+Shapes reproduced and asserted here:
+
+* total system energy falls monotonically as DMA size grows,
+* caching speedup is largest at small DMA sizes (most transitions) and
+  decreases monotonically toward large DMA sizes,
+* caching introduces essentially no energy error (the instruction power
+  model is data-independent; the residual comes only from hardware
+  data-dependence below the variance threshold).
+
+Absolute CPU seconds are not comparable (their Sun Ultra 450 ran
+gate-level SIS and SPARCsim; we run pure-Python simulators), but the
+speedup *ratios* are the paper's metric and are reproduced in shape.
+"""
+
+from benchmarks.common import (
+    TABLE_DMA_SIZES,
+    emit,
+    format_table,
+    tcpip_run,
+    write_result,
+)
+
+PAPER_ROWS = {
+    2: (0.54, 8051.52, 428.92, 18.8),
+    4: (0.44, 4023.36, 248.13, 16.2),
+    8: (0.39, 2080.77, 156.91, 13.3),
+    16: (0.36, 1398.77, 117.90, 11.9),
+    32: (0.35, 852.25, 90.88, 9.4),
+    64: (0.34, 680.78, 78.88, 8.6),
+}
+
+
+def run_experiment():
+    rows = []
+    for dma in TABLE_DMA_SIZES:
+        full = tcpip_run(dma, "full").report
+        cached = tcpip_run(dma, "caching").report
+        rows.append((dma, full, cached))
+    return rows
+
+
+def test_table1_caching_speedup(benchmark, capsys):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rendered = []
+    energies = []
+    speedups = []
+    errors = []
+    for dma, full, cached in results:
+        speedup = cached.speedup_over(full)
+        error = cached.energy_error_vs(full)
+        energies.append(full.total_energy_j)
+        speedups.append(speedup)
+        errors.append(error)
+        paper = PAPER_ROWS[dma]
+        rendered.append([
+            str(dma),
+            "%.4f" % (full.total_energy_j * 1e3),
+            "%.3f" % full.wall_seconds,
+            "%.3f" % cached.wall_seconds,
+            "%.1f" % speedup,
+            "%.4f%%" % error,
+            "%.2f / %.1fx" % (paper[0], paper[3]),
+        ])
+    table = format_table(
+        ["DMA", "energy (mJ)", "orig CPU (s)", "caching CPU (s)",
+         "speedup", "energy err", "paper (mJ / speedup)"],
+        rendered,
+        "Table 1: speedup and accuracy of the caching approach",
+    )
+    emit(capsys, "\n" + table)
+    write_result("table1_caching", table)
+
+    # Energy falls monotonically with DMA size.
+    assert all(a >= b for a, b in zip(energies, energies[1:])), energies
+    # Speedup > 1 everywhere and (weakly) decreasing with DMA size:
+    # compare the small-DMA half against the large-DMA half to allow
+    # wall-clock jitter between adjacent points.
+    assert all(s > 1.0 for s in speedups), speedups
+    small_half = sum(speedups[:3]) / 3
+    large_half = sum(speedups[3:]) / 3
+    assert small_half > large_half, speedups
+    # "No accuracy loss": error bounded well under a tenth of a percent.
+    assert all(e < 0.1 for e in errors), errors

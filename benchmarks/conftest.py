@@ -1,0 +1,8 @@
+"""Benchmark collection configuration."""
+
+import sys
+import os
+
+# Make `benchmarks.common` importable when pytest is invoked from the
+# repository root on the benchmarks/ directory.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Co-estimating the automotive dashboard controller.
+
+Runs the mixed HW/SW dashboard system (hardware speedometer/odometer,
+software belt alarm / fuel gauge / display controller on one embedded
+processor) through a driving scenario, compares the estimation
+strategies, and shows per-component energy plus the power waveform
+around the belt-alarm event — the kind of functional/power correlation
+the paper highlights ("peaks in power consumption are associated with
+the points in time when the modules handshake with the arbiter").
+
+Run it with::
+
+    python examples/automotive_dashboard.py
+"""
+
+from repro.core import PowerCoEstimator
+from repro.systems import automotive
+
+
+def main():
+    bundle = automotive.build_system(duration_ns=400_000.0)
+    estimator = PowerCoEstimator(bundle.network, bundle.config)
+
+    print("system:", bundle.description)
+    print("processes:")
+    for name in sorted(bundle.network.cfsms):
+        print("  %-14s -> %s" % (name, bundle.network.implementation(name)))
+
+    full = estimator.estimate(bundle.stimuli(), strategy="full")
+    print("\n" + full.report.pretty())
+
+    print("\nRTOS statistics (shared embedded processor):")
+    for key, value in sorted(full.report.rtos_stats.items()):
+        print("  %-18s %g" % (key, value))
+
+    print("\nbus statistics (display refreshes over the shared bus):")
+    for key, value in sorted(full.report.bus_stats.items()):
+        print("  %-18s %g" % (key, value))
+
+    print("\nstrategy comparison:")
+    for strategy in ("caching", "macromodel", "sampling"):
+        run = estimator.estimate(bundle.stimuli(), strategy=strategy)
+        print("  %-11s %.2fx speedup, %6.2f%% energy error"
+              % (strategy,
+                 run.report.speedup_over(full.report),
+                 run.report.energy_error_vs(full.report)))
+
+    print("\npower waveform (20 us bins):")
+    waveform = full.power_waveform(bin_ns=20_000.0)
+    peak_time, peak_watts = max(waveform, key=lambda p: p[1])
+    for time_ns, watts in waveform:
+        bar = "*" * int(watts / (peak_watts or 1.0) * 50)
+        print("  %8.0f us  %7.3f mW  %s" % (time_ns / 1e3, watts * 1e3, bar))
+    print("peak power %.3f mW at %.0f us"
+          % (peak_watts * 1e3, peak_time / 1e3))
+
+    # The paper's observation: power peaks line up with bus handshakes.
+    from repro.analysis.correlate import peak_bus_correlation
+
+    correlation = peak_bus_correlation(full.master.accountant,
+                                       bin_ns=5_000.0)
+    print("\npeak/bus-handshake correlation: %d of %d peak bins contain "
+          "arbiter activity (lift %.1fx over a random bin)"
+          % (correlation.peak_bins_with_activity, correlation.peak_bins,
+             correlation.lift))
+
+    # Export the per-component power traces for a waveform viewer.
+    from repro.master.export import export_power_vcd
+
+    with open("dashboard_power.vcd", "w") as handle:
+        handle.write(export_power_vcd(full.master.accountant,
+                                      bin_ns=5_000.0))
+    print("wrote dashboard_power.vcd (open with GTKWave)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Exploring the TCP/IP NIC's communication architecture (paper §5.3).
+
+Sweeps the shared-bus DMA block size and the arbitration priorities of
+the three bus masters for the TCP/IP checksum subsystem, using
+energy-caching-accelerated co-estimation for every design point, then
+prints the energy surface and the best configuration — a small-scale
+version of the paper's Figure 7 experiment.
+
+Run it with::
+
+    python examples/tcpip_exploration.py
+"""
+
+from repro.core import DesignSpaceExplorer
+from repro.core.explorer import priority_permutations
+from repro.systems import tcpip
+
+DMA_SIZES = (2, 8, 32, 128)
+NUM_PACKETS = 3
+PACKET_PERIOD_NS = 30_000.0
+
+
+def main():
+    assignments = priority_permutations(list(tcpip.BUS_MASTERS))
+    print("exploring %d priority assignments x %d DMA sizes = %d points"
+          % (len(assignments), len(DMA_SIZES),
+             len(assignments) * len(DMA_SIZES)))
+
+    points = []
+    for priorities in assignments:
+        for dma in DMA_SIZES:
+            bundle = tcpip.build_system(
+                dma_block_words=dma,
+                num_packets=NUM_PACKETS,
+                packet_period_ns=PACKET_PERIOD_NS,
+                priorities=priorities,
+            )
+            explorer = DesignSpaceExplorer(
+                bundle.network, bundle.config, bundle.stimuli_factory
+            )
+            point = explorer.evaluate(dma, priorities, strategy="caching")
+            points.append(point)
+            print("  dma=%4d  %-40s %.3f uJ  (%.2fs)"
+                  % (dma, point.priority_label,
+                     point.total_energy_j * 1e6,
+                     point.report.wall_seconds))
+
+    best = DesignSpaceExplorer.minimum_energy_point(points)
+    print("\nminimum-energy configuration:")
+    print("  DMA block size : %d words" % best.dma_block_words)
+    print("  priorities     : %s" % best.priority_label)
+    print("  total energy   : %.3f uJ" % (best.total_energy_j * 1e6))
+
+    report = best.report
+    print("\nbreakdown at the optimum:")
+    for component in sorted(report.by_component):
+        print("  %-14s %10.3f uJ"
+              % (component, report.by_component[component] * 1e6))
+    print("  bus utilization: %.1f%%"
+          % (report.bus_stats["utilization"] * 100.0))
+
+
+if __name__ == "__main__":
+    main()

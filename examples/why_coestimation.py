@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Why co-estimation? — the paper's Figure 1 experiment, end to end.
+
+Builds the producer / timer / consumer system, estimates it twice —
+
+1. the *separate* way: a timing-independent behavioral simulation
+   captures per-component traces, then each component's power estimator
+   runs alone on its trace;
+2. with *power co-estimation*: the estimators run concurrently,
+   synchronized by the simulation master, so event timing feeds back
+   into component behaviour —
+
+and prints the two energy tables side by side, showing that the
+timing-sensitive consumer is badly under-estimated by the separate
+flow while the producer agrees exactly.
+
+Run it with::
+
+    python examples/why_coestimation.py
+"""
+
+from repro.core import PowerCoEstimator, SeparateEstimator
+from repro.systems import producer_consumer
+
+
+def main():
+    bundle = producer_consumer.build_system(num_packets=4)
+    print(bundle.description)
+    print("mapping: producer -> SW, timer -> HW, consumer -> HW\n")
+
+    print("running separate estimation (trace capture + independent "
+          "component estimators)...")
+    separate = SeparateEstimator(bundle.network, bundle.config).estimate(
+        bundle.stimuli()
+    )
+
+    print("running power co-estimation (synchronized estimators)...\n")
+    coest = PowerCoEstimator(bundle.network, bundle.config).estimate(
+        bundle.stimuli(), strategy="full"
+    )
+
+    print("%-10s %18s %18s" % ("", "producer energy", "consumer energy"))
+    print("%-10s %15.3e J %15.3e J"
+          % ("separate",
+             separate.component_energy("producer"),
+             separate.component_energy("consumer")))
+    print("%-10s %15.3e J %15.3e J"
+          % ("co-est",
+             coest.report.component_energy("producer"),
+             coest.report.component_energy("consumer")))
+
+    under = separate.underestimation_vs(coest.report, "consumer")
+    print("\nthe separate flow under-estimates the consumer by %.1f%% "
+          "(the paper reports ~62%%)" % under)
+    print("because the consumer's loop count depends on *when* the "
+          "producer's END_COMP events arrive,")
+    print("which only a timing-accurate co-simulation reproduces.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — power co-estimation for HW/SW system-on-chip designs.
+
+A from-scratch, self-contained reproduction of
+
+    M. Lajolo, A. Raghunathan, S. Dey, L. Lavagno,
+    "Efficient Power Co-Estimation Techniques for System-on-Chip
+    Design", DATE 2000.
+
+The package contains the complete stack the paper's framework sits on:
+
+* :mod:`repro.cfsm` — CFSM behavioral system model (the POLIS role),
+* :mod:`repro.master` — discrete-event co-simulation master (the
+  PTOLEMY role), with an RTOS model for the software partition,
+* :mod:`repro.sw` — SPARC-flavoured ISS with an instruction-level
+  power model (the SPARCsim role),
+* :mod:`repro.hw` — gate-level synthesis, simulation, and power
+  estimation (the SIS role),
+* :mod:`repro.cache` — the fast cache simulator attached to the master,
+* :mod:`repro.bus` — the parameterizable shared-bus / DMA / arbiter
+  model with switching-activity power,
+* :mod:`repro.core` — the paper's contribution: co-estimation plus the
+  acceleration techniques (energy caching, macro-modeling, statistical
+  sampling), the separate-estimation baseline, and the design-space
+  explorer,
+* :mod:`repro.systems` — the paper's example systems (producer /
+  consumer / timer, the TCP/IP network-interface subsystem, and an
+  automotive dashboard controller),
+* :mod:`repro.analysis` — statistics helpers used by the experiments.
+
+Quickstart::
+
+    from repro.core import PowerCoEstimator
+    from repro.systems import tcpip
+
+    system = tcpip.build_system(dma_block_words=16)
+    estimator = PowerCoEstimator(system.network, system.config)
+    result = estimator.estimate(system.stimuli(), strategy="caching")
+    print(result.report.pretty())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cfsm",
+    "sw",
+    "hw",
+    "cache",
+    "bus",
+    "master",
+    "core",
+    "systems",
+    "analysis",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on the built-in example systems:
+
+* ``describe <system>`` — print the network, partition, and
+  implementation sizes.
+* ``estimate <system> [--strategy S] [--waveform-csv PATH]`` — run
+  power co-estimation and print the energy report.
+* ``explore [--dma ...] [--strategy S]`` — sweep the TCP/IP bus
+  design space and report the minimum-energy configuration.
+* ``characterize`` — run the software macro-model characterization and
+  print the parameter file (the paper's Figure 3 artifact).
+
+Systems: ``fig1`` (producer/timer/consumer), ``tcpip``, ``automotive``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cfsm.describe import describe_network, implementation_statistics
+from repro.core import PowerCoEstimator
+from repro.core.explorer import DesignSpaceExplorer, priority_permutations
+from repro.core.macromodel import MacroModelCharacterizer
+from repro.master.export import export_power_csv, export_power_vcd
+from repro.systems import automotive, producer_consumer, tcpip
+from repro.systems.bundle import SystemBundle
+
+_SYSTEMS = {
+    "fig1": lambda: producer_consumer.build_system(num_packets=4),
+    "tcpip": lambda: tcpip.build_system(dma_block_words=16),
+    "automotive": lambda: automotive.build_system(),
+}
+
+
+def _bundle(name: str) -> SystemBundle:
+    try:
+        return _SYSTEMS[name]()
+    except KeyError:
+        raise SystemExit(
+            "unknown system %r (choose from %s)" % (name, ", ".join(_SYSTEMS))
+        )
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    bundle = _bundle(args.system)
+    stats = implementation_statistics(bundle.network) if args.sizes else None
+    print(describe_network(bundle.network, stats))
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    bundle = _bundle(args.system)
+    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    result = estimator.estimate(
+        bundle.stimuli(),
+        strategy=args.strategy,
+        shared_memory_image=bundle.shared_memory_image,
+    )
+    print(result.report.pretty())
+    if args.waveform_csv:
+        with open(args.waveform_csv, "w") as handle:
+            handle.write(
+                export_power_csv(result.master.accountant, bin_ns=args.bin_ns)
+            )
+        print("wrote %s" % args.waveform_csv)
+    if args.waveform_vcd:
+        with open(args.waveform_vcd, "w") as handle:
+            handle.write(
+                export_power_vcd(result.master.accountant, bin_ns=args.bin_ns)
+            )
+        print("wrote %s" % args.waveform_vcd)
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    assignments = priority_permutations(list(tcpip.BUS_MASTERS))
+    points = []
+    for priorities in assignments:
+        for dma in args.dma:
+            bundle = tcpip.build_system(
+                dma_block_words=dma,
+                num_packets=args.packets,
+                packet_period_ns=args.period_ns,
+                priorities=priorities,
+            )
+            explorer = DesignSpaceExplorer(
+                bundle.network, bundle.config, bundle.stimuli_factory
+            )
+            point = explorer.evaluate(dma, priorities, strategy=args.strategy)
+            points.append(point)
+            print("dma=%4d  %-40s %10.3f uJ"
+                  % (dma, point.priority_label, point.total_energy_j * 1e6))
+    best = DesignSpaceExplorer.minimum_energy_point(points)
+    print("minimum: dma=%d, %s (%.3f uJ)"
+          % (best.dma_block_words, best.priority_label,
+             best.total_energy_j * 1e6))
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    characterizer = MacroModelCharacterizer()
+    parameter_file = characterizer.characterize()
+    text = parameter_file.serialize()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % args.output)
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOC power co-estimation (Lajolo et al., DATE 2000)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    describe = commands.add_parser("describe", help="print a system summary")
+    describe.add_argument("system", choices=sorted(_SYSTEMS))
+    describe.add_argument("--sizes", action="store_true",
+                          help="compile/synthesize and report sizes")
+    describe.set_defaults(func=cmd_describe)
+
+    estimate = commands.add_parser("estimate", help="run co-estimation")
+    estimate.add_argument("system", choices=sorted(_SYSTEMS))
+    estimate.add_argument("--strategy", default="full",
+                          choices=PowerCoEstimator.STRATEGIES)
+    estimate.add_argument("--waveform-csv", metavar="PATH")
+    estimate.add_argument("--waveform-vcd", metavar="PATH")
+    estimate.add_argument("--bin-ns", type=float, default=1000.0)
+    estimate.set_defaults(func=cmd_estimate)
+
+    explore = commands.add_parser(
+        "explore", help="sweep the TCP/IP bus design space"
+    )
+    explore.add_argument("--dma", type=int, nargs="+",
+                         default=[2, 8, 32, 128])
+    explore.add_argument("--packets", type=int, default=3)
+    explore.add_argument("--period-ns", type=float, default=30_000.0)
+    explore.add_argument("--strategy", default="caching",
+                         choices=PowerCoEstimator.STRATEGIES)
+    explore.set_defaults(func=cmd_explore)
+
+    characterize = commands.add_parser(
+        "characterize", help="build the SW macro-model parameter file"
+    )
+    characterize.add_argument("--output", metavar="PATH")
+    characterize.set_defaults(func=cmd_characterize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""The shared-bus timeline model.
+
+The bus is a queued resource: masters submit word transfers, the
+arbiter grants the bus one DMA burst at a time (so higher-priority
+masters can grab it between bursts of a long transfer), and every
+granted burst advances a busy-until timeline.  Address and data line
+toggles are counted against the actual values moved, which is the
+switching activity ``A(line_i)`` in the paper's bus power formula.
+
+The simulation master drives the model with two calls:
+
+* :meth:`SharedBus.submit` when a transition produces a transfer, and
+* :meth:`SharedBus.advance` before dispatching events at a new time,
+  collecting completed grants to schedule their continuation events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bus.arbiter import PriorityArbiter
+from repro.bus.dma import blocks_needed
+from repro.bus.model import BusGrant, BusParameters, BusRequest
+
+
+@dataclass
+class _Progress:
+    first_start_ns: float
+    blocks: int = 0
+    cycles: int = 0
+    energy_j: float = 0.0
+
+
+class SharedBus:
+    """Priority-arbitrated shared bus with DMA bursts."""
+
+    def __init__(self, params: Optional[BusParameters] = None) -> None:
+        self.params = params or BusParameters()
+        self.arbiter = PriorityArbiter(self.params.priorities,
+                                       policy=self.params.arbitration)
+        self.pending: List[BusRequest] = []
+        self.busy_until_ns = 0.0
+        self.addr_activity = [0] * self.params.addr_width
+        self.data_activity = [0] * self.params.data_width
+        self.total_energy = 0.0
+        self.total_busy_cycles = 0
+        self.total_words = 0
+        self.total_grants = 0
+        self._last_addr = 0
+        self._last_data = 0
+        self._next_id = 0
+        self._progress: Dict[int, _Progress] = {}
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        master: str,
+        is_write: bool,
+        base_address: int,
+        words: List[int],
+        time_ns: float,
+    ) -> BusRequest:
+        """Queue a transfer of ``words`` starting at ``base_address``."""
+        if not words:
+            raise ValueError("bus transfer needs at least one word")
+        request = BusRequest(
+            master=master,
+            is_write=is_write,
+            base_address=base_address,
+            words=list(words),
+            submitted_ns=time_ns,
+            request_id=self._next_id,
+        )
+        self._next_id += 1
+        self.pending.append(request)
+        return request
+
+    # -- timeline ------------------------------------------------------------
+
+    def advance(self, now_ns: float) -> List[BusGrant]:
+        """Serve every burst that can start at or before ``now_ns``.
+
+        Returns completed requests as grants; a grant's ``end_ns`` may
+        lie slightly beyond ``now_ns`` when its final burst started
+        before ``now_ns`` — the caller schedules the completion event
+        at that future time.
+        """
+        completed: List[BusGrant] = []
+        while self.pending:
+            start = self.busy_until_ns
+            ready = [r for r in self.pending if r.submitted_ns <= start]
+            if not ready:
+                earliest = min(r.submitted_ns for r in self.pending)
+                start = earliest
+                ready = [r for r in self.pending if r.submitted_ns <= start]
+            if start > now_ns:
+                break
+            request = self.arbiter.pick(ready)
+            grant = self._serve_burst(request, start)
+            if grant is not None:
+                completed.append(grant)
+        return completed
+
+    def _serve_burst(self, request: BusRequest, start_ns: float) -> Optional[BusGrant]:
+        params = self.params
+        progress = self._progress.get(request.request_id)
+        if progress is None:
+            progress = _Progress(first_start_ns=start_ns)
+            self._progress[request.request_id] = progress
+            self.arbiter.record_grant(request, start_ns)
+
+        burst_words = params.dma_block_words if params.dma_enabled else 1
+        count = min(burst_words, request.remaining)
+        words = request.words[request.words_done:request.words_done + count]
+        address = request.base_address + request.words_done
+
+        energy = params.arbitration_energy_j
+        energy += self._drive_address(address)
+        for word in words:
+            energy += self._drive_data(word)
+
+        cycles = (
+            params.handshake_cycles
+            + params.memory_latency_cycles
+            + count * params.cycles_per_word
+        )
+        self.busy_until_ns = start_ns + cycles * params.clock_period_ns
+        self.total_busy_cycles += cycles
+        self.total_energy += energy
+        self.total_words += count
+        self.total_grants += 1
+        progress.blocks += 1
+        progress.cycles += cycles
+        progress.energy_j += energy
+        request.words_done += count
+
+        if request.remaining > 0:
+            return None
+        self.pending.remove(request)
+        self._progress.pop(request.request_id)
+        return BusGrant(
+            request=request,
+            start_ns=progress.first_start_ns,
+            end_ns=self.busy_until_ns,
+            blocks=progress.blocks,
+            bus_cycles=progress.cycles,
+            energy_j=progress.energy_j,
+        )
+
+    # -- line activity ------------------------------------------------------------
+
+    def _drive_address(self, address: int) -> float:
+        mask = (1 << self.params.addr_width) - 1
+        flipped = (self._last_addr ^ address) & mask
+        toggles = 0
+        bit = 0
+        while flipped:
+            if flipped & 1:
+                self.addr_activity[bit] += 1
+                toggles += 1
+            flipped >>= 1
+            bit += 1
+        self._last_addr = address & mask
+        return toggles * self.params.energy_per_toggle()
+
+    def _drive_data(self, word: int) -> float:
+        mask = (1 << self.params.data_width) - 1
+        flipped = (self._last_data ^ word) & mask
+        toggles = 0
+        bit = 0
+        while flipped:
+            if flipped & 1:
+                self.data_activity[bit] += 1
+                toggles += 1
+            flipped >>= 1
+            bit += 1
+        self._last_data = word & mask
+        return toggles * self.params.energy_per_toggle()
+
+    # -- reporting ------------------------------------------------------------
+
+    def expected_blocks(self, total_words: int) -> int:
+        """Arbitrations a transfer of ``total_words`` will need."""
+        return blocks_needed(
+            total_words, self.params.dma_enabled, self.params.dma_block_words
+        )
+
+    def line_activity(self) -> Dict[str, List[int]]:
+        """Toggle counts per address/data line (LSB first)."""
+        return {
+            "addr": list(self.addr_activity),
+            "data": list(self.data_activity),
+        }
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of elapsed time the bus was driving a burst."""
+        if elapsed_ns <= 0:
+            return 0.0
+        busy_ns = self.total_busy_cycles * self.params.clock_period_ns
+        return min(1.0, busy_ns / elapsed_ns)

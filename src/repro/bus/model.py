@@ -1,0 +1,150 @@
+"""Bus parameters, requests, and grants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class BusParameters:
+    """User-specified integration-architecture parameters.
+
+    These are the knobs the paper's behavioral bus model exposes; all
+    of them can be changed between co-estimation runs without
+    recompiling the system.
+
+    Attributes:
+        addr_width: address bus width in bits.
+        data_width: data bus width in bits.
+        vdd: supply voltage in volts.
+        clock_period_ns: bus clock period.
+        line_capacitance_f: effective capacitance per bus line in
+            farads (wiring plus buffers/repeaters, from the floorplan
+            budget as described in the paper).
+        handshake_cycles: request/grant/acknowledge overhead paid per
+            arbitration (once per DMA block).
+        memory_latency_cycles: shared-memory access setup per block.
+        cycles_per_word: data beats per word transferred.
+        dma_enabled: when False every word is its own arbitration.
+        dma_block_words: maximum words moved per bus tenure when DMA is
+            enabled (the paper's "DMA size" parameter).
+        priorities: master name to priority level; lower value wins.
+        arbitration_energy_j: arbiter energy per grant.
+        arbitration: "fixed_priority" (the paper's scheme) or
+            "round_robin" (the fair alternative).
+    """
+
+    addr_width: int = 8
+    data_width: int = 8
+    vdd: float = 3.3
+    clock_period_ns: float = 10.0
+    line_capacitance_f: float = 10e-9
+    handshake_cycles: int = 3
+    memory_latency_cycles: int = 2
+    cycles_per_word: int = 1
+    dma_enabled: bool = True
+    dma_block_words: int = 16
+    priorities: Dict[str, int] = field(default_factory=dict)
+    arbitration_energy_j: float = 0.4e-9
+    arbitration: str = "fixed_priority"
+
+    def __post_init__(self) -> None:
+        if self.addr_width <= 0 or self.data_width <= 0:
+            raise ValueError("bus widths must be positive")
+        if self.dma_block_words <= 0:
+            raise ValueError("DMA block size must be positive")
+        if self.clock_period_ns <= 0:
+            raise ValueError("bus clock period must be positive")
+
+    @classmethod
+    def paper_figure7(cls, dma_block_words: int = 16,
+                      priorities: Optional[Dict[str, int]] = None) -> "BusParameters":
+        """The parameter point reported for Figure 7 of the paper:
+        Vdd = 3.3 V, Cbit = 10 nF, 8-bit address and data buses."""
+        return cls(
+            addr_width=8,
+            data_width=8,
+            vdd=3.3,
+            line_capacitance_f=10e-9,
+            dma_block_words=dma_block_words,
+            priorities=dict(priorities or {}),
+        )
+
+    def with_dma(self, dma_block_words: int) -> "BusParameters":
+        """Copy with a different DMA block size."""
+        return BusParameters(
+            addr_width=self.addr_width,
+            data_width=self.data_width,
+            vdd=self.vdd,
+            clock_period_ns=self.clock_period_ns,
+            line_capacitance_f=self.line_capacitance_f,
+            handshake_cycles=self.handshake_cycles,
+            memory_latency_cycles=self.memory_latency_cycles,
+            cycles_per_word=self.cycles_per_word,
+            dma_enabled=self.dma_enabled,
+            dma_block_words=dma_block_words,
+            priorities=dict(self.priorities),
+            arbitration_energy_j=self.arbitration_energy_j,
+            arbitration=self.arbitration,
+        )
+
+    def with_priorities(self, priorities: Dict[str, int]) -> "BusParameters":
+        """Copy with a different priority assignment."""
+        return BusParameters(
+            addr_width=self.addr_width,
+            data_width=self.data_width,
+            vdd=self.vdd,
+            clock_period_ns=self.clock_period_ns,
+            line_capacitance_f=self.line_capacitance_f,
+            handshake_cycles=self.handshake_cycles,
+            memory_latency_cycles=self.memory_latency_cycles,
+            cycles_per_word=self.cycles_per_word,
+            dma_enabled=self.dma_enabled,
+            dma_block_words=self.dma_block_words,
+            priorities=dict(priorities),
+            arbitration_energy_j=self.arbitration_energy_j,
+            arbitration=self.arbitration,
+        )
+
+    def energy_per_toggle(self) -> float:
+        """``1/2 Ceff Vdd^2`` for one line transition, in joules."""
+        return 0.5 * self.line_capacitance_f * self.vdd * self.vdd
+
+
+@dataclass
+class BusRequest:
+    """One shared-memory transfer submitted by a master.
+
+    ``words`` carries the data values so that the model can compute
+    true switching activity on the data lines.
+    """
+
+    master: str
+    is_write: bool
+    base_address: int
+    words: List[int]
+    submitted_ns: float
+    request_id: int = 0
+    words_done: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.words) - self.words_done
+
+
+@dataclass
+class BusGrant:
+    """Completion record for one request."""
+
+    request: BusRequest
+    start_ns: float
+    end_ns: float
+    blocks: int
+    bus_cycles: int
+    energy_j: float
+
+    @property
+    def wait_ns(self) -> float:
+        """Time the request spent waiting for its first grant."""
+        return max(0.0, self.start_ns - self.request.submitted_ns)

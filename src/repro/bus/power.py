@@ -1,0 +1,62 @@
+"""Bus power from switching activity: the paper's formula.
+
+``P_bus = 1/2 Vdd^2 f * sum_i Ceff(line_i) A(line_i)`` where
+``A(line_i)`` is the per-cycle toggle probability of line ``i``.  The
+co-simulation counts actual toggles, so the formula is evaluated with
+``A = toggles_i / cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.bus.busmodel import SharedBus
+from repro.bus.model import BusParameters
+
+
+def average_bus_power(
+    params: BusParameters,
+    line_toggles: Sequence[int],
+    total_cycles: int,
+    line_capacitance_f: Optional[Sequence[float]] = None,
+) -> float:
+    """Average power in watts over ``total_cycles`` bus cycles.
+
+    Args:
+        params: bus parameters (voltage, clock).
+        line_toggles: toggle count for each line.
+        total_cycles: bus cycles elapsed.
+        line_capacitance_f: per-line effective capacitance; defaults to
+            the uniform ``params.line_capacitance_f``.
+    """
+    if total_cycles <= 0:
+        return 0.0
+    frequency = 1.0 / (params.clock_period_ns * 1e-9)
+    capacitances = (
+        list(line_capacitance_f)
+        if line_capacitance_f is not None
+        else [params.line_capacitance_f] * len(line_toggles)
+    )
+    if len(capacitances) != len(line_toggles):
+        raise ValueError("capacitance list does not match line count")
+    total = 0.0
+    for toggles, capacitance in zip(line_toggles, capacitances):
+        activity = toggles / total_cycles
+        total += capacitance * activity
+    return 0.5 * params.vdd * params.vdd * frequency * total
+
+
+def bus_power_report(bus: SharedBus, elapsed_ns: float) -> Dict[str, float]:
+    """Summary of a bus's activity after a co-simulation run."""
+    cycles = max(1, int(elapsed_ns / bus.params.clock_period_ns))
+    activity = bus.line_activity()
+    return {
+        "energy_j": bus.total_energy,
+        "avg_power_w": (
+            average_bus_power(bus.params, activity["addr"], cycles)
+            + average_bus_power(bus.params, activity["data"], cycles)
+        ),
+        "utilization": bus.utilization(elapsed_ns),
+        "grants": float(bus.total_grants),
+        "words": float(bus.total_words),
+    }

@@ -1,0 +1,14 @@
+"""Cache-simulator substrate.
+
+As in the paper, the instruction-set simulator assumes 100% cache hits;
+cache behaviour is modeled by a fast cache simulator attached directly
+to the simulation master, which feeds it the memory references produced
+by executing the discrete-event model of each CFSM.  This architecture
+is also why the energy-caching speedup introduces no error in the cache
+statistics: skipping an ISS invocation does not change the reference
+stream seen by the cache simulator (Table 1 discussion).
+"""
+
+from repro.cache.cachesim import CacheAccess, CacheConfig, CacheSimulator
+
+__all__ = ["CacheConfig", "CacheSimulator", "CacheAccess"]

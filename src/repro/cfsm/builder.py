@@ -1,0 +1,142 @@
+"""Fluent construction API for CFSM networks.
+
+System descriptions read like the paper's pseudo-code::
+
+    net = NetworkBuilder("example")
+    producer = net.cfsm("producer", mapping=Implementation.SW)
+    producer.input("START")
+    producer.output("END_COMP")
+    producer.var("count", 0)
+    producer.transition(
+        "on_start",
+        trigger=["START"],
+        body=[
+            loop(const(NUM_PKTS), [
+                assign("count", add(var("count"), const(1))),
+                emit("END_COMP"),
+            ]),
+        ],
+    )
+    network = net.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.cfsm.events import EventType
+from repro.cfsm.expr import Expression
+from repro.cfsm.model import Cfsm, Implementation, Network, Transition
+from repro.cfsm.sgraph import SGraph, Statement
+
+
+class CfsmBuilder:
+    """Incrementally assembles one :class:`Cfsm`."""
+
+    def __init__(self, name: str, width: int = 16, clock_period_ns: float = 10.0) -> None:
+        self._cfsm = Cfsm(name=name, width=width, clock_period_ns=clock_period_ns)
+
+    @property
+    def name(self) -> str:
+        return self._cfsm.name
+
+    def input(self, name: str, has_value: bool = False, width: int = 16) -> "CfsmBuilder":
+        """Declare an input event."""
+        self._cfsm.inputs[name] = EventType(name, has_value=has_value, width=width)
+        return self
+
+    def output(self, name: str, has_value: bool = False, width: int = 16) -> "CfsmBuilder":
+        """Declare an output event."""
+        self._cfsm.outputs[name] = EventType(name, has_value=has_value, width=width)
+        return self
+
+    def var(self, name: str, initial: int = 0, shared: bool = False) -> "CfsmBuilder":
+        """Declare a persistent variable, optionally in shared memory."""
+        self._cfsm.variables[name] = initial
+        if shared:
+            self._cfsm.shared_variables.add(name)
+        return self
+
+    def transition(
+        self,
+        name: str,
+        trigger: Sequence[str],
+        body: Sequence[Statement],
+        guard: Optional[Expression] = None,
+        consumes: Sequence[str] = (),
+    ) -> "CfsmBuilder":
+        """Add a transition (declaration order is priority order)."""
+        for event in trigger:
+            if event not in self._cfsm.inputs:
+                raise ValueError(
+                    "transition %r of %r triggers on undeclared input %r"
+                    % (name, self._cfsm.name, event)
+                )
+        self._cfsm.transitions.append(
+            Transition(
+                name=name,
+                trigger=tuple(trigger),
+                body=SGraph(body),
+                guard=guard,
+                consumes=tuple(consumes),
+            )
+        )
+        return self
+
+    def build(self) -> Cfsm:
+        """Finish and return the CFSM."""
+        return self._cfsm
+
+
+class NetworkBuilder:
+    """Incrementally assembles a :class:`Network`."""
+
+    def __init__(self, name: str) -> None:
+        self._network = Network(name=name)
+        self._builders: Dict[str, CfsmBuilder] = {}
+        self._mappings: Dict[str, str] = {}
+
+    def cfsm(
+        self,
+        name: str,
+        mapping: str,
+        width: int = 16,
+        clock_period_ns: float = 10.0,
+    ) -> CfsmBuilder:
+        """Start a new CFSM with the given HW/SW mapping."""
+        if name in self._builders:
+            raise ValueError("duplicate CFSM name %r" % name)
+        builder = CfsmBuilder(name, width=width, clock_period_ns=clock_period_ns)
+        self._builders[name] = builder
+        self._mappings[name] = Implementation.check(mapping)
+        return builder
+
+    def on_bus(self, *event_names: str) -> "NetworkBuilder":
+        """Map the named events onto the shared system bus."""
+        self._network.bus_events.update(event_names)
+        return self
+
+    def environment_input(self, *event_names: str) -> "NetworkBuilder":
+        """Declare events driven by the testbench."""
+        self._network.environment_inputs.update(event_names)
+        return self
+
+    def watching(self, *event_names: str) -> "NetworkBuilder":
+        """Mark reset events (the paper's ``watching RESET`` construct).
+
+        A delivery of a reset event re-initializes every process that
+        declares it as an input: variables return to their initial
+        values and all pending input events are dropped.
+        """
+        self._network.reset_events.update(event_names)
+        return self
+
+    def build(self, validate: bool = True) -> Network:
+        """Assemble (and by default validate) the network."""
+        for name, builder in self._builders.items():
+            self._network.add(builder.build(), self._mappings[name])
+        if validate:
+            from repro.cfsm.validate import validate_network
+
+            validate_network(self._network)
+        return self._network

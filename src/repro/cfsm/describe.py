@@ -1,0 +1,117 @@
+"""Human-readable network summaries.
+
+Co-design flows live or die by whether the designer can see what the
+tool thinks the system *is*: the partition, the event wiring, the bus
+mapping, and the size of each implementation.  These helpers render a
+network (optionally with implementation statistics) as aligned text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cfsm.model import Cfsm, Implementation, Network
+from repro.cfsm.sgraph import SGraph
+
+
+def transition_summary(cfsm: Cfsm) -> List[str]:
+    """One line per transition: trigger, guard presence, body size."""
+    lines = []
+    for transition in cfsm.transitions:
+        guard = " [guarded]" if transition.guard is not None else ""
+        body: SGraph = transition.body
+        emits = body.events_emitted()
+        shared = " shared-mem" if body.uses_shared_memory() else ""
+        lines.append(
+            "    %-16s on %-24s %2d nodes%s%s%s"
+            % (
+                transition.name,
+                "+".join(transition.trigger),
+                body.node_count,
+                guard,
+                (" -> " + ",".join(emits)) if emits else "",
+                shared,
+            )
+        )
+    return lines
+
+
+def describe_network(
+    network: Network,
+    implementation_stats: Optional[Dict[str, Dict[str, int]]] = None,
+) -> str:
+    """Render the full system description as text.
+
+    Args:
+        network: the system.
+        implementation_stats: optional per-process statistics (e.g.
+            ``{"checksum": {"gates": 1500, "dffs": 220}}`` for hardware
+            blocks or ``{"ip_check": {"code_bytes": 1280}}`` for
+            software) merged into the listing.
+    """
+    stats = implementation_stats or {}
+    lines = ["network %s" % network.name]
+
+    for name in sorted(network.cfsms):
+        cfsm = network.cfsms[name]
+        mapping = network.implementation(name)
+        extra = ""
+        if name in stats:
+            extra = "  (" + ", ".join(
+                "%s=%s" % (key, value)
+                for key, value in sorted(stats[name].items())
+            ) + ")"
+        lines.append("  %-16s %-3s%s" % (name, mapping.upper(), extra))
+        inputs = ", ".join(sorted(cfsm.inputs)) or "-"
+        outputs = ", ".join(sorted(cfsm.outputs)) or "-"
+        lines.append("    inputs : %s" % inputs)
+        lines.append("    outputs: %s" % outputs)
+        if cfsm.variables:
+            lines.append(
+                "    vars   : %s"
+                % ", ".join("%s=%d" % (var, val)
+                            for var, val in sorted(cfsm.variables.items()))
+            )
+        lines.extend(transition_summary(cfsm))
+
+    if network.bus_events:
+        lines.append("  bus events    : %s" % ", ".join(sorted(network.bus_events)))
+    if network.environment_inputs:
+        lines.append(
+            "  env inputs    : %s" % ", ".join(sorted(network.environment_inputs))
+        )
+    if network.reset_events:
+        lines.append(
+            "  watching      : %s" % ", ".join(sorted(network.reset_events))
+        )
+    return "\n".join(lines)
+
+
+def implementation_statistics(network: Network) -> Dict[str, Dict[str, int]]:
+    """Compile/synthesize every process and collect size statistics.
+
+    Software processes report generated code and data sizes; hardware
+    processes report gate and flip-flop counts.  This runs real
+    compilation/synthesis, so it is as truthful as the estimators — and
+    correspondingly not free (fractions of a second per block).
+    """
+    from repro.hw.synth import synthesize_cfsm
+    from repro.sw.codegen import compile_cfsm
+
+    stats: Dict[str, Dict[str, int]] = {}
+    for name in sorted(network.cfsms):
+        cfsm = network.cfsms[name]
+        if network.implementation(name) == Implementation.SW:
+            compiled = compile_cfsm(cfsm)
+            stats[name] = {
+                "code_bytes": compiled.program.size_bytes,
+                "data_words": compiled.memory_map.size_words,
+            }
+        else:
+            block = synthesize_cfsm(cfsm)
+            stats[name] = {
+                "gates": block.netlist.gate_count,
+                "dffs": block.netlist.dff_count,
+                "states": len(block.micro_program.ops),
+            }
+    return stats

@@ -1,0 +1,436 @@
+"""S-graphs: the structured bodies of CFSM transitions.
+
+An s-graph is a small structured program (assignments, event emissions,
+two-way tests, and counted loops) executed atomically when a transition
+fires.  The behavioral interpreter in this module is the *reference
+semantics* used by the simulation master; the software code generator
+and the hardware synthesizer must agree with it (this is checked by
+property-based tests).
+
+Executing an s-graph produces an :class:`ExecutionTrace` that records
+
+* the macro-operation stream (consumed by software macro-modeling),
+* the *path signature* — the sequence of test outcomes — which is the
+  lookup key used by energy/delay caching (Section 4.2),
+* the memory references performed (fed to the cache simulator by the
+  master, exactly as in the paper where the ISS assumes 100% hits and
+  the cache simulator is attached directly to PTOLEMY),
+* the events emitted, and
+* the visited node sequence (the hardware estimator maps one s-graph
+  node to one controller state / clock cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cfsm.actions import MacroOp, MacroOpKind, interned_macro_op
+from repro.cfsm.expr import Expression, _coerce
+
+#: Safety bound on loop iterations; a behavioral model that exceeds it
+#: almost certainly encodes a non-terminating reaction.
+DEFAULT_MAX_ITERATIONS = 1_000_000
+
+
+class SGraphError(Exception):
+    """Raised for malformed s-graphs or runaway executions."""
+
+
+@dataclass(frozen=True)
+class MemoryReference:
+    """One variable access performed during execution.
+
+    Attributes:
+        name: variable name (or ``"@event"`` for an event mailbox read).
+        is_write: ``True`` for stores, ``False`` for loads.
+    """
+
+    name: str
+    is_write: bool
+
+
+_REF_CACHE: Dict[Tuple[str, bool], MemoryReference] = {}
+
+
+def _memory_ref(name: str, is_write: bool) -> MemoryReference:
+    """Interned reference instances for the interpreter's hot loop."""
+    key = (name, is_write)
+    ref = _REF_CACHE.get(key)
+    if ref is None:
+        ref = MemoryReference(name, is_write)
+        _REF_CACHE[key] = ref
+    return ref
+
+
+class Statement:
+    """Base class for s-graph statements.
+
+    ``node_id`` is assigned by :class:`SGraph` in depth-first order and
+    mirrors the node numbering of the paper's Figure 4(a).
+    """
+
+    node_id: int = -1
+
+    def _assign_ids(self, next_id: int) -> int:
+        self.node_id = next_id
+        return next_id + 1
+
+
+class Assign(Statement):
+    """``var := expr`` — an AVV/AIVC macro-operation plus operator calls."""
+
+    def __init__(self, target: str, value) -> None:
+        if not target:
+            raise SGraphError("assignment requires a target variable name")
+        self.target = target
+        self.value: Expression = _coerce(value)
+
+    def __repr__(self) -> str:
+        return "Assign(%s := %r)" % (self.target, self.value)
+
+
+class Emit(Statement):
+    """``emit(event[, value])`` — an AEMIT macro-operation."""
+
+    def __init__(self, event: str, value=None) -> None:
+        if not event:
+            raise SGraphError("emit requires an event name")
+        self.event = event
+        self.value: Optional[Expression] = None if value is None else _coerce(value)
+
+    def __repr__(self) -> str:
+        return "Emit(%s)" % self.event
+
+
+class If(Statement):
+    """Two-way test: TIVART when the condition holds, TIVARF otherwise."""
+
+    def __init__(self, cond, then: Sequence[Statement], els: Sequence[Statement] = ()) -> None:
+        self.cond: Expression = _coerce(cond)
+        self.then = list(then)
+        self.els = list(els)
+
+    def _assign_ids(self, next_id: int) -> int:
+        next_id = Statement._assign_ids(self, next_id)
+        for stmt in self.then:
+            next_id = stmt._assign_ids(next_id)
+        for stmt in self.els:
+            next_id = stmt._assign_ids(next_id)
+        return next_id
+
+    def __repr__(self) -> str:
+        return "If(%r, then=%d stmts, else=%d stmts)" % (
+            self.cond,
+            len(self.then),
+            len(self.els),
+        )
+
+
+class SharedRead(Statement):
+    """``var := shared_memory[address]`` — a word read over the bus.
+
+    Shared-memory accesses are the bus traffic of the system: the
+    master groups the reads of one transition into DMA bursts and
+    charges them to the shared-bus model instead of the local cache.
+    """
+
+    def __init__(self, target: str, address) -> None:
+        if not target:
+            raise SGraphError("shared read requires a target variable")
+        self.target = target
+        self.address: Expression = _coerce(address)
+
+    def __repr__(self) -> str:
+        return "SharedRead(%s := M[%r])" % (self.target, self.address)
+
+
+class SharedWrite(Statement):
+    """``shared_memory[address] := value`` — a word write over the bus."""
+
+    def __init__(self, address, value) -> None:
+        self.address: Expression = _coerce(address)
+        self.value: Expression = _coerce(value)
+
+    def __repr__(self) -> str:
+        return "SharedWrite(M[%r] := %r)" % (self.address, self.value)
+
+
+class Loop(Statement):
+    """Counted loop: the body runs ``count`` times (0 if negative).
+
+    The iteration count is *not* part of the path signature: the paper's
+    energy-caching technique keys on the control path, so a path whose
+    loop bound is data-dependent shows a spread-out energy histogram
+    (Figure 4(b)) and is filtered out by the variance threshold.
+    """
+
+    def __init__(self, count, body: Sequence[Statement]) -> None:
+        self.count: Expression = _coerce(count)
+        self.body = list(body)
+
+    def _assign_ids(self, next_id: int) -> int:
+        next_id = Statement._assign_ids(self, next_id)
+        for stmt in self.body:
+            next_id = stmt._assign_ids(next_id)
+        return next_id
+
+    def __repr__(self) -> str:
+        return "Loop(%r, body=%d stmts)" % (self.count, len(self.body))
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything observed while executing an s-graph once."""
+
+    ops: List[MacroOp] = field(default_factory=list)
+    path: Tuple = ()
+    emitted: List[Tuple[str, int]] = field(default_factory=list)
+    memory_refs: List[MemoryReference] = field(default_factory=list)
+    var_updates: Dict[str, int] = field(default_factory=dict)
+    visited: List[int] = field(default_factory=list)
+    loop_iterations: int = 0
+    shared_reads: List[Tuple[int, int]] = field(default_factory=list)
+    shared_writes: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def op_names(self) -> List[str]:
+        """Macro-operation names in execution order."""
+        return [op.name for op in self.ops]
+
+
+class SGraph:
+    """A transition body: an ordered list of statements.
+
+    The constructor assigns node ids depth-first so that path
+    signatures and hardware controller states are stable.
+    """
+
+    def __init__(self, statements: Sequence[Statement], max_iterations: int = DEFAULT_MAX_ITERATIONS) -> None:
+        self.statements = list(statements)
+        self.max_iterations = max_iterations
+        self._shared = None
+        next_id = 1
+        for stmt in self.statements:
+            next_id = stmt._assign_ids(next_id)
+        self.node_count = next_id - 1
+
+    def nodes(self) -> List[Statement]:
+        """All statements in node-id order."""
+        found: List[Statement] = []
+
+        def collect(stmts: Sequence[Statement]) -> None:
+            for stmt in stmts:
+                found.append(stmt)
+                if isinstance(stmt, If):
+                    collect(stmt.then)
+                    collect(stmt.els)
+                elif isinstance(stmt, Loop):
+                    collect(stmt.body)
+
+        collect(self.statements)
+        return sorted(found, key=lambda s: s.node_id)
+
+    def variables_read(self) -> List[str]:
+        """Variables possibly read anywhere in the body (sorted)."""
+        names = set()
+        for stmt in self.nodes():
+            for expression in _expressions_of(stmt):
+                names.update(expression.variables())
+        return sorted(names)
+
+    def variables_written(self) -> List[str]:
+        """Variables possibly written anywhere in the body (sorted)."""
+        return sorted(
+            {
+                stmt.target
+                for stmt in self.nodes()
+                if isinstance(stmt, (Assign, SharedRead))
+            }
+        )
+
+    def uses_shared_memory(self) -> bool:
+        """Whether the body contains shared-memory accesses."""
+        return any(
+            isinstance(stmt, (SharedRead, SharedWrite)) for stmt in self.nodes()
+        )
+
+    def events_emitted(self) -> List[str]:
+        """Events possibly emitted anywhere in the body (sorted)."""
+        return sorted({stmt.event for stmt in self.nodes() if isinstance(stmt, Emit)})
+
+    def event_values_read(self) -> List[str]:
+        """Event values possibly read anywhere in the body (sorted)."""
+        names = set()
+        for stmt in self.nodes():
+            for expression in _expressions_of(stmt):
+                names.update(expression.event_values())
+        return sorted(names)
+
+    def execute(self, env: Dict[str, int], shared=None) -> ExecutionTrace:
+        """Run the body once under ``env`` and return the trace.
+
+        ``env`` holds variable bindings plus ``"@event"`` keys for the
+        values of the triggering events.  The environment is updated in
+        place with assignments (mirroring the CFSM's persistent state).
+        ``shared`` must provide ``read(addr)``/``write(addr, value)``
+        when the body contains shared-memory statements.
+        """
+        trace = ExecutionTrace()
+        path: List[Tuple[int, str]] = []
+        self._shared = shared
+        try:
+            self._run_block(self.statements, env, trace, path)
+        finally:
+            self._shared = None
+        trace.path = tuple(path)
+        return trace
+
+    # -- interpreter ------------------------------------------------------
+
+    def _run_block(
+        self,
+        stmts: Sequence[Statement],
+        env: Dict[str, int],
+        trace: ExecutionTrace,
+        path: List[Tuple[int, str]],
+    ) -> None:
+        for stmt in stmts:
+            self._run_statement(stmt, env, trace, path)
+
+    def _run_statement(
+        self,
+        stmt: Statement,
+        env: Dict[str, int],
+        trace: ExecutionTrace,
+        path: List[Tuple[int, str]],
+    ) -> None:
+        trace.visited.append(stmt.node_id)
+        if isinstance(stmt, Assign):
+            value = self._eval(stmt.value, env, trace)
+            env[stmt.target] = value
+            trace.var_updates[stmt.target] = value
+            trace.memory_refs.append(_memory_ref(stmt.target, True))
+            if isinstance_const(stmt.value):
+                trace.ops.append(interned_macro_op(MacroOpKind.AIVC, stmt.target))
+            else:
+                trace.ops.append(interned_macro_op(MacroOpKind.AVV, stmt.target))
+        elif isinstance(stmt, Emit):
+            value = 0
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env, trace)
+            trace.emitted.append((stmt.event, value))
+            trace.ops.append(interned_macro_op(MacroOpKind.AEMIT, stmt.event))
+        elif isinstance(stmt, SharedRead):
+            if self._shared is None:
+                raise SGraphError(
+                    "shared read at node %d without a shared memory" % stmt.node_id
+                )
+            address = self._eval(stmt.address, env, trace)
+            value = self._shared.read(address)
+            env[stmt.target] = value
+            trace.var_updates[stmt.target] = value
+            trace.shared_reads.append((address, value))
+            trace.memory_refs.append(_memory_ref(stmt.target, True))
+            trace.ops.append(interned_macro_op(MacroOpKind.ASHRD, stmt.target))
+        elif isinstance(stmt, SharedWrite):
+            if self._shared is None:
+                raise SGraphError(
+                    "shared write at node %d without a shared memory" % stmt.node_id
+                )
+            address = self._eval(stmt.address, env, trace)
+            value = self._eval(stmt.value, env, trace)
+            self._shared.write(address, value)
+            trace.shared_writes.append((address, value))
+            trace.ops.append(interned_macro_op(MacroOpKind.ASHWR, "n%d" % stmt.node_id))
+        elif isinstance(stmt, If):
+            taken = bool(self._eval(stmt.cond, env, trace))
+            outcome = "T" if taken else "F"
+            path.append((stmt.node_id, outcome))
+            kind = MacroOpKind.TIVART if taken else MacroOpKind.TIVARF
+            trace.ops.append(interned_macro_op(kind, "n%d" % stmt.node_id))
+            self._run_block(stmt.then if taken else stmt.els, env, trace, path)
+        elif isinstance(stmt, Loop):
+            count = self._eval(stmt.count, env, trace)
+            count = max(0, count)
+            if count > self.max_iterations:
+                raise SGraphError(
+                    "loop at node %d requested %d iterations (max %d)"
+                    % (stmt.node_id, count, self.max_iterations)
+                )
+            for _ in range(count):
+                trace.ops.append(interned_macro_op(MacroOpKind.TLOOPT, "n%d" % stmt.node_id))
+                trace.loop_iterations += 1
+                self._run_block(stmt.body, env, trace, path)
+            trace.ops.append(interned_macro_op(MacroOpKind.TLOOPF, "n%d" % stmt.node_id))
+        else:
+            raise SGraphError("unknown statement type %r" % type(stmt).__name__)
+
+    def _eval(self, expression: Expression, env: Dict[str, int], trace: ExecutionTrace) -> int:
+        for name in expression.variables():
+            trace.memory_refs.append(_memory_ref(name, False))
+        for event in expression.event_values():
+            trace.ops.append(interned_macro_op(MacroOpKind.ADETECT, event))
+            trace.memory_refs.append(_memory_ref("@" + event, False))
+        for op_name in expression.macro_ops():
+            trace.ops.append(interned_macro_op(op_name))
+        return expression.evaluate(env)
+
+
+def isinstance_const(expression: Expression) -> bool:
+    """Whether ``expression`` is a plain constant (AIVC vs. AVV)."""
+    from repro.cfsm.expr import Const
+
+    return isinstance(expression, Const)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers mirroring repro.cfsm.expr's lower-case builders.
+# ---------------------------------------------------------------------------
+
+
+def assign(target: str, value) -> Assign:
+    """``target := value`` statement."""
+    return Assign(target, value)
+
+
+def emit(event: str, value=None) -> Emit:
+    """``emit(event[, value])`` statement."""
+    return Emit(event, value)
+
+
+def if_(cond, then: Sequence[Statement], els: Sequence[Statement] = ()) -> If:
+    """Two-way test statement."""
+    return If(cond, then, els)
+
+
+def loop(count, body: Sequence[Statement]) -> Loop:
+    """Counted-loop statement."""
+    return Loop(count, body)
+
+
+def shared_read(target: str, address) -> SharedRead:
+    """``target := shared_memory[address]`` statement."""
+    return SharedRead(target, address)
+
+
+def shared_write(address, value) -> SharedWrite:
+    """``shared_memory[address] := value`` statement."""
+    return SharedWrite(address, value)
+
+
+def _expressions_of(stmt: Statement) -> List[Expression]:
+    """All expression roots contained directly in ``stmt``."""
+    if isinstance(stmt, Assign):
+        return [stmt.value]
+    if isinstance(stmt, Emit):
+        return [] if stmt.value is None else [stmt.value]
+    if isinstance(stmt, If):
+        return [stmt.cond]
+    if isinstance(stmt, Loop):
+        return [stmt.count]
+    if isinstance(stmt, SharedRead):
+        return [stmt.address]
+    if isinstance(stmt, SharedWrite):
+        return [stmt.address, stmt.value]
+    return []

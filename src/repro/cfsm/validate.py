@@ -1,0 +1,138 @@
+"""Static checks on CFSM networks.
+
+The checks catch the system-description mistakes that otherwise show up
+as confusing co-simulation behaviour: undeclared variables, emissions of
+events that are not declared outputs, value reads of pure events,
+dangling inputs that no process or testbench drives, and transitions
+that can never fire.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cfsm.model import Cfsm, Network
+from repro.cfsm.sgraph import (
+    Assign,
+    Emit,
+    SGraph,
+    SharedRead,
+    _expressions_of,
+)
+
+
+class NetworkValidationError(Exception):
+    """Raised when a network fails validation in strict mode."""
+
+    def __init__(self, issues: List[str]) -> None:
+        super().__init__("network validation failed:\n" + "\n".join(issues))
+        self.issues = issues
+
+
+def validate_cfsm(cfsm: Cfsm) -> List[str]:
+    """Return a list of problems found in one CFSM (empty if clean)."""
+    issues: List[str] = []
+    seen_transitions = set()
+    for transition in cfsm.transitions:
+        prefix = "%s.%s: " % (cfsm.name, transition.name)
+        if transition.name in seen_transitions:
+            issues.append(prefix + "duplicate transition name")
+        seen_transitions.add(transition.name)
+        if not transition.trigger:
+            issues.append(prefix + "has no trigger events (would never fire)")
+        for event in transition.trigger:
+            if event not in cfsm.inputs:
+                issues.append(prefix + "triggers on undeclared input %r" % event)
+        issues.extend(prefix + issue for issue in _check_body(cfsm, transition.body))
+        if transition.guard is not None:
+            for name in transition.guard.variables():
+                if name not in cfsm.variables:
+                    issues.append(prefix + "guard reads undeclared variable %r" % name)
+            for event in transition.guard.event_values():
+                issues.extend(prefix + issue for issue in _check_value_read(cfsm, event))
+    return issues
+
+
+def _check_body(cfsm: Cfsm, body: SGraph) -> List[str]:
+    issues: List[str] = []
+    for stmt in body.nodes():
+        if isinstance(stmt, (Assign, SharedRead)) and stmt.target not in cfsm.variables:
+            issues.append("assigns undeclared variable %r" % stmt.target)
+        if isinstance(stmt, Emit):
+            if stmt.event not in cfsm.outputs:
+                issues.append("emits undeclared output %r" % stmt.event)
+            elif stmt.value is not None and not cfsm.outputs[stmt.event].has_value:
+                issues.append("emits a value on pure event %r" % stmt.event)
+        for expression in _expressions_of(stmt):
+            for name in expression.variables():
+                if name not in cfsm.variables:
+                    issues.append("reads undeclared variable %r" % name)
+            for event in expression.event_values():
+                issues.extend(_check_value_read(cfsm, event))
+    for name in cfsm.shared_variables:
+        if name not in cfsm.variables:
+            issues.append("shared variable %r is not declared" % name)
+    return issues
+
+
+def _check_value_read(cfsm: Cfsm, event: str) -> List[str]:
+    if event not in cfsm.inputs:
+        return ["reads value of undeclared input %r" % event]
+    if not cfsm.inputs[event].has_value:
+        return ["reads value of pure event %r" % event]
+    return []
+
+
+def validate_network(network: Network, strict: bool = True) -> List[str]:
+    """Validate every CFSM and the inter-process wiring.
+
+    Returns the list of issues; raises :class:`NetworkValidationError`
+    in strict mode when the list is non-empty.
+    """
+    issues: List[str] = []
+    for _, cfsm in sorted(network.cfsms.items()):
+        issues.extend(validate_cfsm(cfsm))
+        if network.mapping.get(cfsm.name) is None:
+            issues.append("%s: has no HW/SW mapping" % cfsm.name)
+
+    # Event wiring: every consumed event must be produced by a CFSM or
+    # declared as an environment input.
+    dangling = network.external_inputs() - network.environment_inputs
+    for event in sorted(dangling):
+        consumers = ", ".join(c.name for c in network.consumers_of(event))
+        issues.append(
+            "event %r is consumed by [%s] but produced by no CFSM and "
+            "not declared as an environment input" % (event, consumers)
+        )
+
+    # Events mapped to the bus must actually exist.
+    known_events = set(network.all_event_types())
+    for event in sorted(network.bus_events):
+        if event not in known_events:
+            issues.append("bus event %r is not declared by any CFSM" % event)
+
+    # Reset events must reach at least one process, and it makes no
+    # sense for a transition to trigger on one (the reset pre-empts
+    # normal reaction).
+    for event in sorted(network.reset_events):
+        if not network.consumers_of(event):
+            issues.append("reset event %r has no watching process" % event)
+        for _, cfsm in sorted(network.cfsms.items()):
+            for transition in cfsm.transitions:
+                if event in transition.trigger:
+                    issues.append(
+                        "%s.%s: triggers on reset event %r"
+                        % (cfsm.name, transition.name, event)
+                    )
+
+    # Conflicting value-ness between producer and consumer declarations
+    # is caught by Network.all_event_types; surface it as an issue
+    # rather than an exception for consistency.
+    try:
+        network.all_event_types()
+    except ValueError as error:
+        issues.append(str(error))
+
+    if strict and issues:
+        raise NetworkValidationError(issues)
+    return issues

@@ -1,0 +1,59 @@
+"""The paper's contribution: power co-estimation and its accelerations.
+
+* :mod:`repro.core.strategy` — the estimation-strategy seam between the
+  simulation master and the component-level estimators, plus the basic
+  (full, unaccelerated) co-estimation strategy of Section 3.
+* :mod:`repro.core.caching` — energy and delay caching (Section 4.2).
+* :mod:`repro.core.macromodel` — software (and hardware) power
+  macro-modeling (Section 4.1).
+* :mod:`repro.core.sampling` — statistical sampling / K-memory dynamic
+  sequence compaction (Section 4.3).
+* :mod:`repro.core.coestimator` — the user-facing facade.
+* :mod:`repro.core.separate` — the separate-estimation baseline used to
+  motivate co-estimation (Section 2).
+* :mod:`repro.core.report` — energy reports and comparisons.
+* :mod:`repro.core.explorer` — communication-architecture design-space
+  exploration (Section 5.3).
+"""
+
+from repro.core.strategy import Estimate, EstimationJob, EstimationStrategy, FullStrategy
+from repro.core.caching import CachingStrategy, EnergyCache, EnergyCacheConfig
+from repro.core.macromodel import (
+    MacroModelCharacterizer,
+    MacromodelStrategy,
+    ParameterFile,
+)
+from repro.core.sampling import KMemoryCompactor, SamplingStrategy, StaticCompactor
+from repro.core.report import EnergyReport
+from repro.core.coestimator import CoEstimationResult, PowerCoEstimator
+from repro.core.separate import SeparateEstimator
+from repro.core.explorer import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    PartitionExplorer,
+    PartitionPoint,
+)
+
+__all__ = [
+    "Estimate",
+    "EstimationJob",
+    "EstimationStrategy",
+    "FullStrategy",
+    "CachingStrategy",
+    "EnergyCache",
+    "EnergyCacheConfig",
+    "MacroModelCharacterizer",
+    "MacromodelStrategy",
+    "ParameterFile",
+    "SamplingStrategy",
+    "KMemoryCompactor",
+    "StaticCompactor",
+    "EnergyReport",
+    "PowerCoEstimator",
+    "CoEstimationResult",
+    "SeparateEstimator",
+    "DesignSpaceExplorer",
+    "DesignPoint",
+    "PartitionExplorer",
+    "PartitionPoint",
+]

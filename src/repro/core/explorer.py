@@ -1,0 +1,199 @@
+"""Communication-architecture design-space exploration (Section 5.3).
+
+The explorer sweeps bus parameters — DMA block size and arbitration
+priority assignments — re-running power co-estimation for each
+configuration *without recompiling the system description*, exactly the
+iterative use-case the paper's acceleration techniques exist for.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time as _time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.cfsm.events import Event
+from repro.cfsm.model import Network
+from repro.core.coestimator import PowerCoEstimator
+from repro.core.report import EnergyReport
+from repro.core.strategy import EstimationStrategy
+from repro.master.master import MasterConfig
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated configuration."""
+
+    dma_block_words: int
+    priorities: Dict[str, int]
+    priority_label: str
+    report: EnergyReport
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.report.total_energy_j
+
+
+def priority_permutations(masters: Sequence[str]) -> List[Dict[str, int]]:
+    """All strict priority orderings of ``masters``.
+
+    Three bus masters yield the paper's six assignments.
+    """
+    assignments = []
+    for order in itertools.permutations(masters):
+        assignments.append({name: rank for rank, name in enumerate(order)})
+    return assignments
+
+
+def priority_label(priorities: Dict[str, int]) -> str:
+    """Human-readable ``a > b > c`` rendering of an assignment."""
+    ordered = sorted(priorities, key=lambda name: priorities[name])
+    return " > ".join(ordered)
+
+
+class DesignSpaceExplorer:
+    """Exhaustive sweep over DMA sizes and priority assignments."""
+
+    def __init__(
+        self,
+        network: Network,
+        base_config: MasterConfig,
+        stimuli_factory: Callable[[], List[Event]],
+        shared_memory_image: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.network = network
+        self.base_config = base_config
+        self.stimuli_factory = stimuli_factory
+        self.shared_memory_image = shared_memory_image
+        self.exploration_seconds = 0.0
+
+    def evaluate(
+        self,
+        dma_block_words: int,
+        priorities: Dict[str, int],
+        strategy: Union[str, EstimationStrategy, None] = None,
+    ) -> DesignPoint:
+        """Co-estimate one (DMA size, priority assignment) point."""
+        bus_params = self.base_config.bus_params.with_dma(dma_block_words)
+        bus_params = bus_params.with_priorities(priorities)
+        config = replace(self.base_config, bus_params=bus_params)
+        estimator = PowerCoEstimator(self.network, config)
+        result = estimator.estimate(
+            self.stimuli_factory(),
+            strategy=strategy,
+            shared_memory_image=self.shared_memory_image,
+            label="dma=%d,%s" % (dma_block_words, priority_label(priorities)),
+        )
+        return DesignPoint(
+            dma_block_words=dma_block_words,
+            priorities=dict(priorities),
+            priority_label=priority_label(priorities),
+            report=result.report,
+        )
+
+    def sweep(
+        self,
+        dma_sizes: Iterable[int],
+        priority_assignments: Iterable[Dict[str, int]],
+        strategy: Union[str, EstimationStrategy, None] = None,
+    ) -> List[DesignPoint]:
+        """Exhaustively evaluate the cross product of the two sweeps."""
+        started = _time.perf_counter()
+        points = []
+        for priorities in priority_assignments:
+            for dma in dma_sizes:
+                points.append(self.evaluate(dma, priorities, strategy=strategy))
+        self.exploration_seconds = _time.perf_counter() - started
+        return points
+
+    @staticmethod
+    def minimum_energy_point(points: Sequence[DesignPoint]) -> DesignPoint:
+        """The lowest-total-energy configuration of a sweep."""
+        if not points:
+            raise ValueError("no design points evaluated")
+        return min(points, key=lambda point: point.total_energy_j)
+
+
+@dataclass
+class PartitionPoint:
+    """One evaluated HW/SW partition."""
+
+    assignment: Dict[str, str]
+    label: str
+    report: EnergyReport
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.report.total_energy_j
+
+
+def partition_label(assignment: Dict[str, str]) -> str:
+    """Compact ``name:hw,name:sw`` rendering of a partition."""
+    return ",".join("%s:%s" % (name, assignment[name])
+                    for name in sorted(assignment))
+
+
+class PartitionExplorer:
+    """Coarse-grained HW/SW partitioning exploration.
+
+    The paper reports using the co-estimation tool (and the relative
+    accuracy of macro-modeling) "by attempting to rank several
+    different HW/SW partitions"; this explorer evaluates a list of
+    partition assignments under any estimation strategy.  Processes
+    using operations the hardware datapath cannot implement (MUL, DIV,
+    MOD) must stay in software — synthesis raises a clear error
+    otherwise.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        config: MasterConfig,
+        stimuli_factory: Callable[[], List[Event]],
+        shared_memory_image: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.network = network
+        self.config = config
+        self.stimuli_factory = stimuli_factory
+        self.shared_memory_image = shared_memory_image
+
+    def evaluate(
+        self,
+        assignment: Dict[str, str],
+        strategy: Union[str, EstimationStrategy, None] = None,
+    ) -> PartitionPoint:
+        """Co-estimate one partition; the network mapping is restored
+        afterwards."""
+        original = dict(self.network.mapping)
+        try:
+            for name, implementation in assignment.items():
+                self.network.remap(name, implementation)
+            estimator = PowerCoEstimator(self.network, self.config)
+            result = estimator.estimate(
+                self.stimuli_factory(),
+                strategy=strategy,
+                shared_memory_image=self.shared_memory_image,
+                label="partition(%s)" % partition_label(assignment),
+            )
+        finally:
+            self.network.mapping.update(original)
+        return PartitionPoint(
+            assignment=dict(assignment),
+            label=partition_label(assignment),
+            report=result.report,
+        )
+
+    def sweep(
+        self,
+        assignments: Iterable[Dict[str, str]],
+        strategy: Union[str, EstimationStrategy, None] = None,
+    ) -> List[PartitionPoint]:
+        """Evaluate every partition assignment."""
+        return [self.evaluate(assignment, strategy=strategy)
+                for assignment in assignments]
+
+    @staticmethod
+    def ranking(points: Sequence[PartitionPoint]) -> List[PartitionPoint]:
+        """Points sorted from lowest to highest total energy."""
+        return sorted(points, key=lambda point: point.total_energy_j)

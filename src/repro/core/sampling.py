@@ -1,0 +1,218 @@
+"""Statistical sampling / K-memory dynamic sequence compaction (§4.3).
+
+The paper compacts the vector/instruction stream dispatched to a
+low-level simulator so that the simulated subsequence preserves the
+single-step and two-step (lag-one) statistics of the original stream.
+In this framework the stream the master generates is the sequence of
+transition executions (each execution expands to a fixed
+vector/instruction sequence determined by its path), so compaction is
+applied at that granularity:
+
+* the *signature* of a stream element is its (process, transition,
+  path) key — preserving the signature distribution preserves the
+  single-step statistics;
+* the compactor keys its sampling decision on the **bigram**
+  ``(previous signature, signature)``, preserving lag-one statistics
+  (inter-instruction circuit-state effects in the power model depend on
+  exactly this adjacency);
+* for every bigram, the first ``warmup`` occurrences and every
+  ``period``-th occurrence afterwards are dispatched to the low-level
+  simulator; the rest reuse the most recent measurement for that
+  bigram.  The expected dispatch fraction is ``1/period`` on hot
+  bigrams — the compaction ratio;
+* the bigram table is bounded to ``k_memory`` entries with LRU
+  eviction — the *K-memory* of the dynamic compaction procedure.
+
+Unlike energy caching (Section 4.2) there is no variance test: the
+technique trades a controlled, ratio-shaped error for speed even on
+high-variance paths, which is why the two techniques compose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+from repro.core.strategy import Estimate, EstimationJob, EstimationStrategy
+
+T = TypeVar("T")
+
+
+@dataclass
+class _BigramState:
+    count: int = 0
+    last_value: Optional[object] = None
+
+
+class KMemoryCompactor(Generic[T]):
+    """Bounded-memory, bigram-preserving stream subsampler."""
+
+    def __init__(self, period: int = 8, warmup: int = 2, k_memory: int = 4096) -> None:
+        if period < 1:
+            raise ValueError("compaction period must be >= 1")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1 (something must be measured)")
+        if k_memory < 1:
+            raise ValueError("k_memory must be >= 1")
+        self.period = period
+        self.warmup = warmup
+        self.k_memory = k_memory
+        self._table: "OrderedDict[Tuple, _BigramState]" = OrderedDict()
+        self._previous_signature: Hashable = None
+        self.dispatched = 0
+        self.reused = 0
+        self.evictions = 0
+
+    def _state_for(self, bigram: Tuple) -> _BigramState:
+        state = self._table.get(bigram)
+        if state is None:
+            state = _BigramState()
+            self._table[bigram] = state
+            if len(self._table) > self.k_memory:
+                self._table.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._table.move_to_end(bigram)
+        return state
+
+    def should_dispatch(self, signature: Hashable) -> bool:
+        """Whether this element must be simulated (vs. reused)."""
+        bigram = (self._previous_signature, signature)
+        state = self._state_for(bigram)
+        if state.count < self.warmup:
+            return True
+        if state.last_value is None:
+            return True
+        return (state.count % self.period) == 0
+
+    def observe(self, signature: Hashable, value: Optional[T]) -> Optional[T]:
+        """Record one element; returns the reusable value when skipped.
+
+        Call with ``value`` set when the element was dispatched (the
+        fresh measurement) and with ``value=None`` when asking for the
+        reuse value.
+        """
+        bigram = (self._previous_signature, signature)
+        state = self._state_for(bigram)
+        state.count += 1
+        self._previous_signature = signature
+        if value is not None:
+            state.last_value = value
+            self.dispatched += 1
+            return value
+        self.reused += 1
+        return state.last_value
+
+    @property
+    def compaction_ratio(self) -> float:
+        """Fraction of the stream actually dispatched."""
+        total = self.dispatched + self.reused
+        if total == 0:
+            return 1.0
+        return self.dispatched / total
+
+
+@dataclass(frozen=True)
+class CompactionPick:
+    """One element selected by the static compactor."""
+
+    index: int
+    weight: float
+
+
+class StaticCompactor:
+    """Static sequence compaction (the whole sequence is available).
+
+    The paper notes static compaction is more powerful than dynamic
+    because the entire original sequence ``I`` can be inspected before
+    composing ``I'``.  This implementation selects, for every distinct
+    *bigram* of element signatures, an evenly-strided subset of its
+    occurrences sized ``ceil(count * ratio)``, and assigns each pick
+    the weight ``count / picked`` so that weighted sums over the
+    compacted sequence are unbiased per bigram — single-step and
+    lag-one statistics are preserved exactly by construction.
+    """
+
+    def __init__(self, ratio: float) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("compaction ratio must be in (0, 1]")
+        self.ratio = ratio
+
+    def compact(self, signatures) -> "list[CompactionPick]":
+        """Select representatives from a signature sequence.
+
+        Returns picks in increasing index order; ``sum(weights)``
+        equals the original length.
+        """
+        occurrences: Dict[Tuple, list] = {}
+        previous = None
+        for index, signature in enumerate(signatures):
+            occurrences.setdefault((previous, signature), []).append(index)
+            previous = signature
+
+        picks = []
+        for indices in occurrences.values():
+            count = len(indices)
+            keep = max(1, int(count * self.ratio + 0.999999))
+            stride = count / keep
+            chosen = sorted({indices[min(count - 1, int(k * stride))]
+                             for k in range(keep)})
+            weight = count / len(chosen)
+            for index in chosen:
+                picks.append(CompactionPick(index=index, weight=weight))
+        picks.sort(key=lambda pick: pick.index)
+        return picks
+
+    def estimate_total(self, signatures, values) -> float:
+        """Weighted total of ``values`` over the compacted subset.
+
+        ``values[i]`` is the per-element quantity (e.g. energy); only
+        the selected indices are consulted, modeling "simulate only the
+        compacted sequence, extrapolate the rest".
+        """
+        if len(signatures) != len(values):
+            raise ValueError("signatures and values must align")
+        return sum(pick.weight * values[pick.index]
+                   for pick in self.compact(signatures))
+
+
+class SamplingStrategy(EstimationStrategy):
+    """Co-estimation accelerated with K-memory dynamic compaction."""
+
+    name = "sampling"
+
+    def __init__(self, period: int = 8, warmup: int = 2, k_memory: int = 4096) -> None:
+        self.compactor: KMemoryCompactor[Estimate] = KMemoryCompactor(
+            period=period, warmup=warmup, k_memory=k_memory
+        )
+
+    def estimate(self, job: EstimationJob) -> Estimate:
+        signature = job.path_key
+        if self.compactor.should_dispatch(signature):
+            measured = job.run_low_level()
+            self.compactor.observe(signature, measured)
+            return measured
+        reused = self.compactor.observe(signature, None)
+        if reused is None:  # pragma: no cover - defended by should_dispatch
+            measured = job.run_low_level()
+            self.compactor.observe(signature, measured)
+            return measured
+        return Estimate(
+            cycles=reused.cycles, energy=reused.energy, ran_low_level=False
+        )
+
+    def statistics(self) -> Dict[str, float]:
+        return {
+            "dispatched": float(self.compactor.dispatched),
+            "reused": float(self.compactor.reused),
+            "compaction_ratio": self.compactor.compaction_ratio,
+            "evictions": float(self.compactor.evictions),
+        }
+
+    def reset(self) -> None:
+        self.compactor = KMemoryCompactor(
+            period=self.compactor.period,
+            warmup=self.compactor.warmup,
+            k_memory=self.compactor.k_memory,
+        )

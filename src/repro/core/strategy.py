@@ -1,0 +1,16 @@
+"""Estimation-strategy protocol (re-exported).
+
+The classes live in :mod:`repro.estimation` so that the simulation
+master can import them without triggering the :mod:`repro.core`
+package initialization (which itself imports the master).  Importing
+them from here is the documented public path.
+"""
+
+from repro.estimation import (  # noqa: F401
+    Estimate,
+    EstimationJob,
+    EstimationStrategy,
+    FullStrategy,
+)
+
+__all__ = ["Estimate", "EstimationJob", "EstimationStrategy", "FullStrategy"]

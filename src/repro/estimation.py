@@ -1,0 +1,121 @@
+"""The estimation-strategy seam of the co-estimation framework.
+
+For every CFSM transition the master executes behaviorally, it builds
+an :class:`EstimationJob` and asks the active strategy for the
+transition's cycle count and energy.  The job closure
+``run_low_level`` invokes the appropriate component estimator — the
+instruction-set simulator for software processes, the gate-level power
+simulator for hardware processes — with the state/input exchange
+already prepared by the master (Figure 2(b) of the paper).
+
+The acceleration techniques of Section 4 are alternative strategies
+that avoid calling ``run_low_level`` when they can: energy caching
+replays statistics of previously simulated paths, macro-modeling sums
+pre-characterized per-macro-operation costs, and statistical sampling
+subsamples the request stream.  This module defines the protocol and
+the unaccelerated :class:`FullStrategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.cfsm.model import Cfsm, Transition
+from repro.cfsm.sgraph import ExecutionTrace
+
+
+@dataclass
+class Estimate:
+    """A strategy's answer for one transition execution."""
+
+    cycles: int
+    energy: float
+    ran_low_level: bool
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("negative cycle estimate")
+        if self.energy < 0:
+            raise ValueError("negative energy estimate")
+
+
+@dataclass
+class EstimationJob:
+    """One transition execution awaiting a cycle/energy estimate.
+
+    Attributes:
+        cfsm: the reacting process.
+        transition: the transition that fired.
+        trace: the behavioral execution trace (macro-operations, path
+            signature, memory references, shared accesses).
+        kind: ``"sw"`` or ``"hw"`` — the process's mapping.
+        run_low_level: invokes the component estimator (ISS or gate
+            level simulator) for this exact execution and returns the
+            measured estimate.  Prepared by the master; calling it more
+            than once is an error.
+    """
+
+    cfsm: Cfsm
+    transition: Transition
+    trace: ExecutionTrace
+    kind: str
+    run_low_level: Callable[[], Estimate]
+
+    @property
+    def path_key(self) -> Tuple:
+        """The cache key of this execution: process, transition, path.
+
+        This is exactly the paper's path-granular lookup key — the
+        control path through the transition's s-graph, *excluding* loop
+        iteration counts, so data-dependent loops fall into one key
+        whose energy histogram may be spread out (Figure 4(b)).
+        """
+        return (self.cfsm.name, self.transition.name, self.trace.path)
+
+    @property
+    def op_names(self) -> List[str]:
+        """Macro-operation stream of the behavioral execution."""
+        return self.trace.op_names
+
+
+class EstimationStrategy:
+    """Base class: maps jobs to estimates and keeps usage statistics."""
+
+    name = "abstract"
+
+    def estimate(self, job: EstimationJob) -> Estimate:
+        """Produce the cycle/energy estimate for ``job``."""
+        raise NotImplementedError
+
+    def statistics(self) -> Dict[str, float]:
+        """Strategy-specific counters for reports."""
+        return {}
+
+    def reset(self) -> None:
+        """Clear per-run state (caches, counters)."""
+
+
+class FullStrategy(EstimationStrategy):
+    """Unaccelerated co-estimation: always run the low-level estimator.
+
+    This is the paper's baseline (the ``Orig.`` columns of Tables 1
+    and 2): every software transition is simulated by the ISS and every
+    hardware transition by the gate-level power simulator, synchronized
+    by the master.
+    """
+
+    name = "full"
+
+    def __init__(self) -> None:
+        self.low_level_calls = 0
+
+    def estimate(self, job: EstimationJob) -> Estimate:
+        self.low_level_calls += 1
+        return job.run_low_level()
+
+    def statistics(self) -> Dict[str, float]:
+        return {"low_level_calls": float(self.low_level_calls)}
+
+    def reset(self) -> None:
+        self.low_level_calls = 0

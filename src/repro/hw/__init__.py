@@ -1,0 +1,40 @@
+"""Application-specific hardware substrate: the SIS role.
+
+This package implements the paper's hardware power-estimation path from
+scratch:
+
+* a CMOS gate library with per-cell load capacitance and internal
+  energy (:mod:`repro.hw.library`),
+* a structural netlist data model (:mod:`repro.hw.netlist`),
+* a synthesizer that compiles a hardware-mapped CFSM into a
+  one-operation-per-cycle FSMD — one-hot controller plus a shared-ALU
+  datapath — at the gate level (:mod:`repro.hw.synth`),
+* a levelized compiled-code logic simulator with per-net toggle
+  counting (:mod:`repro.hw.logicsim`),
+* a switching-activity power model, ``E = 1/2 C V^2`` per output toggle
+  plus cell-internal and clock-tree energy (:mod:`repro.hw.power`), and
+* :class:`repro.hw.estimator.HardwarePowerSimulator`, the facade the
+  simulation master invokes per CFSM transition; like the modified SIS
+  simulator in the paper, it accepts an input vector sequence and
+  returns cycle-by-cycle energy.
+"""
+
+from repro.hw.library import Cell, GateLibrary
+from repro.hw.netlist import Gate, Netlist, NetlistBuilder
+from repro.hw.logicsim import CompiledSimulator
+from repro.hw.synth import SynthesisError, SynthesizedBlock, synthesize_cfsm
+from repro.hw.estimator import HardwarePowerSimulator, HwRunResult
+
+__all__ = [
+    "Cell",
+    "GateLibrary",
+    "Gate",
+    "Netlist",
+    "NetlistBuilder",
+    "CompiledSimulator",
+    "synthesize_cfsm",
+    "SynthesizedBlock",
+    "SynthesisError",
+    "HardwarePowerSimulator",
+    "HwRunResult",
+]

@@ -1,0 +1,201 @@
+"""Hardware power simulator facade used by the simulation master.
+
+Plays the role of the paper's modified SIS power simulator: the master
+hands it one CFSM transition (plus the triggering event values) and
+receives a cycle-by-cycle energy report.  Block state (the CFSM's
+variable registers) persists across invocations inside the gate-level
+netlist, exactly like a real hardware block between reactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfsm.model import Cfsm
+from repro.hw.library import DFF_CLOCK_ENERGY_J, GateLibrary
+from repro.hw.logicsim import CompiledSimulator
+from repro.hw.synth import (
+    MEM_DATA_IN,
+    MEM_READ_REQ,
+    MEM_WRITE_ADDR,
+    MEM_WRITE_DATA,
+    SynthesizedBlock,
+    synthesize_cfsm,
+)
+
+_INTERNAL_EVENTS = (MEM_READ_REQ, MEM_WRITE_ADDR, MEM_WRITE_DATA)
+
+
+class HwEstimatorError(Exception):
+    """Raised when a transition does not complete in the netlist."""
+
+
+@dataclass
+class HwRunResult:
+    """Statistics for one hardware transition execution."""
+
+    cycles: int = 0
+    energy: float = 0.0
+    per_cycle_energy: List[float] = field(default_factory=list)
+    emitted: List[Tuple[str, int]] = field(default_factory=list)
+    mem_read_addresses: List[int] = field(default_factory=list)
+    mem_writes: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class HardwarePowerSimulator:
+    """Gate-level power estimation for one hardware-mapped CFSM."""
+
+    def __init__(
+        self,
+        cfsm: Cfsm,
+        library: Optional[GateLibrary] = None,
+        max_cycles_per_transition: int = 2_000_000,
+    ) -> None:
+        self.cfsm = cfsm
+        self.library = library or GateLibrary.default()
+        self.block: SynthesizedBlock = synthesize_cfsm(cfsm, self.library)
+        self.simulator = CompiledSimulator(self.block.netlist, self.library)
+        self.max_cycles_per_transition = max_cycles_per_transition
+        self.invocations = 0
+        self.total_cycles = 0
+        self.total_energy = 0.0
+
+    @property
+    def gate_count(self) -> int:
+        """Combinational cell count of the synthesized netlist."""
+        return self.block.netlist.gate_count
+
+    @property
+    def dff_count(self) -> int:
+        """Flip-flop count of the synthesized netlist."""
+        return self.block.netlist.dff_count
+
+    def idle_energy_per_cycle(self) -> float:
+        """Clock-network energy burned per cycle while the block idles."""
+        return DFF_CLOCK_ENERGY_J * self.block.netlist.dff_count
+
+    def run_transition(
+        self,
+        transition_name: str,
+        input_values: Optional[Dict[str, int]] = None,
+        read_values: Optional[List[int]] = None,
+    ) -> HwRunResult:
+        """Simulate one transition at the gate level.
+
+        Args:
+            transition_name: which transition to start (the master has
+                already determined that it is enabled).
+            input_values: values of the triggering events, by event
+                name; they are held constant on the input ports for the
+                whole run, the way the master's vector exchange works in
+                the paper's Figure 2(b).
+            read_values: the words the block's shared-memory reads will
+                return, in order.  The master knows them from behavioral
+                execution and plays the bus interface on the memory
+                ports (bus *timing* is charged by the master, not here).
+
+        Returns:
+            Cycle count, total and per-cycle energy, and the emitted
+            (event, value) pairs observed on the strobe/value ports.
+        """
+        if transition_name not in self.block.go_ports:
+            raise KeyError(
+                "CFSM %r has no transition %r" % (self.cfsm.name, transition_name)
+            )
+        result = HwRunResult()
+        inputs: Dict[str, int] = {self.block.go_ports[transition_name]: 1}
+        mask = (1 << self.cfsm.width) - 1
+        for event, value in (input_values or {}).items():
+            port = self.block.input_ports.get(event)
+            if port is not None:
+                inputs[port] = value & mask
+
+        if getattr(self, "_needs_settle", False):
+            # Make flip-flop D inputs consistent with poked state
+            # before the first clock edge of this run.
+            self.simulator.settle()
+            self._needs_settle = False
+
+        script = list(read_values or [])
+        script_pos = 0
+        pending_strobes: List[str] = []
+        pending_write_addr: Optional[int] = None
+        sim = self.simulator
+        done = False
+        while not done:
+            if result.cycles >= self.max_cycles_per_transition:
+                raise HwEstimatorError(
+                    "transition %s.%s exceeded %d cycles"
+                    % (self.cfsm.name, transition_name,
+                       self.max_cycles_per_transition)
+                )
+            energy = sim.step(inputs)
+            inputs = {self.block.go_ports[transition_name]: 0}
+            result.cycles += 1
+            result.per_cycle_energy.append(energy)
+            result.energy += energy
+
+            # Emission values are registered, so a strobe seen in cycle
+            # k is read from the value port after cycle k+1's edge.
+            for event in pending_strobes:
+                value = sim.peek(self.block.value_ports[event])
+                if event == MEM_READ_REQ:
+                    result.mem_read_addresses.append(value)
+                elif event == MEM_WRITE_ADDR:
+                    pending_write_addr = value
+                elif event == MEM_WRITE_DATA:
+                    result.mem_writes.append((pending_write_addr or 0, value))
+                    pending_write_addr = None
+                else:
+                    result.emitted.append((event, value))
+            pending_strobes = [
+                event
+                for event, port in sorted(self.block.strobe_ports.items())
+                if sim.peek(port)
+            ]
+            if MEM_READ_REQ in pending_strobes:
+                if script_pos >= len(script):
+                    raise HwEstimatorError(
+                        "transition %s.%s issued more memory reads than "
+                        "the supplied read script" % (self.cfsm.name, transition_name)
+                    )
+                inputs["in_%s" % MEM_DATA_IN] = script[script_pos] & mask
+                script_pos += 1
+            done = bool(sim.peek("done"))
+
+        if pending_strobes:
+            # Flush emissions strobed in the final cycle (cannot happen
+            # with RtlCompiler output, where DONE follows every EMIT,
+            # but kept for hand-written micro-programs).
+            energy = sim.step(inputs)
+            result.cycles += 1
+            result.per_cycle_energy.append(energy)
+            result.energy += energy
+            for event in pending_strobes:
+                value = sim.peek(self.block.value_ports[event])
+                if event not in _INTERNAL_EVENTS:
+                    result.emitted.append((event, value))
+
+        self.invocations += 1
+        self.total_cycles += result.cycles
+        self.total_energy += result.energy
+        return result
+
+    def read_variable(self, name: str) -> int:
+        """Current value of a CFSM variable register (for checking)."""
+        return self.simulator.peek(self.block.register_ports[name])
+
+    def poke_variable(self, name: str, value: int) -> None:
+        """Force a CFSM variable register to ``value``.
+
+        Used by acceleration strategies: when a cached estimate replaces
+        a gate-level run, the netlist's architectural state is brought
+        back in sync with the behavioral reference so that a later
+        gate-level run starts from the right values.
+        """
+        port = self.block.register_ports[name]
+        nets = self.block.netlist.output_ports[port]
+        for index, net in enumerate(nets):
+            self.simulator.values[net] = (value >> index) & 1
+        self._needs_settle = True

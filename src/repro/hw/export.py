@@ -1,0 +1,181 @@
+"""Netlist interchange: BLIF and structural Verilog writers.
+
+The paper's hardware power estimator is a modified SIS, and SIS's
+native exchange format is BLIF — so synthesized blocks can be written
+back out for inspection with the very tool family the paper used.
+A structural Verilog writer is provided for modern viewers/simulators.
+
+Both writers emit purely structural descriptions over the cells of
+:mod:`repro.hw.library`; flip-flops become BLIF ``.latch`` lines /
+Verilog always-blocks with initial values.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.hw.netlist import CONST0, CONST1, Netlist
+
+#: Sum-of-products truth tables for the BLIF ``.names`` construct.
+_BLIF_COVERS = {
+    "INV": ["0 1"],
+    "BUF": ["1 1"],
+    "AND2": ["11 1"],
+    "OR2": ["1- 1", "-1 1"],
+    "XOR2": ["10 1", "01 1"],
+    "XNOR2": ["11 1", "00 1"],
+    "NAND2": ["0- 1", "-0 1"],
+    "NOR2": ["00 1"],
+    # MUX2(select, a, b) = (!select & a) | (select & b)
+    "MUX2": ["01- 1", "1-1 1"],
+}
+
+_VERILOG_EXPR = {
+    "INV": "~{0}",
+    "BUF": "{0}",
+    "AND2": "{0} & {1}",
+    "OR2": "{0} | {1}",
+    "XOR2": "{0} ^ {1}",
+    "XNOR2": "~({0} ^ {1})",
+    "NAND2": "~({0} & {1})",
+    "NOR2": "~({0} | {1})",
+    "MUX2": "{0} ? {2} : {1}",
+}
+
+
+def _net_name(netlist: Netlist, net: int) -> str:
+    if net == CONST0:
+        return "const0"
+    if net == CONST1:
+        return "const1"
+    label = netlist.net_names.get(net)
+    if label:
+        cleaned = "".join(
+            ch if ch.isalnum() or ch == "_" else "_" for ch in label
+        )
+        return "n%d_%s" % (net, cleaned)
+    return "n%d" % net
+
+
+def to_blif(netlist: Netlist, model_name: str = "") -> str:
+    """Render the netlist as a BLIF model.
+
+    Primary-input/-output buses are flattened to one signal per bit;
+    flip-flops become ``.latch`` lines with their initial values; the
+    constant nets are defined with constant ``.names`` covers.
+    """
+    name = model_name or netlist.name
+    out = io.StringIO()
+    out.write(".model %s\n" % name)
+
+    inputs = []
+    for port in sorted(netlist.input_ports):
+        inputs.extend(_net_name(netlist, net)
+                      for net in netlist.input_ports[port])
+    out.write(".inputs %s\n" % " ".join(inputs))
+    outputs = []
+    for port in sorted(netlist.output_ports):
+        outputs.extend(_net_name(netlist, net)
+                       for net in netlist.output_ports[port])
+    # Output ports may alias internal nets; BLIF is fine with that.
+    out.write(".outputs %s\n" % " ".join(dict.fromkeys(outputs)))
+
+    out.write("# constants\n")
+    out.write(".names %s\n" % _net_name(netlist, CONST0))
+    out.write(".names %s\n1\n" % _net_name(netlist, CONST1))
+
+    out.write("# combinational cells\n")
+    for gate in netlist.gates:
+        signals = [_net_name(netlist, net) for net in gate.inputs]
+        signals.append(_net_name(netlist, gate.output))
+        out.write(".names %s\n" % " ".join(signals))
+        for cover in _BLIF_COVERS[gate.cell]:
+            out.write(cover + "\n")
+
+    out.write("# state elements\n")
+    for dff in netlist.dffs:
+        out.write(".latch %s %s re clk %d\n"
+                  % (_net_name(netlist, dff.d), _net_name(netlist, dff.q),
+                     dff.init))
+
+    out.write(".end\n")
+    return out.getvalue()
+
+
+def to_verilog(netlist: Netlist, module_name: str = "") -> str:
+    """Render the netlist as structural Verilog.
+
+    Buses keep their port names (``input [7:0] data``); internal nets
+    are scalar wires; flip-flops are grouped into one clocked always
+    block with an ``initial`` block for reset values.
+    """
+    name = module_name or netlist.name
+    out = io.StringIO()
+
+    port_decls = [("input", "clk", 1)]
+    for port in sorted(netlist.input_ports):
+        width = len(netlist.input_ports[port])
+        port_decls.append(("input", port, width))
+    for port in sorted(netlist.output_ports):
+        width = len(netlist.output_ports[port])
+        port_decls.append(("output", port, width))
+
+    out.write("module %s (\n" % name)
+    out.write(",\n".join("  %s" % port for _, port, _ in port_decls))
+    out.write("\n);\n\n")
+    for direction, port, width in port_decls:
+        if width == 1:
+            out.write("  %s %s;\n" % (direction, port))
+        else:
+            out.write("  %s [%d:0] %s;\n" % (direction, width - 1, port))
+
+    out.write("\n  wire const0 = 1'b0;\n  wire const1 = 1'b1;\n")
+
+    # Internal wires: every gate output plus every DFF q.
+    declared = set()
+    for gate in netlist.gates:
+        declared.add(gate.output)
+    out.write("\n  // combinational nets\n")
+    for net in sorted(declared):
+        out.write("  wire %s;\n" % _net_name(netlist, net))
+    out.write("\n  // state elements\n")
+    for dff in netlist.dffs:
+        out.write("  reg %s;\n" % _net_name(netlist, dff.q))
+
+    # Map primary-input bits onto their net names.
+    out.write("\n  // input bit aliases\n")
+    for port in sorted(netlist.input_ports):
+        nets = netlist.input_ports[port]
+        for index, net in enumerate(nets):
+            bit = port if len(nets) == 1 else "%s[%d]" % (port, index)
+            out.write("  wire %s = %s;\n" % (_net_name(netlist, net), bit))
+
+    out.write("\n  // cells\n")
+    for gate in netlist.gates:
+        operands = [_net_name(netlist, net) for net in gate.inputs]
+        expression = _VERILOG_EXPR[gate.cell].format(*operands)
+        out.write("  assign %s = %s;\n"
+                  % (_net_name(netlist, gate.output), expression))
+
+    out.write("\n  // output port drivers\n")
+    for port in sorted(netlist.output_ports):
+        nets = netlist.output_ports[port]
+        if len(nets) == 1:
+            out.write("  assign %s = %s;\n"
+                      % (port, _net_name(netlist, nets[0])))
+        else:
+            bits = ", ".join(_net_name(netlist, net)
+                             for net in reversed(nets))
+            out.write("  assign %s = {%s};\n" % (port, bits))
+
+    out.write("\n  // clocked state\n")
+    out.write("  initial begin\n")
+    for dff in netlist.dffs:
+        out.write("    %s = 1'b%d;\n" % (_net_name(netlist, dff.q), dff.init))
+    out.write("  end\n")
+    out.write("  always @(posedge clk) begin\n")
+    for dff in netlist.dffs:
+        out.write("    %s <= %s;\n"
+                  % (_net_name(netlist, dff.q), _net_name(netlist, dff.d)))
+    out.write("  end\n\nendmodule\n")
+    return out.getvalue()

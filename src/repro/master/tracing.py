@@ -1,0 +1,110 @@
+"""Energy bookkeeping and power waveforms.
+
+The master records one :class:`EnergySample` per charged activity
+(transition computation, bus burst, cache activity, RTOS overhead,
+idle clocking).  The accountant aggregates totals per component and per
+category and can render time-binned power waveforms — the "energy and
+power waveforms for the various parts of the system" the paper's
+visual display shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One attributed slice of energy."""
+
+    component: str
+    category: str  # "sw", "hw", "bus", "cache", "rtos", "idle"
+    start_ns: float
+    end_ns: float
+    energy_j: float
+    tag: str = ""
+
+
+class EnergyAccountant:
+    """Aggregates energy samples by component and category."""
+
+    def __init__(self, keep_samples: bool = True) -> None:
+        self.keep_samples = keep_samples
+        self.samples: List[EnergySample] = []
+        self.by_component: Dict[str, float] = {}
+        self.by_category: Dict[str, float] = {}
+        self.total_energy = 0.0
+
+    def add(
+        self,
+        component: str,
+        category: str,
+        start_ns: float,
+        end_ns: float,
+        energy_j: float,
+        tag: str = "",
+    ) -> None:
+        """Record one energy contribution."""
+        if energy_j < 0:
+            raise ValueError("negative energy sample")
+        if self.keep_samples:
+            self.samples.append(
+                EnergySample(component, category, start_ns, end_ns, energy_j, tag)
+            )
+        self.by_component[component] = self.by_component.get(component, 0.0) + energy_j
+        self.by_category[category] = self.by_category.get(category, 0.0) + energy_j
+        self.total_energy += energy_j
+
+    def component_energy(self, component: str) -> float:
+        """Total energy attributed to ``component``."""
+        return self.by_component.get(component, 0.0)
+
+    def power_waveform(
+        self,
+        bin_ns: float,
+        end_ns: Optional[float] = None,
+        component: Optional[str] = None,
+    ) -> List[Tuple[float, float]]:
+        """Average power per time bin, as (bin start ns, watts) pairs.
+
+        Each sample's energy is spread uniformly over its duration;
+        instantaneous samples land entirely in their bin.
+        """
+        if not self.keep_samples:
+            raise RuntimeError("waveforms require keep_samples=True")
+        if bin_ns <= 0:
+            raise ValueError("bin size must be positive")
+        horizon = end_ns
+        if horizon is None:
+            horizon = max((s.end_ns for s in self.samples), default=0.0)
+        bins = max(1, int(horizon / bin_ns) + 1)
+        energy_bins = [0.0] * bins
+        for sample in self.samples:
+            if component is not None and sample.component != component:
+                continue
+            start = sample.start_ns
+            end = max(sample.end_ns, start)
+            if end == start:
+                index = min(bins - 1, int(start / bin_ns))
+                energy_bins[index] += sample.energy_j
+                continue
+            duration = end - start
+            first = min(bins - 1, int(start / bin_ns))
+            last = min(bins - 1, int(end / bin_ns))
+            for index in range(first, last + 1):
+                lo = max(start, index * bin_ns)
+                hi = min(end, (index + 1) * bin_ns)
+                if hi > lo:
+                    energy_bins[index] += sample.energy_j * (hi - lo) / duration
+        return [
+            (index * bin_ns, energy / (bin_ns * 1e-9))
+            for index, energy in enumerate(energy_bins)
+        ]
+
+    def peak_power(self, bin_ns: float, component: Optional[str] = None) -> Tuple[float, float]:
+        """(time, watts) of the peak bin of the waveform."""
+        waveform = self.power_waveform(bin_ns, component=component)
+        if not waveform:
+            return (0.0, 0.0)
+        return max(waveform, key=lambda point: point[1])

@@ -1,0 +1,41 @@
+"""Embedded-software substrate: the SPARCsim role.
+
+This package implements everything the paper's software power
+estimation path needs, from scratch:
+
+* a SPARC-flavoured RISC instruction set (:mod:`repro.sw.isa`),
+* a code generator that compiles CFSM transition s-graphs into
+  instruction sequences, one entry point per transition
+  (:mod:`repro.sw.codegen`),
+* an instruction set simulator with a pipeline timing model —
+  load-use interlocks, delayed branches, multi-cycle multiply/divide,
+  pipeline fill — (:mod:`repro.sw.iss`), and
+* a measurement-style instruction-level power model in the spirit of
+  Tiwari et al. (:mod:`repro.sw.power_model`).
+
+Like the paper's enhanced ISS, :class:`repro.sw.iss.Iss` reports both
+clock-cycle and energy statistics each time the simulation master
+invokes it for one CFSM transition, and it assumes 100% cache hits
+(cache behaviour is modeled separately by :mod:`repro.cache`, fed
+directly by the master).
+"""
+
+from repro.sw.isa import Instruction, InstructionClass, Opcode
+from repro.sw.program import Program, ProgramBuilder
+from repro.sw.power_model import InstructionPowerModel
+from repro.sw.codegen import CodeGenerator, MemoryMap, compile_cfsm
+from repro.sw.iss import Iss, IssResult
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "InstructionClass",
+    "Program",
+    "ProgramBuilder",
+    "InstructionPowerModel",
+    "CodeGenerator",
+    "MemoryMap",
+    "compile_cfsm",
+    "Iss",
+    "IssResult",
+]

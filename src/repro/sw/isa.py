@@ -1,0 +1,200 @@
+"""A SPARC-flavoured RISC instruction set.
+
+The ISA is deliberately close to the integer subset of SPARC (the
+paper's target was a SPARClite): 32 general-purpose registers with
+``r0`` hardwired to zero, three-operand ALU instructions with either a
+register or an immediate second operand, load/store with base+offset
+addressing, compare-and-branch through condition codes, and *delayed*
+branches (the instruction in the delay slot executes before control
+transfers).
+
+Deviations from real SPARC, documented for reviewers:
+
+* no register windows — CALL/RET use a simulator-internal return stack
+  (the generated code is leaf-heavy, so windows would add nothing),
+* SETI synthesizes a full-width immediate in one instruction (standing
+  in for the usual ``sethi``/``or`` pair; its timing cost is 1 cycle,
+  matching the common case of small immediates),
+* CALL/RET have no delay slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Number of architectural registers; ``r0`` always reads as zero.
+NUM_REGISTERS = 32
+
+
+class Opcode:
+    """Instruction mnemonics."""
+
+    NOP = "NOP"
+    SETI = "SETI"  # rd := imm
+    MOV = "MOV"  # rd := rs1
+    ADD = "ADD"
+    SUB = "SUB"
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    SLL = "SLL"
+    SRL = "SRL"
+    SMUL = "SMUL"
+    SDIV = "SDIV"
+    CMP = "CMP"  # set condition codes from rs1 - rs2/imm
+    BA = "BA"  # branch always
+    BE = "BE"  # branch if equal
+    BNE = "BNE"
+    BL = "BL"  # branch if less (signed)
+    BLE = "BLE"
+    BG = "BG"
+    BGE = "BGE"
+    LD = "LD"  # rd := mem[rs1 + imm]
+    ST = "ST"  # mem[rs1 + imm] := rd
+    CALL = "CALL"
+    RET = "RET"
+
+    ALL = (
+        NOP, SETI, MOV, ADD, SUB, AND, OR, XOR, SLL, SRL, SMUL, SDIV,
+        CMP, BA, BE, BNE, BL, BLE, BG, BGE, LD, ST, CALL, RET,
+    )
+
+    BRANCHES = (BA, BE, BNE, BL, BLE, BG, BGE)
+    ALU = (SETI, MOV, ADD, SUB, AND, OR, XOR, SLL, SRL, CMP)
+
+
+class InstructionClass:
+    """Instruction classes used by the power model and compaction.
+
+    The Tiwari-style instruction-level power model assigns a base cost
+    per class and an inter-instruction overhead per class pair; the
+    statistical-sampling compactor preserves class unigram and bigram
+    statistics.
+    """
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    MUL = "mul"
+    DIV = "div"
+    CALL = "call"
+    NOP = "nop"
+
+    ALL = (ALU, LOAD, STORE, BRANCH, MUL, DIV, CALL, NOP)
+
+
+_CLASS_OF: Dict[str, str] = {}
+for _op in Opcode.ALU:
+    _CLASS_OF[_op] = InstructionClass.ALU
+for _op in Opcode.BRANCHES:
+    _CLASS_OF[_op] = InstructionClass.BRANCH
+_CLASS_OF[Opcode.LD] = InstructionClass.LOAD
+_CLASS_OF[Opcode.ST] = InstructionClass.STORE
+_CLASS_OF[Opcode.SMUL] = InstructionClass.MUL
+_CLASS_OF[Opcode.SDIV] = InstructionClass.DIV
+_CLASS_OF[Opcode.CALL] = InstructionClass.CALL
+_CLASS_OF[Opcode.RET] = InstructionClass.CALL
+_CLASS_OF[Opcode.NOP] = InstructionClass.NOP
+
+
+def class_of(opcode: str) -> str:
+    """Instruction class of ``opcode``."""
+    return _CLASS_OF[opcode]
+
+
+#: Base execution cycles per opcode (load-use stalls and branch delay
+#: slots are charged separately by the ISS).
+BASE_CYCLES: Dict[str, int] = {}
+for _op in Opcode.ALL:
+    BASE_CYCLES[_op] = 1
+BASE_CYCLES[Opcode.SMUL] = 4
+BASE_CYCLES[Opcode.SDIV] = 12
+BASE_CYCLES[Opcode.CALL] = 2
+BASE_CYCLES[Opcode.RET] = 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    Exactly one of ``rs2`` / ``imm`` is meaningful for three-operand
+    forms; ``target`` names the label of branch/call destinations.
+    ``LD``/``ST`` use ``rs1 + imm`` addressing with ``rd`` as the data
+    register.
+    """
+
+    op: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in Opcode.ALL:
+            raise ValueError("unknown opcode %r" % self.op)
+        for reg in (self.rd, self.rs1):
+            if not 0 <= reg < NUM_REGISTERS:
+                raise ValueError("register out of range: r%d" % reg)
+        if self.rs2 is not None and not 0 <= self.rs2 < NUM_REGISTERS:
+            raise ValueError("register out of range: r%d" % self.rs2)
+        if self.op in Opcode.BRANCHES or self.op == Opcode.CALL:
+            if self.target is None:
+                raise ValueError("%s requires a target label" % self.op)
+
+    @property
+    def instruction_class(self) -> str:
+        """Power-model class of this instruction."""
+        return class_of(self.op)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in Opcode.BRANCHES
+
+    def reads(self) -> Tuple[int, ...]:
+        """Registers this instruction reads (excluding r0)."""
+        regs = []
+        if self.op in (Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.AND,
+                       Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL,
+                       Opcode.SMUL, Opcode.SDIV, Opcode.CMP, Opcode.LD):
+            regs.append(self.rs1)
+            if self.rs2 is not None:
+                regs.append(self.rs2)
+        elif self.op == Opcode.ST:
+            regs.append(self.rd)
+            regs.append(self.rs1)
+        return tuple(reg for reg in regs if reg != 0)
+
+    def writes(self) -> Optional[int]:
+        """Destination register, or ``None``."""
+        if self.op in (Opcode.SETI, Opcode.MOV, Opcode.ADD, Opcode.SUB,
+                       Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SLL,
+                       Opcode.SRL, Opcode.SMUL, Opcode.SDIV, Opcode.LD):
+            return self.rd if self.rd != 0 else None
+        return None
+
+    def __repr__(self) -> str:
+        if self.op == Opcode.NOP:
+            return "nop"
+        if self.op == Opcode.SETI:
+            return "seti r%d, %d" % (self.rd, self.imm or 0)
+        if self.op == Opcode.MOV:
+            return "mov r%d, r%d" % (self.rd, self.rs1)
+        if self.op in Opcode.BRANCHES:
+            return "%s %s" % (self.op.lower(), self.target)
+        if self.op == Opcode.CALL:
+            return "call %s" % self.target
+        if self.op == Opcode.RET:
+            return "ret"
+        if self.op == Opcode.LD:
+            return "ld r%d, [r%d + %d]" % (self.rd, self.rs1, self.imm or 0)
+        if self.op == Opcode.ST:
+            return "st r%d, [r%d + %d]" % (self.rd, self.rs1, self.imm or 0)
+        if self.op == Opcode.CMP:
+            if self.rs2 is not None:
+                return "cmp r%d, r%d" % (self.rs1, self.rs2)
+            return "cmp r%d, %d" % (self.rs1, self.imm or 0)
+        second = "r%d" % self.rs2 if self.rs2 is not None else str(self.imm or 0)
+        return "%s r%d, r%d, %s" % (self.op.lower(), self.rd, self.rs1, second)

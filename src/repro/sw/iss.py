@@ -1,0 +1,314 @@
+"""Instruction set simulator with cycle and energy reporting.
+
+The ISS plays the role of the paper's enhanced SPARCsim: it executes
+object code produced by :mod:`repro.sw.codegen` and reports, for every
+invocation, the clock cycles consumed and the energy drawn according to
+an :class:`repro.sw.power_model.InstructionPowerModel`.
+
+The timing model covers the effects the paper lists for SPARCsim:
+register interlocks (a load immediately followed by a use of the loaded
+register stalls one cycle), delayed branches (the delay-slot instruction
+executes before control transfers), multi-cycle multiply/divide, and
+pipeline fill at the start of every invocation.  Cache behaviour is
+*not* modeled here — as in the paper, the ISS assumes 100% cache hits
+and the cache simulator is attached directly to the simulation master.
+
+The pipeline-fill cost is the mechanism behind the conservatism of
+software macro-modeling measured in Table 2: macro-operation templates
+are characterized standalone (each one pays the fill), while a real
+path pays it only once, so the additive macro-model over-estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, MutableMapping, Optional, Set, Tuple
+
+from repro.cfsm.expr import _BINOP_FUNCS
+from repro.sw.isa import BASE_CYCLES, Instruction, NUM_REGISTERS, Opcode
+from repro.sw.power_model import InstructionPowerModel
+from repro.sw.program import Program
+
+#: Cycles to refill the pipeline at every invocation entry.
+PIPELINE_FILL_CYCLES = 1
+
+#: Safety bound per invocation.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+_ALU_SEMANTICS = {
+    Opcode.ADD: _BINOP_FUNCS["ADD"],
+    Opcode.SUB: _BINOP_FUNCS["SUB"],
+    Opcode.AND: _BINOP_FUNCS["AND"],
+    Opcode.OR: _BINOP_FUNCS["OR"],
+    Opcode.XOR: _BINOP_FUNCS["XOR"],
+    Opcode.SLL: _BINOP_FUNCS["SHL"],
+    Opcode.SRL: _BINOP_FUNCS["SHR"],
+    Opcode.SMUL: _BINOP_FUNCS["MUL"],
+    Opcode.SDIV: _BINOP_FUNCS["DIV"],
+}
+
+
+class IssError(Exception):
+    """Raised on malformed executions (runaway loops, bad delay slots)."""
+
+
+@dataclass
+class IssResult:
+    """Statistics returned for one ISS invocation."""
+
+    cycles: int = 0
+    energy: float = 0.0
+    instruction_count: int = 0
+    stall_cycles: int = 0
+    branches_taken: int = 0
+    class_counts: Dict[str, int] = field(default_factory=dict)
+    memory_reads: List[int] = field(default_factory=list)
+    memory_writes: List[int] = field(default_factory=list)
+    executed: List[Instruction] = field(default_factory=list)
+    stopped_at_breakpoint: Optional[str] = None
+
+
+class Iss:
+    """A pipelined instruction-set simulator.
+
+    Registers persist across invocations (like a real core between
+    RTOS dispatches); memory is owned by the caller and passed to
+    :meth:`run`, mirroring the state/command exchange between the
+    master and the ISS in the paper's Figure 2(b).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        power_model: Optional[InstructionPowerModel] = None,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        record_trace: bool = False,
+    ) -> None:
+        self.program = program
+        self.power_model = power_model or InstructionPowerModel.default_sparclite()
+        self.max_instructions = max_instructions
+        self.record_trace = record_trace
+        self.registers = [0] * NUM_REGISTERS
+        self._flag_eq = False
+        self._flag_lt = False
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        entry: str,
+        memory: MutableMapping[int, int],
+        breakpoints: Optional[Set[str]] = None,
+    ) -> IssResult:
+        """Execute from label ``entry`` until RET at call depth zero.
+
+        Args:
+            entry: entry-point label (one CFSM transition).
+            memory: word-addressed data memory, updated in place.
+            breakpoints: optional labels; execution stops *before* the
+                first instruction of a breakpoint label is executed.
+
+        Returns:
+            Cycle/energy statistics for the invocation, including the
+            pipeline-fill cost.
+        """
+        result = IssResult()
+        result.cycles = PIPELINE_FILL_CYCLES
+        result.energy = self.power_model.fill_energy(PIPELINE_FILL_CYCLES)
+        break_indexes = {}
+        if breakpoints:
+            break_indexes = {
+                self.program.entry(label): label for label in breakpoints
+            }
+
+        pc = self.program.entry(entry)
+        return_stack: List[int] = []
+        previous_class = ""
+        pending_load_rd: Optional[int] = None
+
+        while True:
+            if result.instruction_count >= self.max_instructions:
+                raise IssError(
+                    "invocation exceeded %d instructions (runaway loop?)"
+                    % self.max_instructions
+                )
+            if pc in break_indexes and result.instruction_count > 0:
+                result.stopped_at_breakpoint = break_indexes[pc]
+                break
+            if not 0 <= pc < len(self.program.instructions):
+                raise IssError("PC out of range: %d" % pc)
+
+            instruction = self.program.instructions[pc]
+            previous_class, pending_load_rd = self._retire(
+                instruction, memory, result, previous_class, pending_load_rd
+            )
+
+            if instruction.is_branch:
+                taken = self._branch_taken(instruction.op)
+                if taken:
+                    result.branches_taken += 1
+                    delay_pc = pc + 1
+                    if delay_pc < len(self.program.instructions):
+                        delay_slot = self.program.instructions[delay_pc]
+                        if delay_slot.is_branch:
+                            raise IssError(
+                                "branch in delay slot at index %d" % delay_pc
+                            )
+                        previous_class, pending_load_rd = self._retire(
+                            delay_slot, memory, result, previous_class, pending_load_rd
+                        )
+                    pc = self.program.resolve(instruction.target)
+                else:
+                    pc += 1
+            elif instruction.op == Opcode.CALL:
+                return_stack.append(pc + 1)
+                pc = self.program.resolve(instruction.target)
+            elif instruction.op == Opcode.RET:
+                if not return_stack:
+                    break
+                pc = return_stack.pop()
+            else:
+                pc += 1
+        return result
+
+    def run_sequence(self, instructions: List[Instruction]) -> IssResult:
+        """Straight-line timing/energy evaluation of an instruction list.
+
+        Used by the sequence-compaction speedup technique: branches are
+        charged their untaken cost and control flow is ignored, because
+        compacted sequences are evaluated for their power, not their
+        semantics.
+        """
+        result = IssResult()
+        result.cycles = PIPELINE_FILL_CYCLES
+        result.energy = self.power_model.fill_energy(PIPELINE_FILL_CYCLES)
+        previous_class = ""
+        pending_load_rd: Optional[int] = None
+        scratch: Dict[int, int] = {}
+        for instruction in instructions:
+            if instruction.op in (Opcode.CALL, Opcode.RET):
+                continue
+            if instruction.is_branch:
+                self._account(instruction, result, previous_class, 0, 0)
+                previous_class = instruction.instruction_class
+                pending_load_rd = None
+                continue
+            previous_class, pending_load_rd = self._retire(
+                instruction, scratch, result, previous_class, pending_load_rd
+            )
+        return result
+
+    # -- execution core -------------------------------------------------------
+
+    def _retire(
+        self,
+        instruction: Instruction,
+        memory: MutableMapping[int, int],
+        result: IssResult,
+        previous_class: str,
+        pending_load_rd: Optional[int],
+    ) -> Tuple[str, Optional[int]]:
+        """Execute one instruction, including hazard accounting."""
+        stall = 0
+        if pending_load_rd is not None and pending_load_rd in instruction.reads():
+            stall = 1
+            result.stall_cycles += 1
+        value = self._execute(instruction, memory, result)
+        self._account(instruction, result, previous_class, stall, value)
+        next_pending = None
+        if instruction.op == Opcode.LD and instruction.rd != 0:
+            next_pending = instruction.rd
+        return instruction.instruction_class, next_pending
+
+    def _account(
+        self,
+        instruction: Instruction,
+        result: IssResult,
+        previous_class: str,
+        stall: int,
+        value: int,
+    ) -> None:
+        cycles = BASE_CYCLES[instruction.op]
+        result.cycles += cycles + stall
+        result.instruction_count += 1
+        klass = instruction.instruction_class
+        result.class_counts[klass] = result.class_counts.get(klass, 0) + 1
+        result.energy += self.power_model.instruction_energy(
+            klass, cycles, previous_class, value
+        )
+        if stall:
+            result.energy += self.power_model.stall_energy(stall)
+        if self.record_trace:
+            result.executed.append(instruction)
+
+    def _execute(
+        self,
+        instruction: Instruction,
+        memory: MutableMapping[int, int],
+        result: IssResult,
+    ) -> int:
+        """Architectural semantics; returns the produced value."""
+        regs = self.registers
+        op = instruction.op
+        if op == Opcode.NOP or op in Opcode.BRANCHES:
+            return 0
+        if op == Opcode.SETI:
+            value = instruction.imm or 0
+            self._write_reg(instruction.rd, value)
+            return value
+        if op == Opcode.MOV:
+            value = regs[instruction.rs1]
+            self._write_reg(instruction.rd, value)
+            return value
+        if op in _ALU_SEMANTICS:
+            right = self._second_operand(instruction)
+            value = _ALU_SEMANTICS[op](regs[instruction.rs1], right)
+            self._write_reg(instruction.rd, value)
+            return value
+        if op == Opcode.CMP:
+            right = self._second_operand(instruction)
+            left = regs[instruction.rs1]
+            self._flag_eq = left == right
+            self._flag_lt = left < right
+            return int(self._flag_lt) * 2 + int(self._flag_eq)
+        if op == Opcode.LD:
+            address = regs[instruction.rs1] + (instruction.imm or 0)
+            value = memory.get(address, 0)
+            self._write_reg(instruction.rd, value)
+            result.memory_reads.append(address)
+            return value
+        if op == Opcode.ST:
+            address = regs[instruction.rs1] + (instruction.imm or 0)
+            value = regs[instruction.rd]
+            memory[address] = value
+            result.memory_writes.append(address)
+            return value
+        if op in (Opcode.CALL, Opcode.RET):
+            return 0
+        raise IssError("unimplemented opcode %r" % op)
+
+    def _second_operand(self, instruction: Instruction) -> int:
+        if instruction.rs2 is not None:
+            return self.registers[instruction.rs2]
+        return instruction.imm or 0
+
+    def _write_reg(self, rd: int, value: int) -> None:
+        if rd != 0:
+            self.registers[rd] = value
+
+    def _branch_taken(self, op: str) -> bool:
+        if op == Opcode.BA:
+            return True
+        if op == Opcode.BE:
+            return self._flag_eq
+        if op == Opcode.BNE:
+            return not self._flag_eq
+        if op == Opcode.BL:
+            return self._flag_lt
+        if op == Opcode.BLE:
+            return self._flag_lt or self._flag_eq
+        if op == Opcode.BG:
+            return not (self._flag_lt or self._flag_eq)
+        if op == Opcode.BGE:
+            return not self._flag_lt
+        raise IssError("not a branch: %r" % op)

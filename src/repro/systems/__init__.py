@@ -1,0 +1,29 @@
+"""The paper's example systems, described as CFSM networks.
+
+* :mod:`repro.systems.producer_consumer` — the motivating example of
+  Figure 1: a software producer, a hardware timer, and a hardware
+  consumer whose computation depends on *when* data arrives.
+* :mod:`repro.systems.tcpip` — the TCP/IP network-interface-card
+  checksum subsystem of Section 5 (Figure 5): packet ingest into shared
+  memory, header scrubbing, and block-wise checksum over the shared
+  bus, with the three bus masters whose priorities Figure 7 sweeps.
+* :mod:`repro.systems.automotive` — the automotive (dashboard)
+  controller mentioned in the abstract: wheel-pulse speedometer and
+  odometer in hardware, belt alarm and fuel gauge in software, display
+  refresh over the shared bus.
+* :mod:`repro.systems.workloads` — seeded stimulus generators.
+
+Every builder returns a :class:`SystemBundle` so examples, tests, and
+benchmarks share one entry point.
+"""
+
+from repro.systems.bundle import SystemBundle
+from repro.systems import producer_consumer, tcpip, automotive, workloads
+
+__all__ = [
+    "SystemBundle",
+    "producer_consumer",
+    "tcpip",
+    "automotive",
+    "workloads",
+]

@@ -1,0 +1,269 @@
+"""An automotive (dashboard) controller.
+
+The paper's abstract reports using the co-estimation tool on "an
+automotive controller"; this module provides a representative
+dashboard-control system in the POLIS style (the domain the POLIS
+examples come from):
+
+* **speedometer** (hardware): counts wheel-sensor pulses and converts
+  the count to a speed value on every second tick.
+* **odometer** (hardware): accumulates wheel pulses and emits a
+  distance increment every ``PULSES_PER_UNIT`` pulses.
+* **belt_alarm** (software): the classic seat-belt controller — after
+  key-on, if the belt is not fastened within ``ALARM_TICKS`` second
+  ticks, raise the alarm; key-off or belt-on cancels it.
+* **fuel_gauge** (software): exponentially smooths noisy fuel-sender
+  samples.
+* **display_ctrl** (software): collects speed/fuel/odometer updates and
+  refreshes the display frame buffer, which lives in shared memory
+  behind the system bus — the system's bus master.
+
+The mix (two reactive hardware blocks, three software tasks sharing the
+processor under the RTOS, and bus traffic from display refreshes) makes
+this a good co-estimation stress test: activity interleaving on the
+processor and the bus couples the components' power.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bus.model import BusParameters
+from repro.cfsm.builder import NetworkBuilder
+from repro.cfsm.events import Event
+from repro.cfsm.expr import (
+    add,
+    band,
+    const,
+    div,
+    eq,
+    event_value,
+    ge,
+    gt,
+    mul,
+    var,
+)
+from repro.cfsm.model import Implementation, Network
+from repro.cfsm.sgraph import assign, emit, if_, loop, shared_write
+from repro.master.master import MasterConfig
+from repro.master.rtos import RtosConfig, SchedulingPolicy
+from repro.systems import workloads
+from repro.systems.bundle import SystemBundle
+
+#: Wheel pulses per odometer distance increment.
+PULSES_PER_UNIT = 32
+
+#: Second ticks before the belt alarm fires.
+ALARM_TICKS = 5
+
+#: Shared-memory frame buffer layout (word addresses).
+DISPLAY_SPEED = 0x100
+DISPLAY_FUEL = 0x110
+DISPLAY_ODO = 0x120
+DISPLAY_ALARM = 0x130
+#: Words refreshed per display update (segments of the panel).
+DISPLAY_SEGMENTS = 8
+
+
+def build_network() -> Network:
+    """Construct the dashboard-controller network."""
+    builder = NetworkBuilder("automotive_dashboard")
+
+    speedometer = builder.cfsm("speedometer", mapping=Implementation.HW, width=16)
+    speedometer.input("WHEEL_PULSE")
+    speedometer.input("SEC_TICK")
+    speedometer.output("SPEED", has_value=True)
+    speedometer.var("pulses", 0)
+    speedometer.transition(
+        "report", trigger=["SEC_TICK"],
+        body=[
+            emit("SPEED", var("pulses")),
+            assign("pulses", const(0)),
+        ],
+    )
+    speedometer.transition(
+        "count", trigger=["WHEEL_PULSE"],
+        body=[assign("pulses", add(var("pulses"), const(1)))],
+    )
+
+    odometer = builder.cfsm("odometer", mapping=Implementation.HW, width=16)
+    odometer.input("WHEEL_PULSE")
+    odometer.output("ODO_INC", has_value=True)
+    odometer.var("count", 0)
+    odometer.var("total", 0)
+    odometer.transition(
+        "accumulate", trigger=["WHEEL_PULSE"],
+        body=[
+            assign("count", add(var("count"), const(1))),
+            if_(ge(var("count"), const(PULSES_PER_UNIT)), [
+                assign("count", const(0)),
+                assign("total", add(var("total"), const(1))),
+                emit("ODO_INC", var("total")),
+            ]),
+        ],
+    )
+
+    belt = builder.cfsm("belt_alarm", mapping=Implementation.SW)
+    belt.input("KEY_ON")
+    belt.input("KEY_OFF")
+    belt.input("BELT_ON")
+    belt.input("SEC_TICK")
+    belt.output("ALARM", has_value=True)
+    belt.var("armed", 0)
+    belt.var("ticks", 0)
+    belt.var("alarm", 0)
+    belt.transition(
+        "key_on", trigger=["KEY_ON"],
+        body=[assign("armed", const(1)), assign("ticks", const(0))],
+    )
+    belt.transition(
+        "key_off", trigger=["KEY_OFF"],
+        body=[
+            assign("armed", const(0)),
+            if_(gt(var("alarm"), const(0)), [
+                assign("alarm", const(0)),
+                emit("ALARM", const(0)),
+            ]),
+        ],
+    )
+    belt.transition(
+        "belt_on", trigger=["BELT_ON"],
+        body=[
+            assign("armed", const(0)),
+            if_(gt(var("alarm"), const(0)), [
+                assign("alarm", const(0)),
+                emit("ALARM", const(0)),
+            ]),
+        ],
+    )
+    belt.transition(
+        "tick", trigger=["SEC_TICK"],
+        guard=gt(var("armed"), const(0)),
+        body=[
+            assign("ticks", add(var("ticks"), const(1))),
+            if_(ge(var("ticks"), const(ALARM_TICKS)), [
+                if_(eq(var("alarm"), const(0)), [
+                    assign("alarm", const(1)),
+                    emit("ALARM", const(1)),
+                ]),
+            ]),
+        ],
+    )
+
+    fuel = builder.cfsm("fuel_gauge", mapping=Implementation.SW)
+    fuel.input("FUEL_SAMPLE", has_value=True)
+    fuel.output("FUEL_LEVEL", has_value=True)
+    fuel.var("level", 0)
+    fuel.transition(
+        "sample", trigger=["FUEL_SAMPLE"],
+        body=[
+            # level := (7*level + sample) / 8 — exponential smoothing.
+            assign("level",
+                   div(add(mul(var("level"), const(7)),
+                           event_value("FUEL_SAMPLE")), const(8))),
+            emit("FUEL_LEVEL", var("level")),
+        ],
+    )
+
+    display = builder.cfsm("display_ctrl", mapping=Implementation.SW)
+    display.input("SPEED", has_value=True)
+    display.input("FUEL_LEVEL", has_value=True)
+    display.input("ODO_INC", has_value=True)
+    display.input("ALARM", has_value=True)
+    display.var("i", 0)
+    display.var("frame", 0)
+    display.transition(
+        "show_speed", trigger=["SPEED"],
+        body=[
+            assign("i", const(0)),
+            loop(const(DISPLAY_SEGMENTS), [
+                shared_write(add(const(DISPLAY_SPEED), var("i")),
+                             band(add(event_value("SPEED"), var("i")), const(0x7F))),
+                assign("i", add(var("i"), const(1))),
+            ]),
+            assign("frame", add(var("frame"), const(1))),
+        ],
+    )
+    display.transition(
+        "show_fuel", trigger=["FUEL_LEVEL"],
+        body=[
+            assign("i", const(0)),
+            loop(const(DISPLAY_SEGMENTS), [
+                shared_write(add(const(DISPLAY_FUEL), var("i")),
+                             band(add(event_value("FUEL_LEVEL"), var("i")),
+                                  const(0x7F))),
+                assign("i", add(var("i"), const(1))),
+            ]),
+        ],
+    )
+    display.transition(
+        "show_odo", trigger=["ODO_INC"],
+        body=[shared_write(const(DISPLAY_ODO), event_value("ODO_INC"))],
+    )
+    display.transition(
+        "show_alarm", trigger=["ALARM"],
+        body=[shared_write(const(DISPLAY_ALARM), event_value("ALARM"))],
+    )
+
+    builder.environment_input(
+        "WHEEL_PULSE", "SEC_TICK", "KEY_ON", "KEY_OFF", "BELT_ON", "FUEL_SAMPLE"
+    )
+    builder.on_bus("SPEED", "FUEL_LEVEL", "ODO_INC", "ALARM")
+    return builder.build()
+
+
+def build_config(dma_block_words: int = 4) -> MasterConfig:
+    """Master configuration for the dashboard system."""
+    bus = BusParameters(
+        addr_width=12,
+        data_width=8,
+        line_capacitance_f=2e-9,
+        dma_block_words=dma_block_words,
+        priorities={"display_ctrl": 0, "speedometer": 1, "odometer": 2},
+    )
+    rtos = RtosConfig(
+        policy=SchedulingPolicy.STATIC_PRIORITY,
+        priorities={"belt_alarm": 0, "display_ctrl": 1, "fuel_gauge": 2},
+    )
+    return MasterConfig(bus_params=bus, rtos=rtos)
+
+
+def build_system(
+    duration_ns: float = 400_000.0,
+    tick_period_ns: float = 40_000.0,
+    seed: int = 7,
+) -> SystemBundle:
+    """The dashboard controller with a driving scenario workload.
+
+    The scenario: key on, the driver ignores the belt long enough for
+    the alarm to fire, then fastens it; meanwhile the car accelerates
+    (wheel-pulse train speeds up) and the fuel sender drifts down.
+    """
+    network = build_network()
+    config = build_config()
+
+    def stimuli() -> List[Event]:
+        ticks = workloads.periodic(
+            "SEC_TICK", tick_period_ns, int(duration_ns / tick_period_ns),
+            start_ns=tick_period_ns,
+        )
+        pulses = workloads.wheel_pulses(
+            duration_ns,
+            speed_profile=[(0.0, 8000.0), (0.3, 3000.0), (0.7, 1500.0)],
+            seed=seed,
+        )
+        fuel_events = workloads.fuel_samples(
+            duration_ns, tick_period_ns * 2.5, seed=seed + 1
+        )
+        scenario = [
+            Event("KEY_ON", time=1000.0),
+            Event("BELT_ON", time=tick_period_ns * (ALARM_TICKS + 2.5)),
+        ]
+        return workloads.merge(ticks, pulses, fuel_events, scenario)
+
+    return SystemBundle(
+        network=network,
+        config=config,
+        stimuli_factory=stimuli,
+        description="Automotive dashboard controller scenario",
+    )

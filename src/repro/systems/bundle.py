@@ -1,0 +1,33 @@
+"""Common container for a ready-to-simulate system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cfsm.events import Event
+from repro.cfsm.model import Network
+from repro.master.master import MasterConfig
+
+
+@dataclass
+class SystemBundle:
+    """A network plus everything needed to co-simulate it.
+
+    Attributes:
+        network: the CFSM network.
+        config: master configuration (bus parameters, RTOS, clocks).
+        stimuli_factory: builds a fresh, deterministic stimulus list.
+        shared_memory_image: optional initial shared-memory contents.
+        description: one-line summary for reports.
+    """
+
+    network: Network
+    config: MasterConfig
+    stimuli_factory: Callable[[], List[Event]]
+    shared_memory_image: Optional[Dict[int, int]] = None
+    description: str = ""
+
+    def stimuli(self) -> List[Event]:
+        """A fresh stimulus list (safe to mutate/reuse)."""
+        return self.stimuli_factory()

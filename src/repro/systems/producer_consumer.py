@@ -1,0 +1,182 @@
+"""The motivating example of the paper's Figure 1.
+
+Three processes with event-based communication:
+
+* **producer** (software, on the embedded processor): upon each START
+  event it runs a checksum-style computation over a packet and emits
+  END_COMP.  Its execution time on the processor is what separates the
+  END_COMP events in real time.
+* **timer** (hardware): counts TIMER_TICK events from the environment
+  and broadcasts the current time value.
+* **consumer** (hardware): triggered by END_COMP together with the
+  (one-place-buffered, hence *latest*) TIME value; it executes a
+  computation loop whose iteration count is the difference between the
+  current and previous TIME values — the timing-functionality
+  inter-dependence that breaks separate estimation.
+
+With a timing-accurate co-simulation the producer's computation spans
+several timer ticks, so the consumer iterates several times per packet.
+A timing-independent behavioral simulation collapses the producer's
+execution to an instant: consecutive END_COMP events see almost equal
+TIME values and the consumer's loop almost never runs — the ~62%
+under-estimation of Figure 1(b).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bus.model import BusParameters
+from repro.cfsm.builder import NetworkBuilder
+from repro.cfsm.events import Event
+from repro.cfsm.expr import add, band, const, event_value, gt, mul, shr, sub, var
+from repro.cfsm.model import Implementation, Network
+from repro.cfsm.sgraph import assign, emit, if_, loop
+from repro.master.master import MasterConfig
+from repro.systems.bundle import SystemBundle
+from repro.systems import workloads
+
+#: Words of computation per packet in the producer's checksum loop.
+DEFAULT_PACKET_WORDS = 48
+
+#: Timer tick period (ns) — several ticks elapse per producer packet.
+DEFAULT_TICK_PERIOD_NS = 6000.0
+
+#: START arrival period (ns) — much faster than the producer's real
+#: computation time, so the behavioral (zero-delay) timing is wrong.
+DEFAULT_START_PERIOD_NS = 500.0
+
+
+def build_network(
+    packet_words: int = DEFAULT_PACKET_WORDS, num_packets: int = 8
+) -> Network:
+    """Construct the producer / timer / consumer network."""
+    builder = NetworkBuilder("fig1_example")
+
+    producer = builder.cfsm("producer", mapping=Implementation.SW)
+    producer.input("START")
+    producer.input("RESET")
+    producer.output("END_COMP")
+    producer.var("data", 1)
+    producer.var("sum", 0)
+    producer.var("pkts_left", num_packets)
+    # "repeat NUM_PKTS times: await(START); compute_chksum();
+    # emit(END_COMP)" — the producer processes a fixed, pre-defined
+    # amount of data regardless of how many START events the (faster)
+    # environment produced; extra STARTs overwrite in the one-place
+    # buffer exactly as in the CFSM semantics of the paper.
+    producer.transition(
+        "compute_chksum",
+        trigger=["START"],
+        guard=gt(var("pkts_left"), const(0)),
+        body=[
+            assign("pkts_left", sub(var("pkts_left"), const(1))),
+            assign("sum", const(0)),
+            loop(const(packet_words), [
+                # Pseudo-random payload word, then one's-complement
+                # style accumulate-and-fold.
+                assign("data", band(add(mul(var("data"), const(13)), const(7)),
+                                    const(0xFF))),
+                assign("sum", add(var("sum"), var("data"))),
+                assign("sum", add(band(var("sum"), const(0xFFFF)),
+                                  shr(var("sum"), const(16)))),
+            ]),
+            emit("END_COMP"),
+        ],
+    )
+
+    timer = builder.cfsm("timer", mapping=Implementation.HW, width=16)
+    timer.input("TIMER_TICK")
+    timer.input("RESET")
+    timer.output("TIME", has_value=True)
+    timer.var("now", 0)
+    timer.transition(
+        "tick",
+        trigger=["TIMER_TICK"],
+        body=[
+            assign("now", add(var("now"), const(1))),
+            emit("TIME", var("now")),
+        ],
+    )
+
+    consumer = builder.cfsm("consumer", mapping=Implementation.HW, width=16)
+    consumer.input("END_COMP")
+    consumer.input("RESET")
+    consumer.input("TIME", has_value=True)
+    consumer.output("BYTE_DONE")
+    consumer.var("cur_time", 0)
+    consumer.var("prev_time", 0)
+    consumer.var("n_it", 0)
+    consumer.var("acc", 0)
+    # Track the latest TIME broadcast (the one-place buffer keeps only
+    # the most recent value — earlier ticks are overwritten).
+    consumer.transition(
+        "track_time",
+        trigger=["TIME"],
+        body=[assign("cur_time", event_value("TIME"))],
+    )
+    # Per data packet: run a computation loop whose iteration count is
+    # the time elapsed (in ticks) since the previous packet.  This is
+    # the timing-functionality inter-dependence of the paper's Figure 1.
+    consumer.transition(
+        "process",
+        trigger=["END_COMP"],
+        body=[
+            # Fixed per-packet work (header handling) — independent of
+            # timing, so separate estimation gets this part right.
+            loop(const(15), [
+                loop(const(6), [
+                    assign("acc", add(var("acc"), const(5))),
+                    assign("acc", band(var("acc"), const(0x3FF))),
+                ]),
+            ]),
+            assign("n_it", sub(var("cur_time"), var("prev_time"))),
+            if_(gt(var("n_it"), const(0)), [
+                loop(var("n_it"), [
+                    loop(const(6), [
+                        assign("acc", add(var("acc"), const(3))),
+                        assign("acc", band(var("acc"), const(0x3FF))),
+                    ]),
+                    emit("BYTE_DONE"),
+                ]),
+            ]),
+            assign("prev_time", var("cur_time")),
+        ],
+    )
+
+    builder.environment_input("START", "TIMER_TICK", "RESET")
+    # Every process runs inside the paper's "do ... watching RESET".
+    builder.watching("RESET")
+    return builder.build()
+
+
+def build_system(
+    num_packets: int = 8,
+    packet_words: int = DEFAULT_PACKET_WORDS,
+    tick_period_ns: float = DEFAULT_TICK_PERIOD_NS,
+    start_period_ns: float = DEFAULT_START_PERIOD_NS,
+) -> SystemBundle:
+    """The Figure 1 system with its default workload."""
+    network = build_network(packet_words, num_packets)
+    config = MasterConfig(bus_params=BusParameters(priorities={}))
+
+    # The environment produces STARTs much faster than the producer can
+    # compute; spare STARTs overwrite in the one-place buffer, so the
+    # producer is paced by its own (software) execution time.
+    horizon_ns = num_packets * packet_words * 800.0
+    start_count = int(horizon_ns / start_period_ns) + 2
+    tick_count = int(horizon_ns / tick_period_ns) + 2
+
+    def stimuli() -> List[Event]:
+        return workloads.merge(
+            workloads.periodic("START", start_period_ns, start_count, start_ns=50.0),
+            workloads.periodic("TIMER_TICK", tick_period_ns, tick_count,
+                               start_ns=tick_period_ns),
+        )
+
+    return SystemBundle(
+        network=network,
+        config=config,
+        stimuli_factory=stimuli,
+        description="Figure 1 producer/timer/consumer motivating example",
+    )

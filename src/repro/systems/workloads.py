@@ -1,0 +1,106 @@
+"""Seeded stimulus generators for the example systems.
+
+All generators are deterministic given their seed, so every experiment
+in the repository is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.cfsm.events import Event
+
+
+def periodic(
+    event_name: str,
+    period_ns: float,
+    count: int,
+    start_ns: float = 0.0,
+    value: int = 0,
+) -> List[Event]:
+    """``count`` occurrences of a pure/valued event every ``period_ns``."""
+    return [
+        Event(event_name, value=value, time=start_ns + index * period_ns)
+        for index in range(count)
+    ]
+
+
+def packet_arrivals(
+    count: int,
+    period_ns: float,
+    size_range: Tuple[int, int] = (24, 64),
+    seed: int = 2000,
+    start_ns: float = 100.0,
+    event_name: str = "PACKET_IN",
+) -> List[Event]:
+    """Packet-arrival events whose values are the packet word counts.
+
+    Packets are spaced ``period_ns`` apart (the NIC's line rate) with
+    sizes drawn uniformly from ``size_range`` under a fixed seed.
+    """
+    rng = random.Random(seed)
+    events = []
+    for index in range(count):
+        size = rng.randint(size_range[0], size_range[1])
+        events.append(
+            Event(event_name, value=size, time=start_ns + index * period_ns)
+        )
+    return events
+
+
+def merge(*streams: Sequence[Event]) -> List[Event]:
+    """Merge stimulus streams into one time-sorted list."""
+    merged: List[Event] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda event: (event.time, event.name))
+    return merged
+
+
+def wheel_pulses(
+    duration_ns: float,
+    speed_profile: Sequence[Tuple[float, float]],
+    seed: int = 7,
+) -> List[Event]:
+    """Wheel-sensor pulses following a piecewise-constant speed profile.
+
+    ``speed_profile`` is a list of (start fraction of duration, pulse
+    period ns) segments; light jitter is added under the seed so pulse
+    trains are not perfectly periodic.
+    """
+    rng = random.Random(seed)
+    events: List[Event] = []
+    for index, (fraction, period_ns) in enumerate(speed_profile):
+        segment_start = duration_ns * fraction
+        segment_end = (
+            duration_ns * speed_profile[index + 1][0]
+            if index + 1 < len(speed_profile)
+            else duration_ns
+        )
+        time = segment_start
+        while time < segment_end:
+            events.append(Event("WHEEL_PULSE", time=time))
+            time += period_ns * rng.uniform(0.95, 1.05)
+    return events
+
+
+def fuel_samples(
+    duration_ns: float,
+    period_ns: float,
+    level_start: int = 200,
+    drain_per_sample: int = 1,
+    noise: int = 6,
+    seed: int = 23,
+) -> List[Event]:
+    """Noisy, slowly draining fuel-sender samples."""
+    rng = random.Random(seed)
+    events: List[Event] = []
+    level = level_start
+    time = period_ns
+    while time < duration_ns:
+        sample = max(0, level + rng.randint(-noise, noise))
+        events.append(Event("FUEL_SAMPLE", value=sample, time=time))
+        level = max(0, level - drain_per_sample)
+        time += period_ns
+    return events

@@ -1,0 +1,11 @@
+"""Shared test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,155 @@
+"""Hypothesis strategies for random CFSMs, expressions, and s-graphs.
+
+Two generator families:
+
+* ``sw_*`` — unrestricted integer semantics, used to check that the
+  code generator + ISS agree with the behavioral interpreter on
+  arbitrary (signed, wide) values and every operator.
+* ``hw_*`` — restricted to the subset the hardware datapath implements
+  with identical semantics at a given bit width: non-negative values
+  that cannot overflow/underflow during evaluation, and no
+  MUL/DIV/MOD.  Used to check gate-level synthesis against behavioral
+  execution bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.cfsm.expr import (
+    BinaryOp,
+    Const,
+    EventValue,
+    UnaryOp,
+    Var,
+)
+from repro.cfsm.sgraph import Assign, Emit, If, Loop, SharedRead, SharedWrite
+
+VAR_NAMES = ("a", "b", "c", "d")
+EVENT_IN = "IN"
+EVENT_OUT = "OUT"
+
+SW_BINOPS = (
+    "ADD", "SUB", "MUL", "DIV", "MOD", "AND", "OR", "XOR", "SHL", "SHR",
+    "EQ", "NE", "LT", "LE", "GT", "GE", "LAND", "LOR",
+)
+SW_UNOPS = ("NEG", "NOT", "BNOT")
+
+# Ops whose unsigned fixed-width result equals the unbounded-integer
+# result whenever both operands are small non-negative numbers.
+HW_SAFE_BINOPS = ("ADD", "AND", "OR", "XOR", "EQ", "NE", "LT", "LE", "GT", "GE",
+                  "LAND", "LOR")
+
+
+def sw_values():
+    """Operand values for software semantics tests."""
+    return st.integers(min_value=-(2 ** 20), max_value=2 ** 20)
+
+
+def hw_values():
+    """Operand values that stay well inside a 16-bit datapath."""
+    return st.integers(min_value=0, max_value=250)
+
+
+def _expr(depth: int, leaf, binops, unops):
+    if depth <= 0:
+        return leaf
+    sub = _expr(depth - 1, leaf, binops, unops)
+    strategies = [
+        leaf,
+        st.builds(BinaryOp, st.sampled_from(binops), sub, sub),
+    ]
+    if unops:
+        strategies.append(st.builds(UnaryOp, st.sampled_from(unops), sub))
+    return st.one_of(strategies)
+
+
+def sw_exprs(depth: int = 3):
+    """Expressions over the full operator set and wide constants."""
+    leaf = st.one_of(
+        st.builds(Const, sw_values()),
+        st.builds(Var, st.sampled_from(VAR_NAMES)),
+        st.just(EventValue(EVENT_IN)),
+    )
+    # Shift amounts are masked by the semantics, so any value is legal.
+    return _expr(depth, leaf, SW_BINOPS, SW_UNOPS)
+
+
+def hw_exprs(depth: int = 2):
+    """Expressions the 16-bit datapath evaluates identically.
+
+    Additions of small values cannot wrap; comparisons see equal
+    operands in both engines; logical ops are bitwise.
+    """
+    leaf = st.one_of(
+        st.builds(Const, hw_values()),
+        st.builds(Var, st.sampled_from(VAR_NAMES)),
+        st.just(EventValue(EVENT_IN)),
+    )
+    return _expr(depth, leaf, HW_SAFE_BINOPS, ())
+
+
+def _statements(expr_strategy, depth: int, allow_shared: bool,
+                mask_stores: bool = False):
+    if mask_stores:
+        # Keep variables bounded across loop iterations so the unsigned
+        # fixed-width datapath cannot wrap where Python would not.
+        stored = expr_strategy.map(lambda e: BinaryOp("AND", e, Const(0xFF)))
+    else:
+        stored = expr_strategy
+    assign_stmt = st.builds(Assign, st.sampled_from(VAR_NAMES), stored)
+    emit_stmt = st.builds(Emit, st.just(EVENT_OUT), expr_strategy)
+    leaves = [assign_stmt, emit_stmt]
+    if allow_shared:
+        leaves.append(
+            st.builds(
+                SharedRead,
+                st.sampled_from(VAR_NAMES),
+                st.integers(min_value=0, max_value=15).map(Const),
+            )
+        )
+        leaves.append(
+            st.builds(
+                SharedWrite,
+                st.integers(min_value=0, max_value=15).map(Const),
+                stored,
+            )
+        )
+    leaf = st.one_of(leaves)
+    if depth <= 0:
+        return leaf
+    sub_block = st.lists(
+        _statements(expr_strategy, depth - 1, allow_shared, mask_stores),
+        min_size=0, max_size=3,
+    )
+    if_stmt = st.builds(If, expr_strategy, sub_block, sub_block)
+    loop_stmt = st.builds(
+        Loop,
+        st.integers(min_value=0, max_value=4).map(Const),
+        st.lists(_statements(expr_strategy, depth - 1, allow_shared, mask_stores),
+                 min_size=1, max_size=3),
+    )
+    return st.one_of(leaf, if_stmt, loop_stmt)
+
+
+def sw_bodies(max_statements: int = 5, allow_shared: bool = True):
+    """Random transition bodies for software equivalence tests."""
+    return st.lists(
+        _statements(sw_exprs(2), 2, allow_shared),
+        min_size=1,
+        max_size=max_statements,
+    )
+
+
+def hw_bodies(max_statements: int = 4, allow_shared: bool = True):
+    """Random transition bodies for hardware equivalence tests."""
+    return st.lists(
+        _statements(hw_exprs(2), 1, allow_shared, mask_stores=True),
+        min_size=1,
+        max_size=max_statements,
+    )
+
+
+def var_bindings(values):
+    """Initial variable bindings over the shared pool."""
+    return st.fixed_dictionaries({name: values for name in VAR_NAMES})

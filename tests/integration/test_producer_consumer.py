@@ -1,0 +1,78 @@
+"""Integration: the Figure 1 motivating experiment.
+
+Separate estimation must match co-estimation for the timing-independent
+producer and substantially under-estimate the timing-sensitive
+consumer — the paper's core motivation (Figure 1(b)).
+"""
+
+import pytest
+
+from repro.core import PowerCoEstimator, SeparateEstimator
+from repro.systems import producer_consumer
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return producer_consumer.build_system(num_packets=4)
+
+
+@pytest.fixture(scope="module")
+def coest(bundle):
+    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    return estimator.estimate(bundle.stimuli(), strategy="full")
+
+
+@pytest.fixture(scope="module")
+def separate(bundle):
+    return SeparateEstimator(bundle.network, bundle.config).estimate(
+        bundle.stimuli()
+    )
+
+
+def test_producer_processes_fixed_amount_of_data(bundle, coest):
+    assert coest.report.transitions["producer"] == 4
+
+
+def test_producer_energy_matches_between_flows(coest, separate):
+    """The producer's work is timing-independent: both flows agree."""
+    reference = coest.report.component_energy("producer")
+    estimate = separate.component_energy("producer")
+    assert estimate == pytest.approx(reference, rel=1e-6)
+
+
+def test_consumer_underestimated_by_separate_flow(coest, separate):
+    """Separate estimation misses the timing-dependent loop work.
+
+    The paper reports ~62% under-estimation; the reproduced system is
+    calibrated into that regime and the direction must always hold.
+    """
+    error = separate.underestimation_vs(coest.report, "consumer")
+    assert 40.0 < error < 80.0
+
+
+def test_consumer_energy_larger_under_coestimation(coest, separate):
+    assert (coest.report.component_energy("consumer")
+            > separate.component_energy("consumer"))
+
+
+def test_producer_dominates_consumer(coest):
+    """As in Figure 1(b), the software producer consumes orders of
+    magnitude more energy than the small hardware consumer."""
+    producer = coest.report.component_energy("producer")
+    consumer = coest.report.component_energy("consumer")
+    assert producer > 100 * consumer
+
+
+def test_run_is_deterministic(bundle):
+    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    first = estimator.estimate(bundle.stimuli(), strategy="full")
+    second = estimator.estimate(bundle.stimuli(), strategy="full")
+    assert first.report.total_energy_j == second.report.total_energy_j
+    assert first.report.transitions == second.report.transitions
+
+
+def test_waveform_available(coest):
+    waveform = coest.power_waveform(bin_ns=5000.0)
+    assert waveform
+    total = sum(power for _, power in waveform)
+    assert total > 0

@@ -1,0 +1,84 @@
+"""Property tests: energy cache statistics and policy invariants."""
+
+import math
+import statistics
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.caching import EnergyCache, EnergyCacheConfig
+
+
+@given(st.lists(st.floats(min_value=1e-12, max_value=1e-3,
+                          allow_nan=False, allow_infinity=False),
+                min_size=2, max_size=50))
+def test_welford_matches_reference(values):
+    """Cache accumulators equal the two-pass mean/variance."""
+    cache = EnergyCache()
+    key = ("p", "t", ())
+    for value in values:
+        cache.update(key, value, 10)
+    stats = cache.path_statistics(key)
+    assert math.isclose(stats.mean_energy, statistics.fmean(values),
+                        rel_tol=1e-9)
+    assert math.isclose(stats.variance_energy, statistics.variance(values),
+                        rel_tol=1e-6, abs_tol=1e-30)
+
+
+@given(st.floats(min_value=1e-12, max_value=1e-6, allow_nan=False),
+       st.integers(min_value=1, max_value=10))
+def test_constant_path_is_served_after_threshold(energy, threshold):
+    """A zero-variance path is cached exactly after thresh_iss_calls."""
+    config = EnergyCacheConfig(thresh_variance=0.0, thresh_iss_calls=threshold)
+    cache = EnergyCache(config)
+    key = ("p", "t", ((1, "T"),))
+    for call in range(threshold):
+        assert cache.lookup(key) is None
+        cache.update(key, energy, 42)
+    cached = cache.lookup(key)
+    assert cached is not None
+    cached_energy, cached_cycles = cached
+    assert math.isclose(cached_energy, energy, rel_tol=1e-12)
+    assert cached_cycles == 42
+
+
+@given(st.lists(st.floats(min_value=1.0, max_value=2.0, allow_nan=False),
+                min_size=4, max_size=30))
+def test_high_variance_paths_never_served(values):
+    """Paths whose spread exceeds the threshold keep using the ISS."""
+    spread = max(values) - min(values)
+    cache = EnergyCache(EnergyCacheConfig(thresh_variance=1e-9,
+                                          thresh_iss_calls=2))
+    key = ("p", "t", ())
+    for value in values:
+        cache.update(key, value, 5)
+    if spread > 1e-3:
+        assert cache.lookup(key) is None
+
+
+@given(st.dictionaries(st.integers(0, 20),
+                       st.floats(min_value=1e-9, max_value=1e-6,
+                                 allow_nan=False),
+                       min_size=1, max_size=20))
+def test_distinct_keys_do_not_interfere(table):
+    cache = EnergyCache(EnergyCacheConfig(thresh_variance=0.0,
+                                          thresh_iss_calls=1))
+    for key, energy in table.items():
+        cache.update(("p", "t", (key,)), energy, key + 1)
+    for key, energy in table.items():
+        cached = cache.lookup(("p", "t", (key,)))
+        assert cached is not None
+        assert math.isclose(cached[0], energy, rel_tol=1e-12)
+        assert cached[1] == key + 1
+    assert cache.paths == len(table)
+
+
+def test_lookup_counts_hits():
+    cache = EnergyCache(EnergyCacheConfig(thresh_variance=0.0,
+                                          thresh_iss_calls=1))
+    key = ("p", "t", ())
+    assert cache.lookup(key) is None
+    assert cache.hits == 0
+    cache.update(key, 1e-9, 3)
+    assert cache.lookup(key) is not None
+    assert cache.hits == 1

@@ -1,0 +1,76 @@
+"""Property tests: cache simulator invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.cachesim import CacheConfig, CacheSimulator
+
+
+def access_streams():
+    return st.lists(
+        st.tuples(st.integers(min_value=0, max_value=4095),
+                  st.booleans()),
+        min_size=1,
+        max_size=300,
+    )
+
+
+@given(access_streams())
+def test_counter_consistency(stream):
+    cache = CacheSimulator(CacheConfig(size_bytes=512, line_bytes=16,
+                                       associativity=2))
+    for address, is_write in stream:
+        cache.access(address, is_write)
+    assert cache.accesses == len(stream)
+    assert cache.reads + cache.writes == cache.accesses
+    assert cache.read_misses <= cache.reads
+    assert cache.write_misses <= cache.writes
+    assert 0.0 <= cache.hit_rate <= 1.0
+    assert cache.total_energy > 0.0
+
+
+@given(access_streams())
+def test_immediate_rereference_hits(stream):
+    """An access immediately repeated is always a hit."""
+    cache = CacheSimulator(CacheConfig(size_bytes=512, line_bytes=16,
+                                       associativity=2))
+    for address, is_write in stream:
+        cache.access(address, is_write)
+        again = cache.access(address, False)
+        assert again.hit
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_single_address_misses_once(address):
+    cache = CacheSimulator()
+    first = cache.access(address, False)
+    assert not first.hit
+    for _ in range(5):
+        assert cache.access(address, False).hit
+    assert cache.misses == 1
+
+
+@given(access_streams())
+def test_bigger_cache_never_misses_more(stream):
+    """Inclusion-ish sanity: doubling capacity cannot increase misses
+    for an LRU cache with the same line size and associativity scaled."""
+    small = CacheSimulator(CacheConfig(size_bytes=256, line_bytes=16,
+                                       associativity=2))
+    large = CacheSimulator(CacheConfig(size_bytes=1024, line_bytes=16,
+                                       associativity=8))
+    for address, is_write in stream:
+        small.access(address, is_write)
+        large.access(address, is_write)
+    assert large.misses <= small.misses
+
+
+@given(access_streams())
+def test_flush_returns_dirty_count_and_clears(stream):
+    cache = CacheSimulator(CacheConfig(write_back=True))
+    for address, is_write in stream:
+        cache.access(address, is_write)
+    dirty = cache.flush()
+    assert dirty >= 0
+    # After a flush everything misses again.
+    address = stream[0][0]
+    assert not cache.access(address, False).hit

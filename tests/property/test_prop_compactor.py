@@ -1,0 +1,71 @@
+"""Property tests: the K-memory compactor."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sampling import KMemoryCompactor
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=16))
+def test_every_element_is_answered(signatures, period):
+    """Dispatch or reuse — no element is dropped, and the first
+    occurrence of every bigram is always dispatched."""
+    compactor = KMemoryCompactor(period=period, warmup=1)
+    seen_bigrams = set()
+    previous = None
+    for signature in signatures:
+        bigram = (previous, signature)
+        must_dispatch = bigram not in seen_bigrams
+        decision = compactor.should_dispatch(signature)
+        if must_dispatch:
+            assert decision, "first occurrence of a bigram must dispatch"
+        if decision:
+            value = compactor.observe(signature, ("measured", signature))
+        else:
+            value = compactor.observe(signature, None)
+        assert value is not None
+        assert value[1] == signature or value[0] == "measured"
+        seen_bigrams.add(bigram)
+        previous = signature
+    assert compactor.dispatched + compactor.reused == len(signatures)
+
+
+@given(st.integers(min_value=2, max_value=10),
+       st.integers(min_value=20, max_value=200))
+def test_compaction_ratio_approaches_inverse_period(period, length):
+    """A constant stream is dispatched roughly once per period."""
+    compactor = KMemoryCompactor(period=period, warmup=1)
+    for _ in range(length):
+        if compactor.should_dispatch("x"):
+            compactor.observe("x", 1.0)
+        else:
+            compactor.observe("x", None)
+    expected = length / period
+    assert compactor.dispatched <= expected + 2
+    assert compactor.dispatched >= 1
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=300))
+def test_k_memory_is_bounded(signatures):
+    compactor = KMemoryCompactor(period=4, warmup=1, k_memory=8)
+    for signature in signatures:
+        if compactor.should_dispatch(signature):
+            compactor.observe(signature, signature)
+        else:
+            compactor.observe(signature, None)
+    assert len(compactor._table) <= 8
+
+
+def test_reuse_returns_latest_measurement():
+    compactor = KMemoryCompactor(period=100, warmup=1)
+    # (None, a) is a new bigram: dispatch.
+    assert compactor.should_dispatch("a")
+    compactor.observe("a", "first")
+    # (a, a) is also a new bigram: dispatch again.
+    assert compactor.should_dispatch("a")
+    compactor.observe("a", "second")
+    # The third occurrence repeats bigram (a, a): reuse its latest
+    # measurement.
+    assert not compactor.should_dispatch("a")
+    assert compactor.observe("a", None) == "second"

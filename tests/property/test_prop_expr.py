@@ -1,0 +1,106 @@
+"""Property tests: expression AST semantics."""
+
+import operator
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cfsm.expr import (
+    BinaryOp,
+    Const,
+    UnaryOp,
+    Var,
+    add,
+    binary_operator_names,
+    div,
+    mod,
+    mul,
+    sub,
+    unary_operator_names,
+)
+
+from tests.generators import VAR_NAMES, sw_exprs, sw_values, var_bindings
+
+
+@given(sw_values(), sw_values())
+def test_arithmetic_matches_python(a, b):
+    env = {}
+    assert add(Const(a), Const(b)).evaluate(env) == a + b
+    assert sub(Const(a), Const(b)).evaluate(env) == a - b
+    assert mul(Const(a), Const(b)).evaluate(env) == a * b
+
+
+@given(sw_values(), sw_values())
+def test_div_mod_identity(a, b):
+    """a == div(a,b)*b + mod(a,b) whenever b != 0."""
+    env = {}
+    quotient = div(Const(a), Const(b)).evaluate(env)
+    remainder = mod(Const(a), Const(b)).evaluate(env)
+    if b != 0:
+        assert quotient * b + remainder == a
+        # Truncation toward zero.
+        assert quotient == int(a / b)
+    else:
+        assert quotient == 0
+        assert remainder == a
+
+
+@given(sw_values(), sw_values())
+def test_comparisons_are_boolean(a, b):
+    for op, py in (("EQ", operator.eq), ("NE", operator.ne),
+                   ("LT", operator.lt), ("LE", operator.le),
+                   ("GT", operator.gt), ("GE", operator.ge)):
+        value = BinaryOp(op, Const(a), Const(b)).evaluate({})
+        assert value == int(py(a, b))
+        assert value in (0, 1)
+
+
+@given(sw_exprs(3), var_bindings(sw_values()), sw_values())
+def test_expression_evaluation_total(expr, bindings, event_value):
+    """Every generated expression evaluates without error and reads
+    only the variables/events it reports."""
+    env = dict(bindings)
+    env["@IN"] = event_value
+    result = expr.evaluate(env)
+    assert isinstance(result, int)
+    assert set(expr.variables()) <= set(VAR_NAMES)
+    assert set(expr.event_values()) <= {"IN"}
+
+
+@given(sw_exprs(3))
+def test_macro_ops_subset_of_known_names(expr):
+    known = set(binary_operator_names()) | set(unary_operator_names())
+    assert set(expr.macro_ops()) <= known
+
+
+@given(sw_exprs(3), var_bindings(sw_values()), sw_values())
+def test_evaluation_is_pure(expr, bindings, event_value):
+    env = dict(bindings)
+    env["@IN"] = event_value
+    first = expr.evaluate(env)
+    second = expr.evaluate(env)
+    assert first == second
+    for name in VAR_NAMES:
+        assert env[name] == bindings[name]
+
+
+@given(st.integers(), st.integers(min_value=-100, max_value=100))
+def test_shift_semantics_mask_amount(a, b):
+    assert BinaryOp("SHL", Const(a), Const(b)).evaluate({}) == a << (b & 31)
+    assert (
+        BinaryOp("SHR", Const(a), Const(b)).evaluate({})
+        == (a % (1 << 32)) >> (b & 31)
+    )
+
+
+@given(sw_values())
+def test_unary_ops(a):
+    assert UnaryOp("NEG", Const(a)).evaluate({}) == -a
+    assert UnaryOp("NOT", Const(a)).evaluate({}) == int(not a)
+    assert UnaryOp("BNOT", Const(a)).evaluate({}) == ~a
+
+
+def test_depth_reporting():
+    expr = add(mul(Var("a"), Const(2)), Const(1))
+    assert expr.depth() == 3
+    assert Const(5).depth() == 1

@@ -1,0 +1,160 @@
+"""Property tests: full co-estimation on randomly generated systems.
+
+This is the master-level integration fuzzer: arbitrary transition
+bodies are mapped to a software producer and a hardware consumer, wired
+into a network with shared memory and a bus-mapped channel, and
+co-simulated end to end.  The properties:
+
+* co-simulation terminates and attributes non-negative energy,
+* it is bit-for-bit deterministic across runs,
+* energy caching never changes transition counts (behaviour) and keeps
+  the energy estimate within the variance threshold's reach,
+* the reference interpreter's state matches what the low-level engines
+  left behind (software memory image and hardware registers).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfsm.builder import NetworkBuilder
+from repro.cfsm.events import Event
+from repro.cfsm.model import Implementation
+from repro.core.caching import CachingStrategy
+from repro.master.master import MasterConfig, SimulationMaster
+
+from tests.generators import hw_bodies, hw_values, sw_bodies
+
+# The generated bodies use events "IN" (valued trigger) and "OUT"
+# (valued emission); chain: env -> producer(SW) -> consumer(HW).
+
+
+def build_chained_network(producer_body, consumer_body):
+    net = NetworkBuilder("fuzz")
+    producer = net.cfsm("producer", mapping=Implementation.SW)
+    producer.input("IN", has_value=True)
+    producer.output("OUT", has_value=True)
+    for name in ("a", "b", "c", "d"):
+        producer.var(name, 0)
+    producer.transition("t", trigger=["IN"], body=producer_body)
+
+    # The generators emit to "OUT" and read value of "IN"; give the
+    # consumer "OUT" as input and rewrite its EventValue reads.
+    from repro.cfsm.expr import EventValue
+    from repro.cfsm.sgraph import (
+        Assign, Emit, If, Loop, SharedRead, SharedWrite,
+    )
+
+    def rewrite_expr(expr):
+        from repro.cfsm.expr import BinaryOp, UnaryOp
+
+        if isinstance(expr, EventValue):
+            return EventValue("OUT")
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(expr.op, rewrite_expr(expr.left),
+                            rewrite_expr(expr.right))
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, rewrite_expr(expr.operand))
+        return expr
+
+    def rewrite(statement):
+        if isinstance(statement, Assign):
+            return Assign(statement.target, rewrite_expr(statement.value))
+        if isinstance(statement, Emit):
+            value = (None if statement.value is None
+                     else rewrite_expr(statement.value))
+            return Emit("DONE", value)
+        if isinstance(statement, If):
+            return If(rewrite_expr(statement.cond),
+                      [rewrite(s) for s in statement.then],
+                      [rewrite(s) for s in statement.els])
+        if isinstance(statement, Loop):
+            return Loop(rewrite_expr(statement.count),
+                        [rewrite(s) for s in statement.body])
+        if isinstance(statement, SharedRead):
+            return SharedRead(statement.target,
+                              rewrite_expr(statement.address))
+        if isinstance(statement, SharedWrite):
+            return SharedWrite(rewrite_expr(statement.address),
+                               rewrite_expr(statement.value))
+        return statement
+
+    consumer = net.cfsm("consumer", mapping=Implementation.HW, width=16)
+    consumer.input("OUT", has_value=True)
+    consumer.output("DONE", has_value=True)
+    for name in ("a", "b", "c", "d"):
+        consumer.var(name, 0)
+    consumer.transition("t", trigger=["OUT"],
+                        body=[rewrite(s) for s in consumer_body])
+
+    net.environment_input("IN")
+    net.on_bus("OUT")
+    return net.build()
+
+
+def stimuli(values):
+    return [Event("IN", value=value, time=5_000.0 * (index + 1))
+            for index, value in enumerate(values)]
+
+
+def run_master(network, events, strategy=None):
+    master = SimulationMaster(network, strategy, MasterConfig())
+    for address in range(16):
+        master.shared_memory.words[address] = address * 7 + 1
+    master.run(events)
+    return master
+
+
+@given(sw_bodies(max_statements=3),
+       hw_bodies(max_statements=3),
+       st.lists(hw_values(), min_size=1, max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_random_systems_cosimulate_deterministically(producer_body,
+                                                     consumer_body, values):
+    network = build_chained_network(list(producer_body), list(consumer_body))
+    events = stimuli(values)
+
+    first = run_master(network, events)
+    second = run_master(network, events)
+
+    assert first.total_energy() >= 0.0
+    assert first.total_energy() == second.total_energy()
+    assert first.stats.transitions == second.stats.transitions
+    assert first.stats.end_time_ns == second.stats.end_time_ns
+
+
+@given(sw_bodies(max_statements=3),
+       hw_bodies(max_statements=2),
+       st.lists(hw_values(), min_size=2, max_size=5))
+@settings(max_examples=10, deadline=None)
+def test_caching_preserves_behaviour_on_random_systems(producer_body,
+                                                       consumer_body, values):
+    network = build_chained_network(list(producer_body), list(consumer_body))
+    events = stimuli(values)
+
+    full = run_master(network, events)
+    cached = run_master(network, events, CachingStrategy())
+
+    assert cached.stats.transitions == full.stats.transitions
+    # Behavioral state is identical regardless of strategy.
+    for name in ("producer", "consumer"):
+        assert cached.processes[name].state == full.processes[name].state
+    assert cached.shared_memory.words == full.shared_memory.words
+
+
+@given(sw_bodies(max_statements=3), hw_bodies(max_statements=2),
+       st.lists(hw_values(), min_size=1, max_size=3))
+@settings(max_examples=10, deadline=None)
+def test_low_level_engines_track_reference_state(producer_body,
+                                                 consumer_body, values):
+    network = build_chained_network(list(producer_body), list(consumer_body))
+    master = run_master(network, stimuli(values))
+
+    producer = master.processes["producer"]
+    memory_map = producer.compiled.memory_map
+    for name, value in producer.state.items():
+        assert producer.memory[memory_map.variables[name]] == value, name
+
+    consumer = master.processes["consumer"]
+    mask = (1 << consumer.cfsm.width) - 1
+    for name, value in consumer.state.items():
+        assert consumer.hw.read_variable(name) == value & mask, name

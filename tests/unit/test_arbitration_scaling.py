@@ -1,0 +1,88 @@
+"""Unit tests: round-robin arbitration and voltage-scaling behaviour."""
+
+import pytest
+
+from repro.bus.arbiter import ArbitrationPolicy, PriorityArbiter
+from repro.bus.busmodel import SharedBus
+from repro.bus.model import BusParameters, BusRequest
+from repro.hw.library import GateLibrary
+from repro.hw.logicsim import CompiledSimulator
+from repro.hw.netlist import NetlistBuilder
+
+
+class TestRoundRobinArbiter:
+    def make_request(self, master, time, request_id):
+        return BusRequest(master, True, 0, [1], time, request_id)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            PriorityArbiter(policy="lottery")
+
+    def test_alternation_under_contention(self):
+        params = BusParameters(dma_block_words=1,
+                               arbitration=ArbitrationPolicy.ROUND_ROBIN)
+        bus = SharedBus(params)
+        bus.submit("a", True, 0, [1] * 4, 0.0)
+        bus.submit("b", True, 0x40, [2] * 4, 0.0)
+        bus.advance(float("inf"))
+        # Round robin shares the bus evenly regardless of names/order.
+        assert bus.arbiter.grants == {"a": 1, "b": 1}
+        # Fixed priority would instead let the first submitter finish.
+        fixed = SharedBus(BusParameters(dma_block_words=1,
+                                        priorities={"a": 0, "b": 1}))
+        fixed.submit("a", True, 0, [1] * 4, 0.0)
+        fixed.submit("b", True, 0x40, [2] * 4, 0.0)
+        grants = fixed.advance(float("inf"))
+        ends = {g.request.master: g.end_ns for g in grants}
+        assert ends["a"] < ends["b"]
+
+    def test_round_robin_wait_fairness(self):
+        """Under symmetric load, round robin equalizes waiting."""
+        rr = SharedBus(BusParameters(dma_block_words=2,
+                                     arbitration=ArbitrationPolicy.ROUND_ROBIN))
+        pr = SharedBus(BusParameters(dma_block_words=2,
+                                     priorities={"a": 0, "b": 1}))
+        for bus in (rr, pr):
+            bus.submit("a", True, 0, [1] * 8, 0.0)
+            bus.submit("b", True, 0x40, [2] * 8, 0.0)
+            bus.advance(float("inf"))
+        rr_spread = abs(rr.arbiter.wait_ns.get("a", 0.0)
+                        - rr.arbiter.wait_ns.get("b", 0.0))
+        pr_spread = abs(pr.arbiter.wait_ns.get("a", 0.0)
+                        - pr.arbiter.wait_ns.get("b", 0.0))
+        assert rr_spread <= pr_spread
+
+    def test_policy_survives_parameter_copies(self):
+        params = BusParameters(arbitration=ArbitrationPolicy.ROUND_ROBIN)
+        assert params.with_dma(8).arbitration == ArbitrationPolicy.ROUND_ROBIN
+        assert (params.with_priorities({"x": 1}).arbitration
+                == ArbitrationPolicy.ROUND_ROBIN)
+
+
+class TestVoltageScaling:
+    def adder(self):
+        builder = NetlistBuilder("adder")
+        a = builder.input_bus("a", 4)
+        b = builder.input_bus("b", 4)
+        total, _ = builder.ripple_add(a, b)
+        builder.output_bus("sum", total)
+        return builder.build()
+
+    def test_switching_energy_scales_quadratically(self):
+        netlist = self.adder()
+        high = CompiledSimulator(netlist, GateLibrary(vdd=3.3))
+        low = CompiledSimulator(netlist, GateLibrary(vdd=1.65))
+        stimulus = [(0, 0), (15, 15), (5, 9), (0, 0)]
+        energy_high = sum(high.step({"a": a, "b": b}) for a, b in stimulus)
+        energy_low = sum(low.step({"a": a, "b": b}) for a, b in stimulus)
+        # Halving Vdd quarters the 1/2 C V^2 part; internal energy is
+        # voltage-independent in this library, so the ratio is bounded
+        # between 1x and 4x and close to 4x (caps dominate).
+        assert 3.0 < energy_high / energy_low <= 4.0
+
+    def test_bus_energy_scales_quadratically(self):
+        high = BusParameters(vdd=3.3)
+        low = BusParameters(vdd=1.65)
+        assert high.energy_per_toggle() == pytest.approx(
+            4.0 * low.energy_per_toggle()
+        )

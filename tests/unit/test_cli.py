@@ -1,0 +1,67 @@
+"""Unit tests: the ``python -m repro`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "warp-core"])
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "fig1",
+                                       "--strategy", "magic"])
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "producer" in out and "SW" in out
+        assert "watching" in out
+
+    def test_describe_with_sizes(self, capsys):
+        assert main(["describe", "fig1", "--sizes"]) == 0
+        out = capsys.readouterr().out
+        assert "gates=" in out
+        assert "code_bytes=" in out
+
+    def test_estimate_with_exports(self, tmp_path, capsys):
+        csv_path = os.path.join(str(tmp_path), "power.csv")
+        vcd_path = os.path.join(str(tmp_path), "power.vcd")
+        code = main([
+            "estimate", "fig1", "--strategy", "macromodel",
+            "--waveform-csv", csv_path, "--waveform-vcd", vcd_path,
+            "--bin-ns", "5000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total energy" in out
+        with open(csv_path) as handle:
+            assert handle.readline().startswith("time_ns,")
+        with open(vcd_path) as handle:
+            assert "$timescale" in handle.read()
+
+    def test_characterize_to_file(self, tmp_path, capsys):
+        path = os.path.join(str(tmp_path), "params.txt")
+        assert main(["characterize", "--output", path]) == 0
+        with open(path) as handle:
+            text = handle.read()
+        assert ".time AVV" in text
+        assert ".energy AEMIT" in text
+
+    def test_explore_small(self, capsys):
+        code = main(["explore", "--dma", "8", "32", "--packets", "1",
+                     "--strategy", "macromodel"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimum: dma=32" in out

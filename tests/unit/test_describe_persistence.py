@@ -1,0 +1,107 @@
+"""Unit tests: network description and energy-cache persistence."""
+
+import pytest
+
+from repro.cfsm.describe import (
+    describe_network,
+    implementation_statistics,
+    transition_summary,
+)
+from repro.core.caching import EnergyCache, EnergyCacheConfig
+from repro.systems import producer_consumer, tcpip
+
+
+class TestDescribe:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return producer_consumer.build_network(num_packets=2)
+
+    def test_lists_every_process_and_mapping(self, network):
+        text = describe_network(network)
+        assert "producer" in text and "SW" in text
+        assert "consumer" in text and "HW" in text
+        assert "timer" in text
+
+    def test_shows_wiring_and_reset(self, network):
+        text = describe_network(network)
+        assert "env inputs" in text
+        assert "watching" in text and "RESET" in text
+
+    def test_transition_summary_shape(self, network):
+        lines = transition_summary(network.cfsms["producer"])
+        assert len(lines) == 1
+        assert "compute_chksum" in lines[0]
+        assert "[guarded]" in lines[0]
+        assert "END_COMP" in lines[0]
+
+    def test_implementation_statistics(self, network):
+        stats = implementation_statistics(network)
+        assert stats["producer"]["code_bytes"] > 0
+        assert stats["consumer"]["gates"] > 100
+        assert stats["consumer"]["dffs"] > 10
+        text = describe_network(network, stats)
+        assert "gates=" in text
+        assert "code_bytes=" in text
+
+    def test_bus_events_listed(self):
+        network = tcpip.build_network(8)
+        text = describe_network(network)
+        assert "bus events" in text
+        assert "CHK_GO" in text
+
+
+class TestCachePersistence:
+    def build_cache(self):
+        cache = EnergyCache(EnergyCacheConfig(thresh_iss_calls=2))
+        key_a = ("p", "t", ((1, "T"), (4, "F")))
+        key_b = ("q", "u", ())
+        for energy in (1e-9, 1.1e-9, 0.9e-9):
+            cache.update(key_a, energy, 12)
+        cache.update(key_b, 5e-9, 40)
+        return cache, key_a, key_b
+
+    def test_round_trip_preserves_statistics(self):
+        cache, key_a, key_b = self.build_cache()
+        restored = EnergyCache.from_json(cache.to_json())
+        original = cache.path_statistics(key_a)
+        loaded = restored.path_statistics(key_a)
+        assert loaded is not None
+        assert loaded.count == original.count
+        assert loaded.mean_energy == pytest.approx(original.mean_energy)
+        assert loaded.variance_energy == pytest.approx(original.variance_energy)
+        assert restored.path_statistics(key_b).count == 1
+
+    def test_round_trip_preserves_config(self):
+        cache, _, _ = self.build_cache()
+        restored = EnergyCache.from_json(cache.to_json())
+        assert restored.config.thresh_iss_calls == 2
+        assert restored.config.granularity == "path"
+
+    def test_restored_cache_serves_lookups(self):
+        cache, key_a, _ = self.build_cache()
+        restored = EnergyCache.from_json(cache.to_json())
+        served = restored.lookup(key_a)
+        assert served is not None
+        assert served[1] == 12
+
+    def test_warm_cache_accelerates_second_session(self):
+        """A cache persisted from one co-estimation seeds the next."""
+        from repro.core import PowerCoEstimator
+        from repro.core.caching import CachingStrategy
+
+        bundle = tcpip.build_system(dma_block_words=4, num_packets=2)
+        estimator = PowerCoEstimator(bundle.network, bundle.config)
+
+        first = CachingStrategy()
+        estimator.estimate(bundle.stimuli(), strategy=first)
+        saved = first.cache.to_json()
+
+        second = CachingStrategy()
+        second.cache = EnergyCache.from_json(saved)
+        run = estimator.estimate(bundle.stimuli(), strategy=second)
+        cold_calls = first.cache.low_level_calls
+        # The restored cache starts with zeroed counters, so its
+        # low_level_calls are exactly the warm session's fresh calls.
+        warm_calls = run.report.strategy_stats["low_level_calls"]
+        assert warm_calls < cold_calls
+        assert run.report.strategy_stats["cache_hits"] > 0

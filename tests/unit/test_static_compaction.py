@@ -1,0 +1,99 @@
+"""Unit + property tests: static sequence compaction."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sampling import StaticCompactor
+
+
+class TestBasics:
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            StaticCompactor(0.0)
+        with pytest.raises(ValueError):
+            StaticCompactor(1.5)
+
+    def test_full_ratio_keeps_everything(self):
+        signatures = ["a", "b", "a", "a", "b"]
+        picks = StaticCompactor(1.0).compact(signatures)
+        assert [pick.index for pick in picks] == list(range(len(signatures)))
+        assert all(pick.weight == 1.0 for pick in picks)
+
+    def test_weights_sum_to_length(self):
+        signatures = ["a"] * 10 + ["b"] * 5 + ["a"] * 7
+        picks = StaticCompactor(0.25).compact(signatures)
+        assert sum(pick.weight for pick in picks) == pytest.approx(
+            len(signatures)
+        )
+
+    def test_every_bigram_represented(self):
+        signatures = ["a", "b", "c", "a", "b", "c", "a"]
+        picks = StaticCompactor(0.01).compact(signatures)
+        picked = {pick.index for pick in picks}
+        seen = set()
+        previous = None
+        for index, signature in enumerate(signatures):
+            if index in picked:
+                seen.add((previous, signature))
+            previous = signature
+        all_bigrams = set()
+        previous = None
+        for signature in signatures:
+            all_bigrams.add((previous, signature))
+            previous = signature
+        assert seen == all_bigrams
+
+
+class TestEstimation:
+    def test_exact_for_bigram_constant_values(self):
+        """If the value depends only on the bigram, the weighted total
+        is exact regardless of the ratio."""
+        rng = random.Random(3)
+        signatures = [rng.choice("abc") for _ in range(200)]
+        cost = {}
+        values = []
+        previous = None
+        for signature in signatures:
+            key = (previous, signature)
+            cost.setdefault(key, 1.0 + len(cost))
+            values.append(cost[key])
+            previous = signature
+        exact = sum(values)
+        estimate = StaticCompactor(0.1).estimate_total(signatures, values)
+        assert estimate == pytest.approx(exact, rel=1e-9)
+
+    def test_bounded_error_for_noisy_values(self):
+        rng = random.Random(9)
+        signatures = [rng.choice("ab") for _ in range(400)]
+        values = [10.0 + rng.uniform(-1, 1) for _ in signatures]
+        exact = sum(values)
+        estimate = StaticCompactor(0.2).estimate_total(signatures, values)
+        assert abs(estimate - exact) / exact < 0.05
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            StaticCompactor(0.5).estimate_total(["a"], [1.0, 2.0])
+
+
+@given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=200),
+       st.floats(min_value=0.05, max_value=1.0))
+def test_property_weights_and_indices(signatures, ratio):
+    picks = StaticCompactor(ratio).compact(signatures)
+    indices = [pick.index for pick in picks]
+    # Picks are sorted, unique, and in range.
+    assert indices == sorted(set(indices))
+    assert all(0 <= i < len(signatures) for i in indices)
+    # Weighted count is unbiased.
+    assert sum(pick.weight for pick in picks) == pytest.approx(
+        len(signatures)
+    )
+    # Compaction really compacts (up to the one-per-bigram floor).
+    distinct_bigrams = len({
+        (signatures[i - 1] if i else None, signatures[i])
+        for i in range(len(signatures))
+    })
+    assert len(picks) <= max(distinct_bigrams,
+                             int(len(signatures) * ratio) + distinct_bigrams)

@@ -1,0 +1,122 @@
+"""Unit tests: estimation strategies in isolation (no master)."""
+
+import pytest
+
+from repro.cfsm.builder import CfsmBuilder
+from repro.cfsm.events import Event
+from repro.cfsm.expr import add, const, var
+from repro.cfsm.sgraph import assign, loop
+from repro.core.caching import CachingStrategy, EnergyCacheConfig
+from repro.core.sampling import SamplingStrategy
+from repro.estimation import Estimate, EstimationJob, FullStrategy
+
+
+def make_job(path_marker=0, energy=1e-9, cycles=10, calls=None):
+    builder = CfsmBuilder("s")
+    builder.input("GO", has_value=True)
+    builder.var("a", 0)
+    builder.transition("t", trigger=["GO"], body=[
+        loop(const(2), [assign("a", add(var("a"), const(1)))]),
+    ])
+    cfsm = builder.build()
+    buffer = cfsm.make_buffer()
+    state = cfsm.initial_state()
+    buffer.deliver(Event("GO", value=1, time=0.0))
+    transition = cfsm.enabled_transition(buffer, state)
+    trace = cfsm.react(transition, buffer, state)
+    trace.path = ((path_marker, "T"),)  # distinguish jobs artificially
+
+    def run_low_level():
+        if calls is not None:
+            calls.append(1)
+        return Estimate(cycles=cycles, energy=energy, ran_low_level=True)
+
+    return EstimationJob(cfsm, transition, trace, "sw", run_low_level)
+
+
+class TestFullStrategy:
+    def test_always_runs_low_level(self):
+        calls = []
+        strategy = FullStrategy()
+        for _ in range(5):
+            estimate = strategy.estimate(make_job(calls=calls))
+            assert estimate.ran_low_level
+        assert len(calls) == 5
+        assert strategy.statistics()["low_level_calls"] == 5.0
+
+    def test_reset(self):
+        strategy = FullStrategy()
+        strategy.estimate(make_job())
+        strategy.reset()
+        assert strategy.statistics()["low_level_calls"] == 0.0
+
+
+class TestCachingStrategy:
+    def test_caches_after_threshold(self):
+        calls = []
+        strategy = CachingStrategy(EnergyCacheConfig(thresh_iss_calls=3))
+        for index in range(10):
+            estimate = strategy.estimate(make_job(calls=calls))
+        assert len(calls) == 3
+        assert not estimate.ran_low_level
+        assert estimate.energy == pytest.approx(1e-9)
+        assert estimate.cycles == 10
+
+    def test_distinct_paths_not_mixed(self):
+        calls = []
+        strategy = CachingStrategy(EnergyCacheConfig(thresh_iss_calls=1))
+        strategy.estimate(make_job(path_marker=1, energy=1e-9, calls=calls))
+        strategy.estimate(make_job(path_marker=2, energy=5e-9, calls=calls))
+        cached_one = strategy.estimate(make_job(path_marker=1, calls=calls))
+        cached_two = strategy.estimate(make_job(path_marker=2, calls=calls))
+        assert len(calls) == 2
+        assert cached_one.energy == pytest.approx(1e-9)
+        assert cached_two.energy == pytest.approx(5e-9)
+
+    def test_variance_threshold_blocks_caching(self):
+        calls = []
+        strategy = CachingStrategy(
+            EnergyCacheConfig(thresh_variance=1e-12, thresh_iss_calls=2)
+        )
+        energies = [1e-9, 5e-9, 1e-9, 5e-9, 3e-9]
+        for energy in energies:
+            strategy.estimate(make_job(energy=energy, calls=calls))
+        # High-variance path: every execution hits the low-level sim.
+        assert len(calls) == len(energies)
+
+    def test_statistics_and_reset(self):
+        strategy = CachingStrategy(EnergyCacheConfig(thresh_iss_calls=1))
+        strategy.estimate(make_job())
+        strategy.estimate(make_job())
+        stats = strategy.statistics()
+        assert stats["cache_hits"] == 1.0
+        assert stats["low_level_calls"] == 1.0
+        strategy.reset()
+        assert strategy.statistics()["cache_hits"] == 0.0
+
+
+class TestSamplingStrategy:
+    def test_subsamples_hot_stream(self):
+        calls = []
+        strategy = SamplingStrategy(period=4, warmup=1)
+        for _ in range(40):
+            strategy.estimate(make_job(calls=calls))
+        assert 2 <= len(calls) <= 14  # roughly 40/4 plus warmup
+
+    def test_reused_estimates_match_last_measurement(self):
+        strategy = SamplingStrategy(period=100, warmup=1)
+        first = strategy.estimate(make_job(energy=3e-9))
+        second = strategy.estimate(make_job(energy=9e-9))  # new bigram
+        third = strategy.estimate(make_job(energy=1e-9))   # reused
+        assert first.ran_low_level
+        assert second.ran_low_level
+        assert not third.ran_low_level
+        assert third.energy == pytest.approx(9e-9)
+
+    def test_statistics(self):
+        strategy = SamplingStrategy(period=2, warmup=1)
+        for _ in range(10):
+            strategy.estimate(make_job())
+        stats = strategy.statistics()
+        assert stats["dispatched"] + stats["reused"] == 10
+        assert 0 < stats["compaction_ratio"] <= 1
