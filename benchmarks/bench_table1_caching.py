@@ -29,6 +29,7 @@ from benchmarks.common import (
     emit,
     format_table,
     tcpip_run,
+    write_metrics,
     write_result,
 )
 
@@ -82,6 +83,10 @@ def test_table1_caching_speedup(benchmark, capsys):
     )
     emit(capsys, "\n" + table)
     write_result("table1_caching", table)
+    for dma, _, _ in results:
+        run = tcpip_run(dma, "caching")
+        if run.metrics is not None:
+            write_metrics("table1_caching_dma%d" % dma, run.metrics)
 
     # Energy falls monotonically with DMA size.
     assert all(a >= b for a, b in zip(energies, energies[1:])), energies

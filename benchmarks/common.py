@@ -12,8 +12,9 @@ can reference stable artifacts.
 
 from __future__ import annotations
 
+import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
@@ -21,6 +22,7 @@ from repro.core import PowerCoEstimator
 from repro.core.report import EnergyReport
 from repro.estimation import Estimate, EstimationJob, EstimationStrategy
 from repro.systems import tcpip
+from repro.telemetry import Telemetry
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -50,17 +52,35 @@ def emit(capsys, text: str) -> None:
         print(text)
 
 
+def write_metrics(name: str, snapshot: Dict) -> str:
+    """Persist one run's metrics snapshot as JSON; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".metrics.json")
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 @lru_cache(maxsize=None)
 def tcpip_run(dma: int, strategy: str) -> "FrozenRun":
-    """Memoized co-estimation of the TCP/IP system at one DMA size."""
+    """Memoized co-estimation of the TCP/IP system at one DMA size.
+
+    Every run carries a metrics-only telemetry bundle (counters and
+    gauges, no span recording) so benchmarks can persist the strategy
+    accounting next to the rendered tables.
+    """
     bundle = tcpip.build_system(
         dma_block_words=dma,
         num_packets=NUM_PACKETS,
         size_range=PACKET_SIZE_RANGE,
     )
     estimator = PowerCoEstimator(bundle.network, bundle.config)
-    result = estimator.estimate(bundle.stimuli(), strategy=strategy)
-    return FrozenRun(report=result.report)
+    telemetry = Telemetry.metrics_only()
+    result = estimator.estimate(
+        bundle.stimuli(), strategy=strategy, telemetry=telemetry
+    )
+    return FrozenRun(report=result.report, metrics=telemetry.metrics.snapshot())
 
 
 @dataclass(frozen=True)
@@ -68,6 +88,7 @@ class FrozenRun:
     """Hashable wrapper so lru_cache can hold run results."""
 
     report: EnergyReport
+    metrics: Optional[Dict] = field(default=None, compare=False)
 
 
 class RecordingStrategy(EstimationStrategy):

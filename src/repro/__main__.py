@@ -27,6 +27,7 @@ from repro.core.macromodel import MacroModelCharacterizer
 from repro.master.export import export_power_csv, export_power_vcd
 from repro.systems import automotive, producer_consumer, tcpip
 from repro.systems.bundle import SystemBundle
+from repro.telemetry import Telemetry, render_report, write_chrome_trace
 
 _SYSTEMS = {
     "fig1": lambda: producer_consumer.build_system(num_packets=4),
@@ -54,12 +55,27 @@ def cmd_describe(args: argparse.Namespace) -> int:
 def cmd_estimate(args: argparse.Namespace) -> int:
     bundle = _bundle(args.system)
     estimator = PowerCoEstimator(bundle.network, bundle.config)
+    telemetry = None
+    if args.trace or args.metrics or args.telemetry_report:
+        telemetry = Telemetry()
     result = estimator.estimate(
         bundle.stimuli(),
         strategy=args.strategy,
         shared_memory_image=bundle.shared_memory_image,
+        telemetry=telemetry,
     )
     print(result.report.pretty())
+    if telemetry is not None:
+        if args.trace:
+            write_chrome_trace(telemetry.tracer, args.trace)
+            print("wrote %s (load in Perfetto / chrome://tracing)" % args.trace)
+        if args.metrics:
+            with open(args.metrics, "w") as handle:
+                handle.write(telemetry.metrics.to_json())
+                handle.write("\n")
+            print("wrote %s" % args.metrics)
+        print()
+        print(render_report(telemetry))
     if args.waveform_csv:
         with open(args.waveform_csv, "w") as handle:
             handle.write(
@@ -133,6 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--waveform-csv", metavar="PATH")
     estimate.add_argument("--waveform-vcd", metavar="PATH")
     estimate.add_argument("--bin-ns", type=float, default=1000.0)
+    estimate.add_argument("--trace", metavar="FILE",
+                          help="write a Chrome trace-event JSON file "
+                               "(Perfetto / chrome://tracing)")
+    estimate.add_argument("--metrics", metavar="FILE",
+                          help="write the metrics registry snapshot as JSON")
+    estimate.add_argument("--telemetry-report", action="store_true",
+                          help="collect telemetry and print the "
+                               "end-of-run report without writing files")
     estimate.set_defaults(func=cmd_estimate)
 
     explore = commands.add_parser(

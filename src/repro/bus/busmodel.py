@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.bus.arbiter import PriorityArbiter
 from repro.bus.dma import blocks_needed
 from repro.bus.model import BusGrant, BusParameters, BusRequest
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -35,8 +36,13 @@ class _Progress:
 class SharedBus:
     """Priority-arbitrated shared bus with DMA bursts."""
 
-    def __init__(self, params: Optional[BusParameters] = None) -> None:
+    def __init__(
+        self,
+        params: Optional[BusParameters] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.params = params or BusParameters()
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         self.arbiter = PriorityArbiter(self.params.priorities,
                                        policy=self.params.arbitration)
         self.pending: List[BusRequest] = []
@@ -136,11 +142,16 @@ class SharedBus:
         progress.energy_j += energy
         request.words_done += count
 
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.metrics.counter("bus.bursts").inc()
+            telemetry.metrics.counter("bus.words").inc(count)
+
         if request.remaining > 0:
             return None
         self.pending.remove(request)
         self._progress.pop(request.request_id)
-        return BusGrant(
+        grant = BusGrant(
             request=request,
             start_ns=progress.first_start_ns,
             end_ns=self.busy_until_ns,
@@ -148,6 +159,20 @@ class SharedBus:
             bus_cycles=progress.cycles,
             energy_j=progress.energy_j,
         )
+        if telemetry.enabled:
+            telemetry.metrics.counter("bus.grants").inc()
+            telemetry.tracer.instant(
+                "bus.grant",
+                track="bus",
+                args={
+                    "master": request.master,
+                    "words": len(request.words),
+                    "start_ns": grant.start_ns,
+                    "end_ns": grant.end_ns,
+                    "energy_j": grant.energy_j,
+                },
+            )
+        return grant
 
     # -- line activity ------------------------------------------------------------
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
 
 class CacheConfigError(Exception):
     """Raised for invalid cache geometries."""
@@ -82,8 +84,21 @@ class _Line:
 class CacheSimulator:
     """A fast set-associative cache model."""
 
-    def __init__(self, config: Optional[CacheConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[CacheConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.config = config or CacheConfig()
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        # ``access`` is the framework's hottest call site; bind the two
+        # instruments once instead of a registry lookup per reference.
+        if self.telemetry.enabled:
+            self._hit_counter = self.telemetry.metrics.counter("datacache.hits")
+            self._miss_counter = self.telemetry.metrics.counter("datacache.misses")
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
         self._sets: List[Dict[int, _Line]] = [
             {} for _ in range(self.config.num_sets)
         ]
@@ -125,6 +140,8 @@ class CacheSimulator:
                 line.dirty = True
             outcome = CacheAccess(hit=True, energy_j=config.hit_energy_j)
             self._account(outcome)
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
             return outcome
 
         # Miss: fill, possibly evicting the LRU way.
@@ -149,6 +166,8 @@ class CacheSimulator:
             stall_cycles=config.miss_penalty_cycles,
         )
         self._account(outcome)
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
         return outcome
 
     def _account(self, outcome: CacheAccess) -> None:

@@ -222,14 +222,23 @@ class CachingStrategy(EstimationStrategy):
             # variance test has to reject branchy transitions instead
             # of caching each path separately.
             key = (job.cfsm.name, job.transition.name)
+        tracer = self.telemetry.tracer
         cached = self.cache.lookup(key)
         if cached is not None:
             energy, cycles = cached
+            if tracer.enabled:
+                tracer.instant("cache.hit", track="strategy",
+                               args={"cfsm": job.cfsm.name,
+                                     "transition": job.transition.name})
             if not self.cache.config.cache_delay:
                 # Energy-only caching still needs a delay; reuse the
                 # cached mean cycles (kept for the ablation study).
                 pass
             return Estimate(cycles=cycles, energy=energy, ran_low_level=False)
+        if tracer.enabled:
+            tracer.instant("cache.miss", track="strategy",
+                           args={"cfsm": job.cfsm.name,
+                                 "transition": job.transition.name})
         measured = job.run_low_level()
         self.cache.update(key, measured.energy, measured.cycles)
         return measured
@@ -240,6 +249,19 @@ class CachingStrategy(EstimationStrategy):
             "low_level_calls": float(self.cache.low_level_calls),
             "distinct_paths": float(self.cache.paths),
         }
+
+    def publish_metrics(self) -> None:
+        registry = self.telemetry.metrics
+        hits = self.cache.hits
+        misses = self.cache.low_level_calls
+        lookups = hits + misses
+        registry.gauge("strategy.cache.hits").set(hits)
+        registry.gauge("strategy.cache.misses").set(misses)
+        registry.gauge("strategy.cache.lookups").set(lookups)
+        registry.gauge("strategy.cache.distinct_paths").set(self.cache.paths)
+        registry.gauge("strategy.cache_hit_rate").set(
+            hits / lookups if lookups else 0.0
+        )
 
     def reset(self) -> None:
         self.cache = EnergyCache(self.cache.config)

@@ -33,6 +33,7 @@ from repro.core.report import EnergyReport
 from repro.core.sampling import SamplingStrategy
 from repro.core.strategy import EstimationStrategy, FullStrategy
 from repro.master.master import MasterConfig, SimulationMaster
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -110,6 +111,7 @@ class PowerCoEstimator:
         until_ns: Optional[float] = None,
         shared_memory_image: Optional[Dict[int, int]] = None,
         label: str = "",
+        telemetry: Optional["Telemetry"] = None,
     ) -> CoEstimationResult:
         """Run one co-estimation.
 
@@ -120,12 +122,16 @@ class PowerCoEstimator:
             until_ns: optional simulation horizon.
             shared_memory_image: initial contents of the shared memory.
             label: report label (defaults to network + strategy names).
+            telemetry: optional :class:`repro.telemetry.Telemetry`
+                bundle; when given, the run is traced and metered.
 
         Returns:
             The report and the finished master.
         """
         resolved = self.make_strategy(strategy)
-        master = SimulationMaster(self.network, resolved, self.config)
+        master = SimulationMaster(
+            self.network, resolved, self.config, telemetry=telemetry
+        )
         if shared_memory_image:
             for address, value in shared_memory_image.items():
                 master.shared_memory.words[address] = value

@@ -356,6 +356,12 @@ class MacromodelStrategy(EstimationStrategy):
         self.hw_estimates = 0
 
     def estimate(self, job: EstimationJob) -> Estimate:
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.instant("macromodel.annotate", track="strategy",
+                           args={"cfsm": job.cfsm.name,
+                                 "transition": job.transition.name,
+                                 "ops": len(job.op_names)})
         if job.kind == "sw":
             self.sw_estimates += 1
             cycles, energy = self.parameter_file.estimate_ops(job.op_names)
@@ -378,6 +384,14 @@ class MacromodelStrategy(EstimationStrategy):
             "sw_estimates": float(self.sw_estimates),
             "hw_estimates": float(self.hw_estimates),
         }
+
+    def publish_metrics(self) -> None:
+        registry = self.telemetry.metrics
+        registry.gauge("strategy.macromodel.sw_estimates").set(self.sw_estimates)
+        registry.gauge("strategy.macromodel.hw_estimates").set(self.hw_estimates)
+        registry.gauge("strategy.macromodel.annotations").set(
+            self.sw_estimates + self.hw_estimates
+        )
 
     def reset(self) -> None:
         self.sw_estimates = 0

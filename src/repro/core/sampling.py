@@ -189,7 +189,12 @@ class SamplingStrategy(EstimationStrategy):
 
     def estimate(self, job: EstimationJob) -> Estimate:
         signature = job.path_key
+        tracer = self.telemetry.tracer
         if self.compactor.should_dispatch(signature):
+            if tracer.enabled:
+                tracer.instant("sampling.dispatch", track="strategy",
+                               args={"cfsm": job.cfsm.name,
+                                     "transition": job.transition.name})
             measured = job.run_low_level()
             self.compactor.observe(signature, measured)
             return measured
@@ -198,6 +203,10 @@ class SamplingStrategy(EstimationStrategy):
             measured = job.run_low_level()
             self.compactor.observe(signature, measured)
             return measured
+        if tracer.enabled:
+            tracer.instant("sampling.skip", track="strategy",
+                           args={"cfsm": job.cfsm.name,
+                                 "transition": job.transition.name})
         return Estimate(
             cycles=reused.cycles, energy=reused.energy, ran_low_level=False
         )
@@ -209,6 +218,16 @@ class SamplingStrategy(EstimationStrategy):
             "compaction_ratio": self.compactor.compaction_ratio,
             "evictions": float(self.compactor.evictions),
         }
+
+    def publish_metrics(self) -> None:
+        registry = self.telemetry.metrics
+        compactor = self.compactor
+        registry.gauge("strategy.sampling.dispatched").set(compactor.dispatched)
+        registry.gauge("strategy.sampling.reused").set(compactor.reused)
+        registry.gauge("strategy.sampling.evictions").set(compactor.evictions)
+        registry.gauge("strategy.sampling_dispatch_ratio").set(
+            compactor.compaction_ratio
+        )
 
     def reset(self) -> None:
         self.compactor = KMemoryCompactor(

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.cfsm.model import Cfsm, Transition
 from repro.cfsm.sgraph import ExecutionTrace
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -84,6 +85,11 @@ class EstimationStrategy:
 
     name = "abstract"
 
+    #: Telemetry bundle; the class-level default is the shared no-op,
+    #: so uninstrumented strategies pay nothing.  The master overrides
+    #: it per run via :meth:`attach_telemetry`.
+    telemetry: Telemetry = NULL_TELEMETRY
+
     def estimate(self, job: EstimationJob) -> Estimate:
         """Produce the cycle/energy estimate for ``job``."""
         raise NotImplementedError
@@ -91,6 +97,18 @@ class EstimationStrategy:
     def statistics(self) -> Dict[str, float]:
         """Strategy-specific counters for reports."""
         return {}
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Bind the run's telemetry (called by the simulation master)."""
+        self.telemetry = telemetry
+
+    def publish_metrics(self) -> None:
+        """Write strategy counters/ratios into the bound registry.
+
+        Called by the master at end of run so that the metrics
+        snapshot and :meth:`statistics` always agree.  Subclasses add
+        their technique's accounting (hit rates, dispatch ratios).
+        """
 
     def reset(self) -> None:
         """Clear per-run state (caches, counters)."""
@@ -116,6 +134,10 @@ class FullStrategy(EstimationStrategy):
 
     def statistics(self) -> Dict[str, float]:
         return {"low_level_calls": float(self.low_level_calls)}
+
+    def publish_metrics(self) -> None:
+        registry = self.telemetry.metrics
+        registry.gauge("strategy.full.low_level_calls").set(self.low_level_calls)
 
     def reset(self) -> None:
         self.low_level_calls = 0

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cfsm.model import Cfsm
 from repro.hw.library import DFF_CLOCK_ENERGY_J, GateLibrary
 from repro.hw.logicsim import CompiledSimulator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.hw.synth import (
     MEM_DATA_IN,
     MEM_READ_REQ,
@@ -51,12 +52,14 @@ class HardwarePowerSimulator:
         cfsm: Cfsm,
         library: Optional[GateLibrary] = None,
         max_cycles_per_transition: int = 2_000_000,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.cfsm = cfsm
         self.library = library or GateLibrary.default()
         self.block: SynthesizedBlock = synthesize_cfsm(cfsm, self.library)
         self.simulator = CompiledSimulator(self.block.netlist, self.library)
         self.max_cycles_per_transition = max_cycles_per_transition
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         self.invocations = 0
         self.total_cycles = 0
         self.total_energy = 0.0
@@ -99,6 +102,28 @@ class HardwarePowerSimulator:
             Cycle count, total and per-cycle energy, and the emitted
             (event, value) pairs observed on the strobe/value ports.
         """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._run_transition(transition_name, input_values, read_values)
+        with telemetry.tracer.span(
+            "hw.run_transition",
+            track="hw",
+            args={"cfsm": self.cfsm.name, "transition": transition_name},
+        ) as span:
+            result = self._run_transition(transition_name, input_values, read_values)
+            span.set("cycles", result.cycles)
+            span.set("energy_j", result.energy)
+        metrics = telemetry.metrics
+        metrics.counter("hw.invocations").inc()
+        metrics.counter("hw.cycles").inc(result.cycles)
+        return result
+
+    def _run_transition(
+        self,
+        transition_name: str,
+        input_values: Optional[Dict[str, int]] = None,
+        read_values: Optional[List[int]] = None,
+    ) -> HwRunResult:
         if transition_name not in self.block.go_ports:
             raise KeyError(
                 "CFSM %r has no transition %r" % (self.cfsm.name, transition_name)

@@ -40,6 +40,7 @@ from repro.master.tracing import EnergyAccountant
 from repro.sw.codegen import SHARED_MEMORY_BASE, CompiledCfsm, compile_cfsm, transition_label
 from repro.sw.iss import Iss
 from repro.sw.power_model import InstructionPowerModel
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 class MasterError(Exception):
@@ -66,6 +67,27 @@ class SharedMemory:
         """Bulk-initialize (testbench helper; not counted as traffic)."""
         for offset, value in enumerate(values):
             self.words[base + offset] = value
+
+
+class _MaskedSharedMemory:
+    """Width-masking view of shared memory for hardware processes.
+
+    A synthesized block's memory ports are exactly ``width`` bits wide,
+    so a hardware process can neither observe nor drive bits above its
+    datapath width.  Routing behavioral shared accesses through this
+    view keeps the reference semantics identical to what the netlist
+    sees (the gate-level simulator masks its read script the same way).
+    """
+
+    def __init__(self, inner: SharedMemory, mask: int) -> None:
+        self._inner = inner
+        self._mask = mask
+
+    def read(self, address: int) -> int:
+        return self._inner.read(address) & self._mask
+
+    def write(self, address: int, value: int) -> None:
+        self._inner.write(address, value & self._mask)
 
 
 @dataclass
@@ -141,16 +163,22 @@ class SimulationMaster:
         network: Network,
         strategy: Optional[EstimationStrategy] = None,
         config: Optional[MasterConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.network = network
         self.strategy = strategy or FullStrategy()
         self.config = config or MasterConfig()
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        self.strategy.attach_telemetry(self.telemetry)
         self.queue = EventQueue()
-        self.accountant = EnergyAccountant(keep_samples=self.config.keep_samples)
+        self.accountant = EnergyAccountant(
+            keep_samples=self.config.keep_samples,
+            tracer=self.telemetry.tracer,
+        )
         self.shared_memory = SharedMemory()
-        self.bus = SharedBus(self.config.bus_params)
+        self.bus = SharedBus(self.config.bus_params, telemetry=self.telemetry)
         self.cache = (
-            CacheSimulator(self.config.cache_config)
+            CacheSimulator(self.config.cache_config, telemetry=self.telemetry)
             if self.config.cache_config is not None
             else None
         )
@@ -180,7 +208,9 @@ class SimulationMaster:
                 if not self.config.zero_delay:
                     process.compiled = compile_cfsm(cfsm, memory_base=base)
                     process.iss = Iss(
-                        process.compiled.program, self.config.power_model
+                        process.compiled.program,
+                        self.config.power_model,
+                        telemetry=self.telemetry,
                     )
                     process.memory = {
                         process.compiled.memory_map.variables[var]: value
@@ -189,7 +219,9 @@ class SimulationMaster:
                 base += self._MEMORY_STRIDE
             else:
                 if not self.config.zero_delay:
-                    process.hw = HardwarePowerSimulator(cfsm, self.config.library)
+                    process.hw = HardwarePowerSimulator(
+                        cfsm, self.config.library, telemetry=self.telemetry
+                    )
             self.processes[name] = process
 
     # ------------------------------------------------------------------
@@ -214,10 +246,22 @@ class SimulationMaster:
                 raise MasterError("stimulus %r has no timestamp" % (stimulus,))
             self.queue.schedule(stimulus.time, "deliver", stimulus)
 
+        telemetry = self.telemetry
+        depth_histogram = (
+            telemetry.metrics.histogram(
+                "master.queue_depth",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+            )
+            if telemetry.enabled
+            else None
+        )
+
         while self.queue:
             if self.stats.dispatched >= self.config.max_dispatches:
                 self.stats.truncated = True
                 break
+            if depth_histogram is not None:
+                depth_histogram.observe(len(self.queue))
             item = self.queue.pop()
             if until_ns is not None and item.time > until_ns:
                 self.stats.truncated = True
@@ -232,6 +276,8 @@ class SimulationMaster:
         self._charge_bus_and_cache_summaries()
         self.stats.strategy = self.strategy.statistics()
         self.stats.wall_seconds = _time.perf_counter() - started
+        if telemetry.enabled:
+            self._publish_metrics()
         return self.stats
 
     def total_energy(self) -> float:
@@ -253,8 +299,21 @@ class SimulationMaster:
             return
         for cfsm in consumers:
             process = self.processes[cfsm.name]
+            delivered = event.at(now)
+            if process.kind != Implementation.SW and delivered.value is not None:
+                # A synthesized block's event-value ports are ``width``
+                # bits wide: the netlist can only observe the masked
+                # word.  Masking at delivery keeps the behavioral
+                # reference in lock-step with the gate-level engine for
+                # out-of-range values (e.g. negative words from a
+                # software producer).
+                mask = (1 << cfsm.width) - 1
+                if delivered.value & mask != delivered.value:
+                    delivered = Event(
+                        delivered.name, delivered.value & mask, now, delivered.source
+                    )
             before = process.buffer.overwrite_count
-            process.buffer.deliver(event.at(now))
+            process.buffer.deliver(delivered)
             if process.buffer.overwrite_count > before:
                 self.stats.lost_events += 1
             self.queue.schedule(now, "try", cfsm.name)
@@ -375,18 +434,51 @@ class SimulationMaster:
         if process.kind == Implementation.SW:
             self._processor_busy = True
 
+        tracer = self.telemetry.tracer
+        span = None
+        wall_started = 0.0
+        if tracer.enabled:
+            wall_started = _time.perf_counter()
+            span = tracer.span(
+                "reaction:%s" % name,
+                track="master",
+                args={"transition": transition.name,
+                      "kind": str(process.kind),
+                      "t_ns": now},
+            )
+
         consumed_values = {
             event: process.buffer.value(event)
             for event in transition.consumes
             if process.buffer.present(event)
         }
         pre_state = dict(process.state)
-        trace = cfsm.react(transition, process.buffer, process.state, shared=self.shared_memory)
+        shared = self.shared_memory
+        if process.kind != Implementation.SW:
+            # Same width discipline as event delivery: the block's
+            # memory ports clip shared words to the datapath width.
+            shared = _MaskedSharedMemory(shared, (1 << cfsm.width) - 1)
+        trace = cfsm.react(transition, process.buffer, process.state, shared=shared)
+        if process.kind != Implementation.SW:
+            # Register writes in the netlist are masked to ``width``
+            # bits; fold the behavioral state the same way so a later
+            # transition branches on the value the hardware holds.
+            mask = (1 << cfsm.width) - 1
+            for var, value in trace.var_updates.items():
+                masked = value & mask
+                trace.var_updates[var] = masked
+                process.state[var] = masked
         self.stats.transitions[name] = self.stats.transitions.get(name, 0) + 1
         if self.config.record_reactions:
             self.reactions.append(
                 ReactionRecord(name, transition.name, dict(consumed_values), trace, now)
             )
+
+        emissions = list(trace.emitted)
+        if process.kind != Implementation.SW:
+            # Emission value ports are width-bits wide as well.
+            mask = (1 << cfsm.width) - 1
+            emissions = [(event, value & mask) for event, value in emissions]
 
         estimate = self._estimate(process, transition, trace, consumed_values, pre_state)
 
@@ -435,7 +527,7 @@ class SimulationMaster:
             elif trace.shared_writes:
                 for address, value in trace.shared_writes:
                     pass  # zero-delay mode: traffic is not timed
-            self.queue.schedule(end_ns, "complete", (name, list(trace.emitted)))
+            self.queue.schedule(end_ns, "complete", (name, emissions))
 
         if trace.shared_reads and not self.config.zero_delay:
             runs = _contiguous_runs(trace.shared_reads)
@@ -450,6 +542,15 @@ class SimulationMaster:
             self._schedule_bus_kick(now)
         else:
             finish(now)
+
+        if span is not None:
+            span.set("cycles", estimate.cycles)
+            span.set("energy_j", estimate.energy)
+            span.set("ran_low_level", estimate.ran_low_level)
+            span.close()
+            self.telemetry.metrics.histogram("master.reaction_seconds").observe(
+                _time.perf_counter() - wall_started
+            )
 
     def _estimate(
         self,
@@ -500,7 +601,17 @@ class SimulationMaster:
             kind=process.kind,
             run_low_level=run_low_level,
         )
-        estimate = self.strategy.estimate(job)
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "estimate:%s" % self.strategy.name,
+                track="strategy",
+                args={"cfsm": name, "transition": transition.name},
+            ) as estimate_span:
+                estimate = self.strategy.estimate(job)
+                estimate_span.set("ran_low_level", estimate.ran_low_level)
+        else:
+            estimate = self.strategy.estimate(job)
 
         # Keep the low-level engines' architectural state in sync with
         # the behavioral reference even when they were skipped.
@@ -517,6 +628,15 @@ class SimulationMaster:
     def _simulate_cache(
         self, process: _Process, trace: ExecutionTrace
     ) -> Tuple[int, float]:
+        tracer = self.telemetry.tracer
+        span = None
+        if tracer.enabled and trace.memory_refs:
+            span = tracer.span(
+                "cache.simulate",
+                track="master",
+                args={"cfsm": process.cfsm.name,
+                      "references": len(trace.memory_refs)},
+            )
         memory_map = process.compiled.memory_map
         stall_cycles = 0
         energy = 0.0
@@ -530,6 +650,9 @@ class SimulationMaster:
             outcome = self.cache.access(address, reference.is_write)
             stall_cycles += outcome.stall_cycles
             energy += outcome.energy_j
+        if span is not None:
+            span.set("stall_cycles", stall_cycles)
+            span.close()
         return stall_cycles, energy
 
     # ------------------------------------------------------------------
@@ -560,6 +683,51 @@ class SimulationMaster:
         ):
             self.queue.schedule(next_time, "buskick", None)
             self._bus_kick_scheduled_at = next_time
+            tracer = self.telemetry.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "bus.kick_scheduled",
+                    track="bus",
+                    args={"at_ns": next_time,
+                          "pending": len(self.bus.pending)},
+                )
+
+    # ------------------------------------------------------------------
+    # Metrics publication
+    # ------------------------------------------------------------------
+
+    def _publish_metrics(self) -> None:
+        """Write run counters into the metrics registry.
+
+        Called once at end of run (never on the hot path) so the
+        snapshot always agrees with :class:`RunStats` and with the
+        strategy's :meth:`~repro.estimation.EstimationStrategy.statistics`.
+        """
+        metrics = self.telemetry.metrics
+        stats = self.stats
+        metrics.gauge("iss_calls").set(stats.iss_invocations)
+        metrics.gauge("hw_sim_calls").set(stats.hw_invocations)
+        metrics.gauge("master.transitions").set(sum(stats.transitions.values()))
+        metrics.gauge("master.dispatched").set(stats.dispatched)
+        metrics.gauge("master.lost_events").set(stats.lost_events)
+        metrics.gauge("master.end_time_ns").set(stats.end_time_ns)
+        metrics.gauge("master.wall_seconds").set(stats.wall_seconds)
+        metrics.gauge("master.low_level_seconds").set(stats.low_level_seconds)
+        if self.cache is not None:
+            metrics.gauge("datacache.accesses").set(self.cache.accesses)
+            metrics.gauge("datacache.hit_rate").set(self.cache.hit_rate)
+            metrics.gauge("datacache.stall_cycles").set(
+                self.cache.total_stall_cycles
+            )
+        metrics.gauge("bus.total_busy_cycles").set(self.bus.total_busy_cycles)
+        metrics.gauge("bus.utilization").set(
+            self.bus.utilization(stats.end_time_ns)
+        )
+        metrics.gauge("rtos.context_switches").set(
+            getattr(self.rtos, "context_switches", 0)
+        )
+        self.strategy.publish_metrics()
+        self.accountant.publish_metrics(metrics)
 
     # ------------------------------------------------------------------
     # End-of-run charges

@@ -28,6 +28,7 @@ from repro.cfsm.expr import _BINOP_FUNCS
 from repro.sw.isa import BASE_CYCLES, Instruction, NUM_REGISTERS, Opcode
 from repro.sw.power_model import InstructionPowerModel
 from repro.sw.program import Program
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: Cycles to refill the pipeline at every invocation entry.
 PIPELINE_FILL_CYCLES = 1
@@ -83,11 +84,13 @@ class Iss:
         power_model: Optional[InstructionPowerModel] = None,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         record_trace: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.program = program
         self.power_model = power_model or InstructionPowerModel.default_sparclite()
         self.max_instructions = max_instructions
         self.record_trace = record_trace
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         self.registers = [0] * NUM_REGISTERS
         self._flag_eq = False
         self._flag_lt = False
@@ -112,6 +115,27 @@ class Iss:
             Cycle/energy statistics for the invocation, including the
             pipeline-fill cost.
         """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._run_program(entry, memory, breakpoints)
+        with telemetry.tracer.span(
+            "iss.run", track="iss", args={"entry": entry}
+        ) as span:
+            result = self._run_program(entry, memory, breakpoints)
+            span.set("cycles", result.cycles)
+            span.set("instructions", result.instruction_count)
+        metrics = telemetry.metrics
+        metrics.counter("iss.invocations").inc()
+        metrics.counter("iss.instructions").inc(result.instruction_count)
+        metrics.counter("iss.cycles").inc(result.cycles)
+        return result
+
+    def _run_program(
+        self,
+        entry: str,
+        memory: MutableMapping[int, int],
+        breakpoints: Optional[Set[str]] = None,
+    ) -> IssResult:
         result = IssResult()
         result.cycles = PIPELINE_FILL_CYCLES
         result.energy = self.power_model.fill_energy(PIPELINE_FILL_CYCLES)

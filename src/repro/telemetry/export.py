@@ -1,0 +1,162 @@
+"""Trace exporters: Chrome trace-event JSON and plain JSONL.
+
+The Chrome trace-event format (the JSON-array flavour) is understood
+by Perfetto (https://ui.perfetto.dev) and the legacy
+``chrome://tracing`` viewer.  Every tracer track becomes a named
+"thread" of one process; spans render as nested slices, instants as
+markers, and counter samples as counter tracks — which is how the
+accountant's per-category energy shows up as a stacked area chart
+above the span timeline.
+
+Every exported event carries the full ``{"ph", "ts", "pid", "tid",
+"name"}`` quintet (metadata events included, with ``ts: 0``) so that
+strict validators accept the file.
+
+The JSONL exporter writes one self-describing JSON object per line in
+time order — the format for streaming consumers (``jq``, log
+pipelines) that do not want to hold a whole trace in memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "render_chrome_trace",
+    "write_chrome_trace",
+    "render_jsonl",
+    "write_jsonl",
+]
+
+#: The pid all tracks share (the framework is one process).
+TRACE_PID = 1
+
+#: tid reserved for counter tracks (Perfetto keys counters by name,
+#: but the viewer wants a valid tid on every event).
+COUNTER_TID = 0
+
+
+def _track_ids(tracer: Tracer) -> Dict[str, int]:
+    """Stable track-name -> tid assignment (sorted, 1-based)."""
+    tracks = sorted(
+        {span.track for span in tracer.spans}
+        | {track for _, _, track, _ in tracer.instants}
+    )
+    return {track: index + 1 for index, track in enumerate(tracks)}
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Render a tracer's records as Chrome trace-event dicts."""
+    tids = _track_ids(tracer)
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "ts": 0,
+            "pid": TRACE_PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in sorted(tids.items(), key=lambda item: item[1])
+    ]
+    for span in tracer.spans:
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": span.dur_us,
+            "pid": TRACE_PID,
+            "tid": tids[span.track],
+            "name": span.name,
+            "cat": span.track,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for ts_us, name, track, args in tracer.instants:
+        event = {
+            "ph": "i",
+            "ts": ts_us,
+            "pid": TRACE_PID,
+            "tid": tids[track],
+            "name": name,
+            "cat": track,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    for ts_us, name, series in tracer.counters:
+        events.append(
+            {
+                "ph": "C",
+                "ts": ts_us,
+                "pid": TRACE_PID,
+                "tid": COUNTER_TID,
+                "name": name,
+                "args": series,
+            }
+        )
+    return events
+
+
+def render_chrome_trace(tracer: Tracer) -> str:
+    """The trace as one JSON array string (the file Perfetto loads)."""
+    return json.dumps(chrome_trace_events(tracer))
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(render_chrome_trace(tracer))
+    return path
+
+
+def _jsonl_records(tracer: Tracer) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        records.append(
+            {
+                "kind": "span",
+                "ts_us": span.start_us,
+                "dur_us": span.dur_us,
+                "track": span.track,
+                "name": span.name,
+                "depth": span.depth,
+                "args": span.args or {},
+            }
+        )
+    for ts_us, name, track, args in tracer.instants:
+        records.append(
+            {
+                "kind": "instant",
+                "ts_us": ts_us,
+                "track": track,
+                "name": name,
+                "args": args or {},
+            }
+        )
+    for ts_us, name, series in tracer.counters:
+        records.append(
+            {"kind": "counter", "ts_us": ts_us, "name": name, "series": series}
+        )
+    records.sort(key=lambda record: record["ts_us"])
+    return records
+
+
+def render_jsonl(tracer: Tracer) -> str:
+    """One JSON object per line, ascending timestamps."""
+    return "\n".join(json.dumps(r, sort_keys=True) for r in _jsonl_records(tracer))
+
+
+def write_jsonl(tracer: Tracer, path: str) -> str:
+    """Write the JSONL stream to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        text = render_jsonl(tracer)
+        handle.write(text)
+        if text:
+            handle.write("\n")
+    return path

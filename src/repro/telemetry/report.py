@@ -1,0 +1,145 @@
+"""Human-readable end-of-run telemetry report.
+
+Two sections, mirroring how the paper accounts for its speedups:
+
+* **Hottest spans** — wall-clock cost aggregated per span name, the
+  "where do the CPU seconds go" view that motivates which acceleration
+  to reach for (Table 1/2 are exactly this, per strategy).
+* **Strategy effectiveness** — low-level simulator calls made versus
+  avoided, with the hit/dispatch ratios the acceleration techniques
+  are parameterized by.
+
+The report is computed from a :class:`~repro.telemetry.Telemetry`
+bundle alone, so any caller that threaded telemetry through a run can
+print it (the CLI does when ``--trace``/``--metrics`` is given).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["aggregate_spans", "render_report"]
+
+
+def aggregate_spans(tracer: Tracer) -> List[Tuple[str, int, float, float]]:
+    """Per span name: (``track/name``, count, total_us, mean_us).
+
+    Sorted by total duration, largest first.
+    """
+    totals: Dict[str, Tuple[int, float]] = {}
+    for span in tracer.spans:
+        key = "%s/%s" % (span.track, span.name)
+        count, total = totals.get(key, (0, 0.0))
+        totals[key] = (count + 1, total + span.dur_us)
+    rows = [
+        (key, count, total, total / count)
+        for key, (count, total) in totals.items()
+    ]
+    rows.sort(key=lambda row: -row[2])
+    return rows
+
+
+def _format_rows(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return lines
+
+
+def _effectiveness_rows(flat: Dict[str, float]) -> List[List[str]]:
+    """Strategy accounting from the registry's flat counters/gauges."""
+    rows: List[List[str]] = []
+
+    def row(label: str, made: float, avoided: float, ratio_label: str,
+            ratio: float) -> None:
+        total = made + avoided
+        rows.append([
+            label,
+            "%d" % made,
+            "%d" % avoided,
+            "%d" % total,
+            "%s=%.3f" % (ratio_label, ratio),
+        ])
+
+    if "strategy.cache.lookups" in flat:
+        hits = flat.get("strategy.cache.hits", 0.0)
+        misses = flat.get("strategy.cache.misses", 0.0)
+        row("energy cache", misses, hits, "hit_rate",
+            flat.get("strategy.cache_hit_rate", 0.0))
+    if "strategy.sampling.dispatched" in flat:
+        dispatched = flat.get("strategy.sampling.dispatched", 0.0)
+        reused = flat.get("strategy.sampling.reused", 0.0)
+        row("sampling", dispatched, reused, "dispatch_ratio",
+            flat.get("strategy.sampling_dispatch_ratio", 0.0))
+    if "strategy.macromodel.annotations" in flat:
+        annotations = flat.get("strategy.macromodel.annotations", 0.0)
+        row("macro-model", 0.0, annotations, "annotated", annotations)
+    if "strategy.full.low_level_calls" in flat:
+        calls = flat.get("strategy.full.low_level_calls", 0.0)
+        row("full (baseline)", calls, 0.0, "accelerated", 0.0)
+    return rows
+
+
+def render_report(telemetry, top: int = 10) -> str:
+    """Render the end-of-run report for one telemetry bundle."""
+    lines: List[str] = ["Telemetry report", "================"]
+
+    spans = aggregate_spans(telemetry.tracer)
+    if spans:
+        lines.append("")
+        lines.append("Hottest spans (top %d of %d names):"
+                     % (min(top, len(spans)), len(spans)))
+        rows = [
+            [key, "%d" % count, "%.3f" % (total / 1e3), "%.1f" % mean]
+            for key, count, total, mean in spans[:top]
+        ]
+        lines.extend(_format_rows(
+            ["span", "count", "total (ms)", "mean (us)"], rows))
+
+    flat = telemetry.metrics.flat()
+    effectiveness = _effectiveness_rows(flat)
+    if effectiveness:
+        lines.append("")
+        lines.append("Strategy effectiveness (low-level call accounting):")
+        lines.extend(_format_rows(
+            ["strategy", "simulated", "avoided", "stream", "ratio"],
+            effectiveness))
+
+    highlights = [
+        ("iss_calls", "ISS invocations"),
+        ("hw_sim_calls", "gate-level invocations"),
+        ("master.transitions", "transitions executed"),
+        ("master.dispatched", "events dispatched"),
+        ("datacache.hit_rate", "data-cache hit rate"),
+        ("bus.grants", "bus grants"),
+        ("energy.total_j", "total energy (J)"),
+    ]
+    present = [(label, flat[name]) for name, label in highlights if name in flat]
+    if present:
+        lines.append("")
+        lines.append("Counters:")
+        for label, value in present:
+            if value == int(value) and abs(value) < 1e12:
+                lines.append("  %-24s %d" % (label, int(value)))
+            else:
+                lines.append("  %-24s %.6g" % (label, value))
+
+    snapshot = telemetry.metrics.snapshot()
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("Distributions:")
+        for name, stats in histograms.items():
+            lines.append(
+                "  %-28s n=%-7d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g"
+                % (name, stats["count"], stats["mean"], stats["p50"],
+                   stats["p90"], stats["p99"], stats["max"])
+            )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Integration: width discipline at the software/hardware boundary.
+
+A synthesized block's ports and registers are exactly ``width`` bits
+wide, so a hardware-mapped process can only ever observe the masked
+image of what a software producer (whose integers are unbounded in the
+behavioral interpreter) sends it.  The master enforces the same
+masking on the behavioral reference — at event delivery, on shared
+memory reads/writes, and on post-reaction state — so the gate-level
+engine and the reference interpreter never diverge on out-of-range
+values.
+
+Regression for the case a property fuzzer originally found: a software
+producer emitting a *negative* word to a hardware consumer whose guard
+compares against it (behaviorally ``0 < -1`` is false; on 16-bit
+hardware the same wire reads 65535 and the comparison is true).
+"""
+
+import pytest
+
+from repro.cfsm.builder import NetworkBuilder
+from repro.cfsm.events import Event
+from repro.cfsm.expr import Const, EventValue, add, band, lt
+from repro.cfsm.model import Implementation
+from repro.cfsm.sgraph import Assign, Emit
+from repro.master.master import MasterConfig, SimulationMaster
+
+WIDTH = 16
+MASK = (1 << WIDTH) - 1
+
+
+def build_network(producer_body, consumer_body):
+    net = NetworkBuilder("boundary")
+    producer = net.cfsm("producer", mapping=Implementation.SW)
+    producer.input("IN", has_value=True)
+    producer.output("OUT", has_value=True)
+    producer.transition("t", trigger=["IN"], body=producer_body)
+
+    consumer = net.cfsm("consumer", mapping=Implementation.HW, width=WIDTH)
+    consumer.input("OUT", has_value=True)
+    consumer.output("DONE", has_value=True)
+    consumer.var("a", 0)
+    consumer.transition("t", trigger=["OUT"], body=consumer_body)
+
+    net.environment_input("IN")
+    net.on_bus("OUT")
+    return net.build()
+
+
+def run(network, values):
+    master = SimulationMaster(network, None, MasterConfig())
+    events = [
+        Event("IN", value=value, time=5_000.0 * (index + 1))
+        for index, value in enumerate(values)
+    ]
+    master.run(events)
+    return master
+
+
+class TestNegativeEventValues:
+    def test_negative_emission_is_masked_at_the_hw_boundary(self):
+        """The fuzzer's original counterexample, pinned deterministically."""
+        network = build_network(
+            producer_body=[Emit("OUT", Const(-1))],
+            consumer_body=[Assign("a", band(lt(Const(0), EventValue("OUT")),
+                                            Const(255)))],
+        )
+        master = run(network, [0])
+        consumer = master.processes["consumer"]
+        # Behavioral reference and netlist agree ...
+        assert consumer.hw.read_variable("a") == consumer.state["a"] & MASK
+        # ... on the hardware's view: -1 reads as 0xFFFF, so 0 < value.
+        assert consumer.state["a"] == 1
+
+    def test_wide_emission_is_masked_at_the_hw_boundary(self):
+        network = build_network(
+            producer_body=[Emit("OUT", Const(0x1_0005))],
+            consumer_body=[Assign("a", EventValue("OUT"))],
+        )
+        master = run(network, [0])
+        consumer = master.processes["consumer"]
+        assert consumer.state["a"] == 0x0005
+        assert consumer.hw.read_variable("a") == 0x0005
+
+    def test_in_range_values_are_untouched(self):
+        network = build_network(
+            producer_body=[Emit("OUT", Const(1234))],
+            consumer_body=[Assign("a", EventValue("OUT"))],
+        )
+        master = run(network, [0])
+        consumer = master.processes["consumer"]
+        assert consumer.state["a"] == 1234
+        assert consumer.hw.read_variable("a") == 1234
+
+
+class TestStateWidthDiscipline:
+    def test_hw_state_is_folded_to_width_after_each_reaction(self):
+        """Register overflow must not leak into later behavioral guards."""
+        network = build_network(
+            producer_body=[Emit("OUT", Const(0xFFFF))],
+            # 0xFFFF + 0xFFFF = 0x1FFFE: overflows 16 bits to 0xFFFE.
+            consumer_body=[Assign("a", add(EventValue("OUT"),
+                                           EventValue("OUT")))],
+        )
+        master = run(network, [0])
+        consumer = master.processes["consumer"]
+        assert consumer.state["a"] == 0xFFFE
+        assert consumer.hw.read_variable("a") == 0xFFFE
+
+    def test_behavioral_state_stays_in_range_for_hw(self):
+        network = build_network(
+            producer_body=[Emit("OUT", Const(40_000))],
+            consumer_body=[Assign("a", EventValue("OUT"))],
+        )
+        master = run(network, [0, 1])
+        consumer = master.processes["consumer"]
+        assert 0 <= consumer.state["a"] <= MASK

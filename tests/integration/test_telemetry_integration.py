@@ -1,0 +1,144 @@
+"""Integration: telemetry threaded through a full co-estimation run.
+
+The contract under test: (1) a run with a telemetry bundle produces a
+loadable Chrome trace and a metrics snapshot that *agrees with the
+strategy's own statistics*, and (2) telemetry never perturbs the
+estimate — the same run with and without instrumentation reports
+bit-identical energy.
+"""
+
+import json
+
+import pytest
+
+from repro.core import PowerCoEstimator
+from repro.core.caching import CachingStrategy
+from repro.systems import producer_consumer
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    chrome_trace_events,
+    render_chrome_trace,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return producer_consumer.build_system(num_packets=4)
+
+
+@pytest.fixture(scope="module")
+def traced(bundle):
+    """One cached run with full telemetry and the caching strategy."""
+    telemetry = Telemetry()
+    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    result = estimator.estimate(
+        bundle.stimuli(),
+        strategy=CachingStrategy(),
+        shared_memory_image=bundle.shared_memory_image,
+        telemetry=telemetry,
+    )
+    return result, telemetry
+
+
+class TestMetricsAgreeWithRun:
+    def test_cache_hit_rate_is_positive(self, traced):
+        _, telemetry = traced
+        flat = telemetry.metrics.flat()
+        assert flat["strategy.cache_hit_rate"] > 0.0
+        assert flat["strategy.cache.hits"] > 0
+        assert (flat["strategy.cache.hits"] + flat["strategy.cache.misses"]
+                == flat["strategy.cache.lookups"])
+
+    def test_snapshot_matches_strategy_statistics(self, traced):
+        result, telemetry = traced
+        flat = telemetry.metrics.flat()
+        statistics = result.master.strategy.statistics()
+        assert flat["strategy.cache.hits"] == statistics["cache_hits"]
+        assert flat["strategy.cache.misses"] == statistics["low_level_calls"]
+        assert (flat["strategy.cache.distinct_paths"]
+                == statistics["distinct_paths"])
+
+    def test_snapshot_matches_master_counters(self, traced):
+        result, telemetry = traced
+        flat = telemetry.metrics.flat()
+        stats = result.master.stats
+        assert flat["iss_calls"] == stats.iss_invocations
+        assert flat["hw_sim_calls"] == stats.hw_invocations
+        assert flat["master.transitions"] == sum(stats.transitions.values())
+        assert flat["master.dispatched"] == stats.dispatched
+        # The live counters agree with the end-of-run gauges.
+        assert flat["iss.invocations"] == stats.iss_invocations
+        assert flat["hw.invocations"] == stats.hw_invocations
+
+    def test_energy_gauges_match_accountant(self, traced):
+        result, telemetry = traced
+        flat = telemetry.metrics.flat()
+        assert flat["energy.total_j"] == pytest.approx(
+            result.master.accountant.total_energy
+        )
+
+    def test_queue_and_reaction_histograms_populated(self, traced):
+        _, telemetry = traced
+        histograms = telemetry.metrics.snapshot()["histograms"]
+        assert histograms["master.queue_depth"]["count"] > 0
+        assert histograms["master.reaction_seconds"]["count"] > 0
+
+
+class TestTraceExport:
+    def test_chrome_trace_is_valid_and_complete(self, traced):
+        _, telemetry = traced
+        events = json.loads(render_chrome_trace(telemetry.tracer))
+        assert isinstance(events, list) and events
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+        # Energy lands as at least one counter track.
+        counter_names = {e["name"] for e in events if e["ph"] == "C"}
+        assert counter_names, "expected an energy counter track"
+        # Spans cover master reactions and both low-level engines.
+        span_tracks = set()
+        by_tid = {
+            e["tid"]: e["args"]["name"]
+            for e in events if e["ph"] == "M"
+        }
+        for e in events:
+            if e["ph"] == "X":
+                span_tracks.add(by_tid[e["tid"]])
+        assert {"master", "iss", "hw", "strategy"} <= span_tracks
+
+    def test_strategy_decisions_recorded_as_instants(self, traced):
+        _, telemetry = traced
+        names = {name for _, name, _, _ in telemetry.tracer.instants}
+        assert "cache.hit" in names
+        assert "cache.miss" in names
+
+    def test_report_renders(self, traced):
+        _, telemetry = traced
+        text = render_report(telemetry)
+        assert "Hottest spans" in text
+        assert "energy cache" in text
+        assert "ISS invocations" in text
+
+
+class TestTelemetryIsInert:
+    def test_instrumented_run_matches_uninstrumented(self, bundle, traced):
+        result, _ = traced
+        estimator = PowerCoEstimator(bundle.network, bundle.config)
+        plain = estimator.estimate(
+            bundle.stimuli(),
+            strategy=CachingStrategy(),
+            shared_memory_image=bundle.shared_memory_image,
+        )
+        assert plain.report.total_energy_j == result.report.total_energy_j
+        assert plain.report.transitions == result.report.transitions
+
+    def test_default_master_uses_shared_null_bundle(self, bundle):
+        estimator = PowerCoEstimator(bundle.network, bundle.config)
+        result = estimator.estimate(bundle.stimuli(), strategy="full")
+        master = result.master
+        assert master.telemetry is NULL_TELEMETRY
+        assert master.bus.telemetry is NULL_TELEMETRY
+        # The shared null tracer never accumulates anything to export.
+        assert chrome_trace_events(NULL_TELEMETRY.tracer) == []

@@ -51,6 +51,36 @@ class TestCommands:
         with open(vcd_path) as handle:
             assert "$timescale" in handle.read()
 
+    def test_estimate_with_telemetry_exports(self, tmp_path, capsys):
+        import json
+
+        trace_path = os.path.join(str(tmp_path), "trace.json")
+        metrics_path = os.path.join(str(tmp_path), "metrics.json")
+        code = main([
+            "estimate", "fig1", "--strategy", "caching",
+            "--trace", trace_path, "--metrics", metrics_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry report" in out
+        assert "Hottest spans" in out
+        with open(trace_path) as handle:
+            events = json.load(handle)
+        assert isinstance(events, list) and events
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid", "name"):
+                assert key in event
+        assert any(event["ph"] == "C" for event in events)
+        with open(metrics_path) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["gauges"]["strategy.cache_hit_rate"] > 0.0
+
+    def test_estimate_telemetry_report_only(self, capsys):
+        assert main(["estimate", "fig1", "--telemetry-report"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry report" in out
+        assert "wrote" not in out.split("Telemetry report")[1]
+
     def test_characterize_to_file(self, tmp_path, capsys):
         path = os.path.join(str(tmp_path), "params.txt")
         assert main(["characterize", "--output", path]) == 0

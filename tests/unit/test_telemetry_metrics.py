@@ -1,0 +1,168 @@
+"""Unit tests: the metrics registry and its instruments."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("iss.invocations")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("queue_depth")
+        gauge.set(7)
+        gauge.add(-3)
+        assert gauge.value == 4.0
+
+
+class TestHistogramBuckets:
+    def test_rejects_empty_and_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+        Histogram("h")  # must not raise
+
+    def test_observations_land_in_correct_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.overflow == 1
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 500.0
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert histogram.percentile(50) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_rejects_out_of_range_percentile(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+
+    def test_single_value_reports_itself(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        histogram.observe(7.0)
+        # min == max == 7 clamps the interpolation to the exact value.
+        for p in (0, 50, 90, 99, 100):
+            assert histogram.percentile(p) == pytest.approx(7.0)
+
+    def test_uniform_bucket_interpolation(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0))
+        # Ten values spread over (10, 20]; min=11, max=20.
+        for value in range(11, 21):
+            histogram.observe(float(value))
+        p50 = histogram.percentile(50)
+        assert 11.0 <= p50 <= 20.0
+        assert p50 == pytest.approx(15.5, abs=1.0)
+        assert histogram.percentile(100) == pytest.approx(20.0)
+
+    def test_percentiles_monotonic_in_p(self):
+        histogram = Histogram("h", buckets=(1.0, 3.0, 10.0, 30.0))
+        for value in (0.5, 0.7, 2.0, 2.5, 4.0, 9.0, 25.0, 29.0):
+            histogram.observe(value)
+        percentiles = [histogram.percentile(p) for p in (10, 25, 50, 75, 90, 99)]
+        assert percentiles == sorted(percentiles)
+        assert all(0.5 <= value <= 29.0 for value in percentiles)
+
+    def test_overflow_rank_reports_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        for _ in range(9):
+            histogram.observe(1000.0)
+        assert histogram.percentile(99) == 1000.0
+
+    def test_snapshot_fields(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(4.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2.0
+        assert snapshot["sum"] == pytest.approx(4.5)
+        assert snapshot["mean"] == pytest.approx(2.25)
+        assert snapshot["min"] == 0.5
+        assert snapshot["max"] == 4.0
+        assert set(snapshot) == {
+            "count", "sum", "mean", "min", "max", "p50", "p90", "p99"
+        }
+
+
+class TestRegistry:
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError):
+            registry.gauge("name")
+        with pytest.raises(ValueError):
+            registry.histogram("name")
+
+    def test_snapshot_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("iss_calls").inc(3)
+        registry.gauge("cache_hit_rate").set(0.75)
+        registry.histogram("latency", buckets=(1.0, 10.0)).observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"iss_calls": 3.0}
+        assert snapshot["gauges"] == {"cache_hit_rate": 0.75}
+        assert snapshot["histograms"]["latency"]["count"] == 1.0
+        assert json.loads(registry.to_json()) == json.loads(
+            json.dumps(snapshot)
+        )
+
+    def test_flat_merges_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        assert registry.flat() == {"a": 1.0, "b": 2.0}
+
+
+class TestNullRegistry:
+    def test_null_instruments_discard_everything(self):
+        NULL_METRICS.counter("x").inc(10)
+        NULL_METRICS.gauge("y").set(3)
+        NULL_METRICS.histogram("z").observe(1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+        assert NULL_METRICS.flat() == {}
+        assert NULL_METRICS.enabled is False
+
+    def test_null_instruments_are_shared(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")
+        assert NULL_METRICS.gauge("a") is NULL_METRICS.gauge("b")
+        assert NULL_METRICS.histogram("a") is NULL_METRICS.histogram("b")
