@@ -26,6 +26,10 @@ from repro.telemetry import Telemetry
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: Repository root — standardized ``BENCH_*.json`` perf snapshots land
+#: here so CI can glob them as artifacts.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 #: The DMA sizes of Tables 1 and 2.
 TABLE_DMA_SIZES = (2, 4, 8, 16, 32, 64)
 
@@ -50,6 +54,40 @@ def emit(capsys, text: str) -> None:
     """Print ``text`` to the real terminal despite pytest capture."""
     with capsys.disabled():
         print(text)
+
+
+def write_bench(name: str, payload: Dict) -> str:
+    """Persist a standardized perf snapshot as ``BENCH_<name>.json``.
+
+    The payload should carry at least ``wall_seconds`` numbers plus
+    whatever rates/speedups the experiment measured; the file lands in
+    the repository root where CI uploads ``BENCH_*.json`` artifacts.
+    """
+    path = os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def clear_process_caches() -> None:
+    """Reset every process-wide co-estimation cache (and its stats).
+
+    Running this before each design point emulates the pre-caching
+    sequential code path — the baseline the ``BENCH_explorer.json``
+    speedups are measured against.
+    """
+    from repro.hw.estimator import clear_hw_run_memo
+    from repro.hw.logicsim import clear_compile_cache
+    from repro.hw.synth import clear_synth_cache
+    from repro.sw.codegen import clear_codegen_cache
+    from repro.sw.iss import clear_decode_cache
+
+    clear_compile_cache()
+    clear_synth_cache()
+    clear_codegen_cache()
+    clear_decode_cache()
+    clear_hw_run_memo()
 
 
 def write_metrics(name: str, snapshot: Dict) -> str:

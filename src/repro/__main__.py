@@ -22,9 +22,21 @@ from typing import List, Optional
 
 from repro.cfsm.describe import describe_network, implementation_statistics
 from repro.core import PowerCoEstimator
-from repro.core.explorer import DesignSpaceExplorer, priority_permutations
+from repro.core.explorer import (
+    DesignSpaceExplorer,
+    parallel_sweep,
+    priority_permutations,
+)
 from repro.core.macromodel import MacroModelCharacterizer
 from repro.master.export import export_power_csv, export_power_vcd
+from repro.parallel import (
+    JobSpec,
+    PoolStats,
+    job_seed,
+    merge_metrics_snapshots,
+    run_jobs,
+    write_merged_chrome_trace,
+)
 from repro.systems import automotive, producer_consumer, tcpip
 from repro.systems.bundle import SystemBundle
 from repro.telemetry import Telemetry, render_report, write_chrome_trace
@@ -33,6 +45,15 @@ _SYSTEMS = {
     "fig1": lambda: producer_consumer.build_system(num_packets=4),
     "tcpip": lambda: tcpip.build_system(dma_block_words=16),
     "automotive": lambda: automotive.build_system(),
+}
+
+#: Builder specs for worker-side reconstruction (multi-system fan-out):
+#: the same systems as ``_SYSTEMS`` but as picklable descriptions.
+_SYSTEM_BUILDERS = {
+    "fig1": ("repro.systems.producer_consumer:build_system",
+             {"num_packets": 4}),
+    "tcpip": ("repro.systems.tcpip:build_system", {"dma_block_words": 16}),
+    "automotive": ("repro.systems.automotive:build_system", {}),
 }
 
 
@@ -53,7 +74,9 @@ def cmd_describe(args: argparse.Namespace) -> int:
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
-    bundle = _bundle(args.system)
+    if len(args.system) > 1:
+        return _estimate_many(args)
+    bundle = _bundle(args.system[0])
     estimator = PowerCoEstimator(bundle.network, bundle.config)
     telemetry = None
     if args.trace or args.metrics or args.telemetry_report:
@@ -91,29 +114,91 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _estimate_many(args: argparse.Namespace) -> int:
+    """Fan independent system estimates out over the process pool."""
+    for option in ("waveform_csv", "waveform_vcd", "trace", "metrics"):
+        if getattr(args, option, None):
+            raise SystemExit(
+                "--%s needs a single system (got %d)"
+                % (option.replace("_", "-"), len(args.system))
+            )
+    specs = []
+    for name in args.system:
+        builder, builder_kwargs = _SYSTEM_BUILDERS[name]
+        specs.append(
+            JobSpec(
+                fn="repro.parallel.runners:run_estimate",
+                payload={
+                    "builder": builder,
+                    "builder_kwargs": builder_kwargs,
+                    "strategy": args.strategy,
+                    "label": name,
+                },
+                label=name,
+                seed=job_seed(0, name),
+            )
+        )
+    stats = PoolStats()
+    results = run_jobs(specs, jobs=args.jobs, stats=stats)
+    failed = 0
+    for result in results:
+        if result.ok:
+            print(result.value.pretty())
+            print()
+        else:
+            failed += 1
+            print("%s FAILED:\n%s" % (result.label, result.error))
+    print("%d system(s) in %.2fs with %d worker(s)"
+          % (stats.completed, stats.wall_seconds, stats.workers))
+    return 1 if failed else 0
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     assignments = priority_permutations(list(tcpip.BUS_MASTERS))
-    points = []
-    for priorities in assignments:
-        for dma in args.dma:
-            bundle = tcpip.build_system(
-                dma_block_words=dma,
-                num_packets=args.packets,
-                packet_period_ns=args.period_ns,
-                priorities=priorities,
-            )
-            explorer = DesignSpaceExplorer(
-                bundle.network, bundle.config, bundle.stimuli_factory
-            )
-            point = explorer.evaluate(dma, priorities, strategy=args.strategy)
-            points.append(point)
-            print("dma=%4d  %-40s %10.3f uJ"
-                  % (dma, point.priority_label, point.total_energy_j * 1e6))
-    best = DesignSpaceExplorer.minimum_energy_point(points)
-    print("minimum: dma=%d, %s (%.3f uJ)"
-          % (best.dma_block_words, best.priority_label,
-             best.total_energy_j * 1e6))
-    return 0
+    stats = PoolStats()
+    points, results = parallel_sweep(
+        "repro.systems.tcpip:build_system",
+        args.dma,
+        assignments,
+        strategy=args.strategy,
+        jobs=args.jobs,
+        warm_start=args.warm_start,
+        builder_kwargs={
+            "num_packets": args.packets,
+            "packet_period_ns": args.period_ns,
+        },
+        collect_telemetry=bool(args.trace or args.metrics),
+        stats=stats,
+    )
+    failures = [result for result in results if not result.ok]
+    for result in failures:
+        print("point %s FAILED:\n%s" % (result.label, result.error))
+    points = [point for point in points if point is not None]
+    for point in points:
+        print("dma=%4d  %-40s %10.3f uJ"
+              % (point.dma_block_words, point.priority_label,
+                 point.total_energy_j * 1e6))
+    if points:
+        best = DesignSpaceExplorer.minimum_energy_point(points)
+        print("minimum: dma=%d, %s (%.3f uJ)"
+              % (best.dma_block_words, best.priority_label,
+                 best.total_energy_j * 1e6))
+    if args.jobs > 1:
+        print("%d points in %.2fs with %d workers (%d retries)"
+              % (stats.completed, stats.wall_seconds, stats.workers,
+                 stats.retries))
+    if args.trace:
+        write_merged_chrome_trace(results, args.trace)
+        print("wrote %s (load in Perfetto / chrome://tracing)" % args.trace)
+    if args.metrics:
+        import json as _json
+
+        merged = merge_metrics_snapshots(r.metrics for r in results)
+        with open(args.metrics, "w") as handle:
+            _json.dump(merged, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.metrics)
+    return 1 if failures else 0
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -143,9 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     describe.set_defaults(func=cmd_describe)
 
     estimate = commands.add_parser("estimate", help="run co-estimation")
-    estimate.add_argument("system", choices=sorted(_SYSTEMS))
+    estimate.add_argument("system", nargs="+", choices=sorted(_SYSTEMS),
+                          help="one or more systems; several fan out "
+                               "over --jobs workers")
     estimate.add_argument("--strategy", default="full",
                           choices=PowerCoEstimator.STRATEGIES)
+    estimate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for multi-system runs "
+                               "(default: 1, sequential)")
     estimate.add_argument("--waveform-csv", metavar="PATH")
     estimate.add_argument("--waveform-vcd", metavar="PATH")
     estimate.add_argument("--bin-ns", type=float, default=1000.0)
@@ -168,6 +258,19 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--period-ns", type=float, default=30_000.0)
     explore.add_argument("--strategy", default="caching",
                          choices=PowerCoEstimator.STRATEGIES)
+    explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default: 1 — sequential, "
+                              "byte-identical to the single-process path)")
+    explore.add_argument("--warm-start", action="store_true",
+                         help="share the converged energy cache across "
+                              "design points (per worker, validity-"
+                              "guarded; see docs/parallelism.md)")
+    explore.add_argument("--trace", metavar="FILE",
+                         help="write a merged Chrome trace-event JSON "
+                              "file; each worker is one Perfetto process")
+    explore.add_argument("--metrics", metavar="FILE",
+                         help="write the merged per-worker metrics "
+                              "snapshot as JSON")
     explore.set_defaults(func=cmd_explore)
 
     characterize = commands.add_parser(

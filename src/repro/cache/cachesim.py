@@ -64,7 +64,7 @@ class CacheConfig:
         return max(1, lines // self.associativity)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheAccess:
     """Outcome of one access."""
 
@@ -99,8 +99,13 @@ class CacheSimulator:
         else:
             self._hit_counter = None
             self._miss_counter = None
+        # ``num_sets`` is a derived property; freeze the geometry into
+        # plain ints — ``_locate`` runs once per memory reference.
+        self._num_sets = self.config.num_sets
+        self._word_bytes = self.config.word_bytes
+        self._line_bytes = self.config.line_bytes
         self._sets: List[Dict[int, _Line]] = [
-            {} for _ in range(self.config.num_sets)
+            {} for _ in range(self._num_sets)
         ]
         self._tick = 0
         self.reads = 0
@@ -114,11 +119,8 @@ class CacheSimulator:
     # -- helpers ------------------------------------------------------------
 
     def _locate(self, word_address: int) -> Tuple[int, int]:
-        byte_address = word_address * self.config.word_bytes
-        line_number = byte_address // self.config.line_bytes
-        set_index = line_number % self.config.num_sets
-        tag = line_number // self.config.num_sets
-        return set_index, tag
+        line_number = (word_address * self._word_bytes) // self._line_bytes
+        return line_number % self._num_sets, line_number // self._num_sets
 
     # -- public API ------------------------------------------------------------
 
@@ -204,5 +206,5 @@ class CacheSimulator:
         dirty = sum(
             1 for lines in self._sets for line in lines.values() if line.dirty
         )
-        self._sets = [{} for _ in range(self.config.num_sets)]
+        self._sets = [{} for _ in range(self._num_sets)]
         return dirty

@@ -367,13 +367,22 @@ class SGraph:
             raise SGraphError("unknown statement type %r" % type(stmt).__name__)
 
     def _eval(self, expression: Expression, env: Dict[str, int], trace: ExecutionTrace) -> int:
-        for name in expression.variables():
-            trace.memory_refs.append(_memory_ref(name, False))
-        for event in expression.event_values():
-            trace.ops.append(interned_macro_op(MacroOpKind.ADETECT, event))
-            trace.memory_refs.append(_memory_ref("@" + event, False))
-        for op_name in expression.macro_ops():
-            trace.ops.append(interned_macro_op(op_name))
+        # The trace side effects of evaluating an expression (memory
+        # references and macro-op records) are static properties of the
+        # expression tree; build them once per expression object and
+        # bulk-extend the trace on every subsequent evaluation.
+        prelude = expression.__dict__.get("_sg_prelude")
+        if prelude is None:
+            refs = [_memory_ref(name, False) for name in expression.variables()]
+            ops = []
+            for event in expression.event_values():
+                ops.append(interned_macro_op(MacroOpKind.ADETECT, event))
+                refs.append(_memory_ref("@" + event, False))
+            ops.extend(interned_macro_op(op_name) for op_name in expression.macro_ops())
+            prelude = (tuple(refs), tuple(ops))
+            object.__setattr__(expression, "_sg_prelude", prelude)
+        trace.memory_refs.extend(prelude[0])
+        trace.ops.extend(prelude[1])
         return expression.evaluate(env)
 
 

@@ -17,7 +17,13 @@
 """
 
 from repro.core.strategy import Estimate, EstimationJob, EstimationStrategy, FullStrategy
-from repro.core.caching import CachingStrategy, EnergyCache, EnergyCacheConfig
+from repro.core.caching import (
+    CachingStrategy,
+    EnergyCache,
+    EnergyCacheConfig,
+    WarmStartCache,
+    system_fingerprint,
+)
 from repro.core.macromodel import (
     MacroModelCharacterizer,
     MacromodelStrategy,
@@ -42,6 +48,8 @@ __all__ = [
     "CachingStrategy",
     "EnergyCache",
     "EnergyCacheConfig",
+    "WarmStartCache",
+    "system_fingerprint",
     "MacroModelCharacterizer",
     "MacromodelStrategy",
     "ParameterFile",

@@ -4,6 +4,13 @@ The explorer sweeps bus parameters — DMA block size and arbitration
 priority assignments — re-running power co-estimation for each
 configuration *without recompiling the system description*, exactly the
 iterative use-case the paper's acceleration techniques exist for.
+
+Two execution modes:
+
+* :meth:`DesignSpaceExplorer.sweep` — sequential, in-process;
+* :func:`parallel_sweep` — the same cross product fanned out over the
+  :mod:`repro.parallel` process pool, returning points in the same
+  order as the sequential sweep.
 """
 
 from __future__ import annotations
@@ -11,10 +18,21 @@ from __future__ import annotations
 import itertools
 import time as _time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.cfsm.events import Event
 from repro.cfsm.model import Network
+from repro.core.caching import WarmStartCache
 from repro.core.coestimator import PowerCoEstimator
 from repro.core.report import EnergyReport
 from repro.core.strategy import EstimationStrategy
@@ -73,17 +91,27 @@ class DesignSpaceExplorer:
         dma_block_words: int,
         priorities: Dict[str, int],
         strategy: Union[str, EstimationStrategy, None] = None,
+        warm_start: Optional[WarmStartCache] = None,
+        telemetry=None,
     ) -> DesignPoint:
-        """Co-estimate one (DMA size, priority assignment) point."""
+        """Co-estimate one (DMA size, priority assignment) point.
+
+        With ``warm_start``, the point runs under a caching strategy
+        backed by the shared (validity-guarded) energy cache instead of
+        a fresh one, overriding ``strategy``.
+        """
         bus_params = self.base_config.bus_params.with_dma(dma_block_words)
         bus_params = bus_params.with_priorities(priorities)
         config = replace(self.base_config, bus_params=bus_params)
+        if warm_start is not None:
+            strategy = warm_start.strategy_for(self.network, config)
         estimator = PowerCoEstimator(self.network, config)
         result = estimator.estimate(
             self.stimuli_factory(),
             strategy=strategy,
             shared_memory_image=self.shared_memory_image,
             label="dma=%d,%s" % (dma_block_words, priority_label(priorities)),
+            telemetry=telemetry,
         )
         return DesignPoint(
             dma_block_words=dma_block_words,
@@ -97,13 +125,23 @@ class DesignSpaceExplorer:
         dma_sizes: Iterable[int],
         priority_assignments: Iterable[Dict[str, int]],
         strategy: Union[str, EstimationStrategy, None] = None,
+        warm_start: Optional[WarmStartCache] = None,
+        telemetry=None,
     ) -> List[DesignPoint]:
         """Exhaustively evaluate the cross product of the two sweeps."""
         started = _time.perf_counter()
         points = []
         for priorities in priority_assignments:
             for dma in dma_sizes:
-                points.append(self.evaluate(dma, priorities, strategy=strategy))
+                points.append(
+                    self.evaluate(
+                        dma,
+                        priorities,
+                        strategy=strategy,
+                        warm_start=warm_start,
+                        telemetry=telemetry,
+                    )
+                )
         self.exploration_seconds = _time.perf_counter() - started
         return points
 
@@ -113,6 +151,76 @@ class DesignSpaceExplorer:
         if not points:
             raise ValueError("no design points evaluated")
         return min(points, key=lambda point: point.total_energy_j)
+
+
+def parallel_sweep(
+    builder: Union[str, Callable],
+    dma_sizes: Sequence[int],
+    priority_assignments: Sequence[Dict[str, int]],
+    strategy: str = "caching",
+    jobs: int = 1,
+    warm_start: bool = False,
+    builder_kwargs: Optional[Dict[str, Any]] = None,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    collect_telemetry: bool = False,
+    root_seed: int = 0,
+    stats=None,
+) -> Tuple[List[DesignPoint], List[Any]]:
+    """The explorer cross product over the :mod:`repro.parallel` pool.
+
+    ``builder`` names a system-bundle factory (``"module:callable"``,
+    e.g. ``"repro.systems.tcpip:build_system"``) that every worker
+    resolves and calls in-process with ``dma_block_words``,
+    ``priorities``, and ``builder_kwargs`` — jobs carry descriptions,
+    never live simulators.
+
+    Jobs are *ordered DMA-major* (all priority assignments of one DMA
+    size adjacent) so a worker's warm-start cache sees the fewest
+    invalidations, but the returned points are re-ordered to match
+    :meth:`DesignSpaceExplorer.sweep` (priorities-major).  With
+    ``jobs=1`` everything runs inline in this process.
+
+    Returns ``(points, job_results)``; failed jobs (after retries) show
+    up as ``None`` points with the failure recorded on the job result.
+    Pass a :class:`~repro.parallel.PoolStats` as ``stats`` for
+    retry/timeout/crash accounting.
+    """
+    from repro.parallel import JobSpec, job_seed, run_jobs
+
+    dma_sizes = list(dma_sizes)
+    priority_assignments = [dict(p) for p in priority_assignments]
+    specs: List[JobSpec] = []
+    sweep_order: List[Tuple[int, int]] = []  # spec index -> (prio i, dma i)
+    warm_key = "%s/%s" % (builder, strategy)
+    for dma_index, dma in enumerate(dma_sizes):
+        for prio_index, priorities in enumerate(priority_assignments):
+            label = "dma=%d,%s" % (dma, priority_label(priorities))
+            specs.append(
+                JobSpec(
+                    fn="repro.parallel.runners:run_explorer_point",
+                    payload={
+                        "builder": builder,
+                        "dma_block_words": dma,
+                        "priorities": priorities,
+                        "strategy": strategy,
+                        "builder_kwargs": dict(builder_kwargs or {}),
+                        "warm_start": warm_start,
+                        "warm_key": warm_key,
+                    },
+                    label=label,
+                    seed=job_seed(root_seed, label),
+                    timeout_s=timeout_s,
+                    max_retries=max_retries,
+                    collect_telemetry=collect_telemetry,
+                )
+            )
+            sweep_order.append((prio_index, dma_index))
+    results = run_jobs(specs, jobs=jobs, stats=stats)
+    by_sweep = sorted(range(len(specs)), key=lambda i: sweep_order[i])
+    points = [results[i].value for i in by_sweep]
+    ordered_results = [results[i] for i in by_sweep]
+    return points, ordered_results
 
 
 @dataclass

@@ -91,3 +91,19 @@ class GateLibrary:
     def cell_names(self) -> Tuple[str, ...]:
         """All cell names (sorted)."""
         return tuple(sorted(self.cells))
+
+    def signature(self) -> Tuple:
+        """Hashable value identity of the library.
+
+        Two libraries with equal signatures produce identical energy
+        numbers for identical netlists (cell functions are fixed per
+        cell name), so the signature is a safe cache key for compiled
+        simulation code.
+        """
+        return (
+            self.vdd,
+            tuple(
+                (name, cell.inputs, cell.load_cap_f, cell.internal_energy_j)
+                for name, cell in sorted(self.cells.items())
+            ),
+        )

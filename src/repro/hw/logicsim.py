@@ -13,26 +13,81 @@ power simulator reports back to the simulation master.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hw.library import DFF_CLOCK_ENERGY_J, GateLibrary
 from repro.hw.netlist import CONST1, Netlist
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
+# Operand placeholders are filled with either a chunk-local temporary
+# (when the driving gate lives in the same chunk) or a ``v[net]`` load.
 _GATE_EXPR = {
-    "INV": "v[{0}]^1",
-    "BUF": "v[{0}]",
-    "AND2": "v[{0}]&v[{1}]",
-    "OR2": "v[{0}]|v[{1}]",
-    "XOR2": "v[{0}]^v[{1}]",
-    "XNOR2": "(v[{0}]^v[{1}])^1",
-    "NAND2": "(v[{0}]&v[{1}])^1",
-    "NOR2": "(v[{0}]|v[{1}])^1",
-    "MUX2": "v[{2}] if v[{0}] else v[{1}]",
+    "INV": "{0}^1",
+    "BUF": "{0}",
+    "AND2": "{0}&{1}",
+    "OR2": "{0}|{1}",
+    "XOR2": "{0}^{1}",
+    "XNOR2": "({0}^{1})^1",
+    "NAND2": "({0}&{1})^1",
+    "NOR2": "({0}|{1})^1",
+    "MUX2": "{2} if {0} else {1}",
 }
 
 #: Gates per generated function; large netlists are split into chunks to
 #: keep compilation fast.
 _CHUNK_SIZE = 4000
+
+#: Cache of compiled evaluation functions, keyed by (netlist structure,
+#: library signature).  Iterative design-space exploration instantiates
+#: the same synthesized blocks dozens of times (one master per design
+#: point); the generated code depends only on the gate list and the
+#: cell energies, so every instantiation after the first can skip the
+#: codegen/``exec`` step entirely.  The evaluation functions are pure
+#: (state lives in the ``v`` list each caller owns), which is what
+#: makes sharing them across simulator instances safe.
+#:
+#: Values are ``(functions, token)``: the token is a process-unique
+#: integer naming this compiled netlist.  Downstream memoization (the
+#: hardware estimator's exact-state run memo) keys on the token instead
+#: of re-hashing the gate list; tokens are never reused, so entries for
+#: an evicted netlist simply go stale and age out.
+_COMPILE_CACHE: "OrderedDict[Tuple, Tuple[List, int]]" = OrderedDict()
+
+_NEXT_NETLIST_TOKEN = 0
+
+#: Bound on distinct netlists kept compiled (LRU eviction).
+_COMPILE_CACHE_CAPACITY = 64
+
+
+class CompileCacheStats:
+    """Process-wide hit/miss accounting for the compile cache."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+COMPILE_CACHE_STATS = CompileCacheStats()
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached compiled functions (tests and benchmarks)."""
+    _COMPILE_CACHE.clear()
+    COMPILE_CACHE_STATS.reset()
 
 
 class CompiledSimulator:
@@ -51,10 +106,12 @@ class CompiledSimulator:
         netlist: Netlist,
         library: Optional[GateLibrary] = None,
         pi_energy_j: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         netlist.check()
         self.netlist = netlist
         self.library = library or GateLibrary.default()
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         buf = self.library.cell("BUF")
         self.pi_energy_j = (
             pi_energy_j if pi_energy_j is not None else buf.switch_energy(self.library.vdd)
@@ -65,7 +122,12 @@ class CompiledSimulator:
         self._dff_pairs: List[Tuple[int, int]] = [
             (dff.d, dff.q) for dff in netlist.dffs
         ]
-        self._eval_funcs = self._compile()
+        # Split views of the same pairs: ``step`` snapshots all D values
+        # before writing any Q (DFF chains), and separate index lists
+        # make that snapshot a plain ``map`` instead of tuple unpacking.
+        self._dff_d: List[int] = [d for d, _ in self._dff_pairs]
+        self._dff_q: List[int] = [q for _, q in self._dff_pairs]
+        self._eval_funcs, self.netlist_token = self._compile_cached()
         self.values: List[int] = []
         self.cycle = 0
         self.total_energy = 0.0
@@ -74,6 +136,27 @@ class CompiledSimulator:
 
     # -- construction ---------------------------------------------------------
 
+    def _compile_cached(self):
+        """Compiled evaluation functions plus netlist token, cached."""
+        global _NEXT_NETLIST_TOKEN
+        key = (tuple(self.netlist.gates), self.library.signature(), _CHUNK_SIZE)
+        entry = _COMPILE_CACHE.get(key)
+        metrics = self.telemetry.metrics
+        if entry is not None:
+            _COMPILE_CACHE.move_to_end(key)
+            COMPILE_CACHE_STATS.hits += 1
+            metrics.counter("hw.compile_cache.hits").inc()
+            return entry
+        COMPILE_CACHE_STATS.misses += 1
+        metrics.counter("hw.compile_cache.misses").inc()
+        _NEXT_NETLIST_TOKEN += 1
+        entry = (self._compile(), _NEXT_NETLIST_TOKEN)
+        _COMPILE_CACHE[key] = entry
+        if len(_COMPILE_CACHE) > _COMPILE_CACHE_CAPACITY:
+            _COMPILE_CACHE.popitem(last=False)
+            COMPILE_CACHE_STATS.evictions += 1
+        return entry
+
     def _compile(self):
         functions = []
         gates = self.netlist.gates
@@ -81,15 +164,27 @@ class CompiledSimulator:
         for start in range(0, len(gates), _CHUNK_SIZE):
             chunk = gates[start:start + _CHUNK_SIZE]
             lines = ["def _eval(v):", " e = 0.0", " n = 0"]
+            # Nets driven earlier in this chunk are kept in local
+            # variables: LOAD_FAST is much cheaper than indexing ``v``,
+            # and the gate list is topologically ordered so most fanin
+            # is chunk-local.  ``v`` is still written on every toggle,
+            # keeping it authoritative for DFFs, ports and later chunks.
+            local_of: Dict[int, str] = {}
             for gate in chunk:
                 cell = self.library.cell(gate.cell)
-                expr = _GATE_EXPR[gate.cell].format(*gate.inputs)
+                operands = [
+                    local_of.get(net) or "v[%d]" % net for net in gate.inputs
+                ]
+                expr = _GATE_EXPR[gate.cell].format(*operands)
                 energy = cell.switch_energy(vdd)
-                lines.append(" t = %s" % expr)
+                out = gate.output
+                name = "t%d" % out
+                lines.append(" %s = %s" % (name, expr))
                 lines.append(
-                    " if t != v[%d]:\n  e += %r; n += 1; v[%d] = t"
-                    % (gate.output, energy, gate.output)
+                    " if %s != v[%d]:\n  e += %r; n += 1; v[%d] = %s"
+                    % (name, out, energy, out, name)
                 )
+                local_of[out] = name
             lines.append(" return e, n")
             namespace: Dict[str, object] = {}
             exec("\n".join(lines), namespace)  # noqa: S102 - generated by us
@@ -135,10 +230,13 @@ class CompiledSimulator:
         toggles = 0
 
         # Clock edge: Q follows the D captured from the settled state.
-        latched = [(q, v[d]) for d, q in self._dff_pairs]
-        for q, new_q in latched:
+        # All D values are snapshotted before any Q is written so that
+        # DFF chains latch the pre-edge state.
+        latched = list(map(v.__getitem__, self._dff_d))
+        dff_switch_energy = self._dff_switch_energy
+        for q, new_q in zip(self._dff_q, latched):
             if v[q] != new_q:
-                energy += self._dff_switch_energy
+                energy += dff_switch_energy
                 toggles += 1
                 v[q] = new_q
 

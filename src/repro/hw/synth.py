@@ -25,6 +25,7 @@ check the gate-level netlist bit-for-bit against behavioral execution.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -451,6 +452,70 @@ def synthesize_cfsm(
     """Synthesize ``cfsm`` into a gate-level FSMD netlist."""
     program = RtlCompiler(cfsm).compile()
     return _Structural(cfsm, program, library or GateLibrary.default()).build()
+
+
+#: Synthesis results keyed by (CFSM structure, library) digest.  The
+#: explorer instantiates one master — and therefore one
+#: HardwarePowerSimulator per hardware block — per design point, and
+#: synthesis is a pure function of the CFSM structure and the library.
+#: The cached SynthesizedBlock is shared read-only: all mutable
+#: simulation state (net values, registers) lives in each
+#: CompiledSimulator instance.
+_SYNTH_CACHE: "OrderedDict[str, SynthesizedBlock]" = OrderedDict()
+
+_SYNTH_CACHE_CAPACITY = 128
+
+
+class SynthCacheStats:
+    """Process-wide hit/miss accounting for the synthesis cache."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+SYNTH_CACHE_STATS = SynthCacheStats()
+
+
+def clear_synth_cache() -> None:
+    """Drop all cached synthesis results (tests and benchmarks)."""
+    _SYNTH_CACHE.clear()
+    SYNTH_CACHE_STATS.reset()
+
+
+def synthesize_cfsm_cached(
+    cfsm: Cfsm, library: Optional[GateLibrary] = None
+) -> SynthesizedBlock:
+    """Like :func:`synthesize_cfsm`, via the process-wide cache."""
+    from repro.cfsm.fingerprint import cfsm_digest
+
+    resolved = library or GateLibrary.default()
+    key = cfsm_digest(cfsm, resolved.signature())
+    block = _SYNTH_CACHE.get(key)
+    if block is not None:
+        _SYNTH_CACHE.move_to_end(key)
+        SYNTH_CACHE_STATS.hits += 1
+        return block
+    SYNTH_CACHE_STATS.misses += 1
+    block = synthesize_cfsm(cfsm, resolved)
+    _SYNTH_CACHE[key] = block
+    if len(_SYNTH_CACHE) > _SYNTH_CACHE_CAPACITY:
+        _SYNTH_CACHE.popitem(last=False)
+        SYNTH_CACHE_STATS.evictions += 1
+    return block
 
 
 class _Structural:

@@ -37,7 +37,12 @@ from repro.hw.library import GateLibrary
 from repro.master.kernel import EventQueue
 from repro.master.rtos import RtosConfig, RtosScheduler
 from repro.master.tracing import EnergyAccountant
-from repro.sw.codegen import SHARED_MEMORY_BASE, CompiledCfsm, compile_cfsm, transition_label
+from repro.sw.codegen import (
+    SHARED_MEMORY_BASE,
+    CompiledCfsm,
+    compile_cfsm_cached,
+    transition_label,
+)
 from repro.sw.iss import Iss
 from repro.sw.power_model import InstructionPowerModel
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -206,7 +211,7 @@ class SimulationMaster:
             process = _Process(cfsm, kind)
             if kind == Implementation.SW:
                 if not self.config.zero_delay:
-                    process.compiled = compile_cfsm(cfsm, memory_base=base)
+                    process.compiled = compile_cfsm_cached(cfsm, memory_base=base)
                     process.iss = Iss(
                         process.compiled.program,
                         self.config.power_model,

@@ -1,0 +1,45 @@
+"""Parallel execution engine for independent co-estimation runs.
+
+Design-space exploration, benchmark sweeps, and sampling replicas all
+share one shape: many *independent* co-estimation runs whose inputs are
+small, picklable descriptions (a builder callable plus parameters) and
+whose outputs are small reports.  This package fans those runs out
+across worker processes:
+
+* :mod:`repro.parallel.jobs` — the :class:`JobSpec`/:class:`JobResult`
+  contract and deterministic per-job seeding;
+* :mod:`repro.parallel.pool` — the process-pool engine (per-job
+  timeout, bounded retry on worker crash, ``jobs=1`` running inline so
+  the default path is byte-identical to the sequential code);
+* :mod:`repro.parallel.runners` — worker-side entry points that
+  rebuild a system from its builder spec and run one unit of work;
+* :mod:`repro.parallel.merge` — merging per-worker metrics snapshots
+  and span traces into one timeline (workers become Perfetto
+  processes).
+
+Workers rebuild systems from source descriptions rather than receiving
+live simulator objects: simulators hold compiled closures and open
+telemetry, which do not pickle, and rebuilding is cheap (it is the
+simulation that is expensive — and each worker's process-wide caches
+make repeated rebuilding cheaper still).
+"""
+
+from repro.parallel.jobs import JobError, JobResult, JobSpec, job_seed, resolve_callable
+from repro.parallel.merge import (
+    merge_metrics_snapshots,
+    merged_chrome_trace_events,
+    write_merged_chrome_trace,
+)
+from repro.parallel.pool import PoolStats, run_jobs
+
+__all__ = [
+    "JobError",
+    "JobResult",
+    "JobSpec",
+    "PoolStats",
+    "job_seed",
+    "merge_metrics_snapshots",
+    "merged_chrome_trace_events",
+    "resolve_callable",
+    "run_jobs",
+]

@@ -1,0 +1,111 @@
+"""Job descriptions exchanged between the pool master and its workers.
+
+A job is a *description*, never a live object: the function is named by
+``"module:callable"`` (or given as a module-level callable, which
+pickles by reference), and the payload is a dict of picklable keyword
+arguments.  The worker resolves the name, seeds its RNG from the job's
+deterministic seed, and calls the function.
+"""
+
+from __future__ import annotations
+
+import importlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+
+class JobError(Exception):
+    """A job failed permanently (retries exhausted or bad spec)."""
+
+
+def resolve_callable(spec: Union[str, Callable]) -> Callable:
+    """Resolve a ``"module:callable"`` path (or pass a callable through)."""
+    if callable(spec):
+        return spec
+    if not isinstance(spec, str) or ":" not in spec:
+        raise JobError(
+            "expected a callable or 'module:callable' string, got %r" % (spec,)
+        )
+    module_name, _, attr = spec.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise JobError("cannot import %r: %s" % (module_name, exc)) from exc
+    target = module
+    for part in attr.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            raise JobError("module %r has no attribute %r" % (module_name, attr))
+    if not callable(target):
+        raise JobError("%s:%s is not callable" % (module_name, attr))
+    return target
+
+
+def job_seed(root_seed: int, label: str) -> int:
+    """Deterministic per-job seed.
+
+    Independent of scheduling order and worker assignment: the same
+    (root seed, job label) always yields the same seed, so stochastic
+    strategies (sampling replicas) reproduce regardless of ``--jobs``.
+    """
+    return (root_seed ^ zlib.crc32(label.encode("utf-8"))) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work for the pool.
+
+    Attributes:
+        fn: worker entry point — ``"module:callable"`` or a module-level
+            callable; it is called as ``fn(**payload)``.
+        payload: picklable keyword arguments.
+        label: stable human-readable identity (also feeds the seed).
+        seed: deterministic RNG seed applied in the worker before the
+            call (see :func:`job_seed`).
+        timeout_s: wall-clock budget for one attempt; the worker is
+            killed and the job retried when exceeded.  ``None`` means
+            no limit.
+        max_retries: how many times a crashed or timed-out job is
+            retried on a fresh worker before it is reported failed.
+        collect_telemetry: when True the worker builds a
+            :class:`~repro.telemetry.Telemetry` bundle, passes it as a
+            ``telemetry=`` keyword, and ships the span records and
+            metrics snapshot back with the result.
+    """
+
+    fn: Union[str, Callable]
+    payload: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+    seed: int = 0
+    timeout_s: Optional[float] = None
+    max_retries: int = 1
+    collect_telemetry: bool = False
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, in spec order.
+
+    ``value`` is the entry point's return value (``None`` on failure);
+    ``error`` carries the formatted traceback / failure reason when the
+    job failed permanently.  ``spans`` are plain tuples
+    ``(name, track, start_us, dur_us, depth, args)`` and ``metrics`` is
+    a registry snapshot dict, both present only when the spec asked for
+    telemetry.
+    """
+
+    label: str
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    worker_pid: int = 0
+    attempts: int = 1
+    seconds: float = 0.0
+    started_offset_s: float = 0.0
+    metrics: Optional[Dict[str, Dict]] = None
+    spans: Optional[List[Tuple]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None

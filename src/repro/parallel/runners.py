@@ -1,0 +1,110 @@
+"""Worker-side entry points.
+
+These are the functions named by :class:`~repro.parallel.jobs.JobSpec`
+``fn`` strings.  Each one rebuilds its system *inside the worker* from
+a builder spec (``"module:callable"``), runs one unit of work, and
+returns a small picklable result (a
+:class:`~repro.core.explorer.DesignPoint` or an
+:class:`~repro.core.report.EnergyReport`) — never a live master or
+simulator, which hold compiled closures that do not pickle.
+
+Module state persists for the lifetime of a worker process, which is
+what makes per-worker warm starting work: ``_WARM_CACHES`` keeps one
+:class:`~repro.core.caching.WarmStartCache` per sweep key, so every
+job a worker runs after its first starts from the energy statistics
+its predecessors converged (validity-guarded per CFSM, see
+``docs/parallelism.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.core.caching import WarmStartCache
+from repro.core.explorer import DesignPoint, DesignSpaceExplorer
+from repro.core.report import EnergyReport
+from repro.parallel.jobs import resolve_callable
+
+__all__ = ["run_explorer_point", "run_estimate", "reset_warm_caches"]
+
+#: Per-process warm-start caches, keyed by sweep identity.  Lives for
+#: the worker's lifetime; ``fork`` workers start with the parent's
+#: (usually empty) copy.
+_WARM_CACHES: Dict[str, WarmStartCache] = {}
+
+
+def reset_warm_caches() -> None:
+    """Drop all per-process warm-start caches (tests)."""
+    _WARM_CACHES.clear()
+
+
+def _warm_cache(key: str) -> WarmStartCache:
+    cache = _WARM_CACHES.get(key)
+    if cache is None:
+        cache = _WARM_CACHES[key] = WarmStartCache()
+    return cache
+
+
+def run_explorer_point(
+    builder: Union[str, Callable],
+    dma_block_words: int,
+    priorities: Dict[str, int],
+    strategy: str = "caching",
+    builder_kwargs: Optional[Dict[str, Any]] = None,
+    warm_start: bool = False,
+    warm_key: str = "",
+    telemetry=None,
+) -> DesignPoint:
+    """Build the system in-process and co-estimate one design point.
+
+    ``builder`` names a function returning a
+    :class:`~repro.systems.bundle.SystemBundle` and is called with
+    ``dma_block_words``, ``priorities``, and ``builder_kwargs``.  With
+    ``warm_start=True`` the point runs against this process's shared
+    energy cache for ``warm_key`` (guarded, see
+    :class:`~repro.core.caching.WarmStartCache`).
+    """
+    build = resolve_callable(builder)
+    kwargs = dict(builder_kwargs or {})
+    kwargs["dma_block_words"] = dma_block_words
+    kwargs["priorities"] = dict(priorities)
+    bundle = build(**kwargs)
+    explorer = DesignSpaceExplorer(
+        bundle.network,
+        bundle.config,
+        bundle.stimuli_factory,
+        shared_memory_image=bundle.shared_memory_image,
+    )
+    warm = None
+    if warm_start:
+        warm = _warm_cache(warm_key or str(builder))
+    return explorer.evaluate(
+        dma_block_words,
+        priorities,
+        strategy=strategy,
+        warm_start=warm,
+        telemetry=telemetry,
+    )
+
+
+def run_estimate(
+    builder: Union[str, Callable],
+    builder_kwargs: Optional[Dict[str, Any]] = None,
+    strategy: str = "full",
+    label: str = "",
+    telemetry=None,
+) -> EnergyReport:
+    """Build a system bundle and run one co-estimation; returns the report."""
+    from repro.core.coestimator import PowerCoEstimator
+
+    build = resolve_callable(builder)
+    bundle = build(**dict(builder_kwargs or {}))
+    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    result = estimator.estimate(
+        bundle.stimuli(),
+        strategy=strategy,
+        shared_memory_image=bundle.shared_memory_image,
+        label=label,
+        telemetry=telemetry,
+    )
+    return result.report

@@ -22,6 +22,7 @@ Register conventions:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -428,3 +429,63 @@ class CodeGenerator:
 def compile_cfsm(cfsm: Cfsm, memory_base: int = 0) -> CompiledCfsm:
     """Compile ``cfsm`` into object code with a data-segment layout."""
     return CodeGenerator(cfsm, memory_base=memory_base).compile()
+
+
+#: Compilation results keyed by (CFSM structure, memory base) digest.
+#: Code generation is a pure function of both, and the simulation
+#: master compiles every software process afresh for every design
+#: point; the compiled program and memory map are immutable, so they
+#: are shared across masters (run-time state — registers, data memory —
+#: lives in each Iss / master).
+_CODEGEN_CACHE: "OrderedDict[str, CompiledCfsm]" = OrderedDict()
+
+_CODEGEN_CACHE_CAPACITY = 128
+
+
+class CodegenCacheStats:
+    """Process-wide hit/miss accounting for the codegen cache."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+CODEGEN_CACHE_STATS = CodegenCacheStats()
+
+
+def clear_codegen_cache() -> None:
+    """Drop all cached compilation results (tests and benchmarks)."""
+    _CODEGEN_CACHE.clear()
+    CODEGEN_CACHE_STATS.reset()
+
+
+def compile_cfsm_cached(cfsm: Cfsm, memory_base: int = 0) -> CompiledCfsm:
+    """Like :func:`compile_cfsm`, via the process-wide cache."""
+    from repro.cfsm.fingerprint import cfsm_digest
+
+    key = cfsm_digest(cfsm, memory_base)
+    compiled = _CODEGEN_CACHE.get(key)
+    if compiled is not None:
+        _CODEGEN_CACHE.move_to_end(key)
+        CODEGEN_CACHE_STATS.hits += 1
+        return compiled
+    CODEGEN_CACHE_STATS.misses += 1
+    compiled = compile_cfsm(cfsm, memory_base=memory_base)
+    _CODEGEN_CACHE[key] = compiled
+    if len(_CODEGEN_CACHE) > _CODEGEN_CACHE_CAPACITY:
+        _CODEGEN_CACHE.popitem(last=False)
+        CODEGEN_CACHE_STATS.evictions += 1
+    return compiled

@@ -21,11 +21,12 @@ path pays it only once, so the additive macro-model over-estimates.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, MutableMapping, Optional, Set, Tuple
+from typing import Callable, Dict, List, MutableMapping, Optional, Set, Tuple
 
 from repro.cfsm.expr import _BINOP_FUNCS
-from repro.sw.isa import BASE_CYCLES, Instruction, NUM_REGISTERS, Opcode
+from repro.sw.isa import BASE_CYCLES, Instruction, NUM_REGISTERS, Opcode, class_of
 from repro.sw.power_model import InstructionPowerModel
 from repro.sw.program import Program
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -47,6 +48,183 @@ _ALU_SEMANTICS = {
     Opcode.SMUL: _BINOP_FUNCS["MUL"],
     Opcode.SDIV: _BINOP_FUNCS["DIV"],
 }
+
+
+# -- decode/dispatch cache ---------------------------------------------------
+#
+# The inner interpreter loop used to re-derive, for every retired
+# instruction, its register read set, power-model class, base cycle
+# count and opcode dispatch (a long if/elif chain).  All of that is a
+# pure function of the instruction word, so it is decoded once per
+# *program* and reused for every invocation — and, because design-space
+# exploration recompiles identical CFSMs into structurally identical
+# programs (one master per design point), decode tables are shared
+# across Program instances through a process-wide table keyed by the
+# instruction tuple (Instruction is a frozen, hashable dataclass).
+
+_EXECUTE_ATTR = "_iss_decode_table"
+
+_DECODE_CACHE: "OrderedDict[Tuple[Instruction, ...], List[tuple]]" = OrderedDict()
+
+#: Bound on distinct programs kept decoded (LRU eviction).
+_DECODE_CACHE_CAPACITY = 128
+
+
+class DecodeCacheStats:
+    """Process-wide hit/miss accounting for the ISS decode cache."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+DECODE_CACHE_STATS = DecodeCacheStats()
+
+
+def clear_decode_cache() -> None:
+    """Drop all shared decode tables (tests and benchmarks)."""
+    _DECODE_CACHE.clear()
+    DECODE_CACHE_STATS.reset()
+
+
+def _exec_nop(iss: "Iss", instruction: Instruction,
+              memory: MutableMapping[int, int], result: "IssResult") -> int:
+    return 0
+
+
+def _exec_seti(iss: "Iss", instruction: Instruction,
+               memory: MutableMapping[int, int], result: "IssResult") -> int:
+    value = instruction.imm or 0
+    if instruction.rd != 0:
+        iss.registers[instruction.rd] = value
+    return value
+
+
+def _exec_mov(iss: "Iss", instruction: Instruction,
+              memory: MutableMapping[int, int], result: "IssResult") -> int:
+    value = iss.registers[instruction.rs1]
+    if instruction.rd != 0:
+        iss.registers[instruction.rd] = value
+    return value
+
+
+def _make_alu_executor(func: Callable[[int, int], int]):
+    def _exec_alu(iss: "Iss", instruction: Instruction,
+                  memory: MutableMapping[int, int], result: "IssResult") -> int:
+        registers = iss.registers
+        if instruction.rs2 is not None:
+            right = registers[instruction.rs2]
+        else:
+            right = instruction.imm or 0
+        value = func(registers[instruction.rs1], right)
+        if instruction.rd != 0:
+            registers[instruction.rd] = value
+        return value
+
+    return _exec_alu
+
+
+def _exec_cmp(iss: "Iss", instruction: Instruction,
+              memory: MutableMapping[int, int], result: "IssResult") -> int:
+    registers = iss.registers
+    if instruction.rs2 is not None:
+        right = registers[instruction.rs2]
+    else:
+        right = instruction.imm or 0
+    left = registers[instruction.rs1]
+    iss._flag_eq = left == right
+    iss._flag_lt = left < right
+    return int(iss._flag_lt) * 2 + int(iss._flag_eq)
+
+
+def _exec_ld(iss: "Iss", instruction: Instruction,
+             memory: MutableMapping[int, int], result: "IssResult") -> int:
+    address = iss.registers[instruction.rs1] + (instruction.imm or 0)
+    value = memory.get(address, 0)
+    if instruction.rd != 0:
+        iss.registers[instruction.rd] = value
+    result.memory_reads.append(address)
+    return value
+
+
+def _exec_st(iss: "Iss", instruction: Instruction,
+             memory: MutableMapping[int, int], result: "IssResult") -> int:
+    address = iss.registers[instruction.rs1] + (instruction.imm or 0)
+    value = iss.registers[instruction.rd]
+    memory[address] = value
+    result.memory_writes.append(address)
+    return value
+
+
+_EXECUTORS: Dict[str, Callable] = {
+    Opcode.NOP: _exec_nop,
+    Opcode.SETI: _exec_seti,
+    Opcode.MOV: _exec_mov,
+    Opcode.CMP: _exec_cmp,
+    Opcode.LD: _exec_ld,
+    Opcode.ST: _exec_st,
+    Opcode.CALL: _exec_nop,
+    Opcode.RET: _exec_nop,
+}
+for _op in Opcode.BRANCHES:
+    _EXECUTORS[_op] = _exec_nop
+for _op, _func in _ALU_SEMANTICS.items():
+    _EXECUTORS[_op] = _make_alu_executor(_func)
+
+
+def _decode_instruction(instruction: Instruction) -> tuple:
+    """Precompute everything :meth:`Iss._retire` needs per instruction.
+
+    Tuple layout: ``(reads, klass, cycles, load_rd, executor, is_branch)``.
+    """
+    op = instruction.op
+    load_rd = instruction.rd if (op == Opcode.LD and instruction.rd != 0) else None
+    return (
+        instruction.reads(),
+        class_of(op),
+        BASE_CYCLES[op],
+        load_rd,
+        _EXECUTORS[op],
+        op in Opcode.BRANCHES,
+    )
+
+
+def _decode_program(program: Program) -> List[tuple]:
+    """Decode table for ``program``, shared through the process cache."""
+    table = getattr(program, _EXECUTE_ATTR, None)
+    if table is not None:
+        DECODE_CACHE_STATS.hits += 1
+        return table
+    key = tuple(program.instructions)
+    table = _DECODE_CACHE.get(key)
+    if table is not None:
+        _DECODE_CACHE.move_to_end(key)
+        DECODE_CACHE_STATS.hits += 1
+    else:
+        DECODE_CACHE_STATS.misses += 1
+        table = [_decode_instruction(instruction) for instruction in key]
+        _DECODE_CACHE[key] = table
+        if len(_DECODE_CACHE) > _DECODE_CACHE_CAPACITY:
+            _DECODE_CACHE.popitem(last=False)
+            DECODE_CACHE_STATS.evictions += 1
+    try:
+        setattr(program, _EXECUTE_ATTR, table)
+    except AttributeError:  # pragma: no cover - exotic Program subclasses
+        pass
+    return table
 
 
 class IssError(Exception):
@@ -94,6 +272,13 @@ class Iss:
         self.registers = [0] * NUM_REGISTERS
         self._flag_eq = False
         self._flag_lt = False
+        misses_before = DECODE_CACHE_STATS.misses
+        self._decode = _decode_program(program)
+        metrics = self.telemetry.metrics
+        if DECODE_CACHE_STATS.misses == misses_before:
+            metrics.counter("iss.decode_cache.hits").inc()
+        else:
+            metrics.counter("iss.decode_cache.misses").inc()
 
     # -- public API ---------------------------------------------------------
 
@@ -149,6 +334,8 @@ class Iss:
         return_stack: List[int] = []
         previous_class = ""
         pending_load_rd: Optional[int] = None
+        instructions = self.program.instructions
+        decode = self._decode
 
         while True:
             if result.instruction_count >= self.max_instructions:
@@ -159,27 +346,30 @@ class Iss:
             if pc in break_indexes and result.instruction_count > 0:
                 result.stopped_at_breakpoint = break_indexes[pc]
                 break
-            if not 0 <= pc < len(self.program.instructions):
+            if not 0 <= pc < len(instructions):
                 raise IssError("PC out of range: %d" % pc)
 
-            instruction = self.program.instructions[pc]
+            instruction = instructions[pc]
+            decoded = decode[pc]
             previous_class, pending_load_rd = self._retire(
-                instruction, memory, result, previous_class, pending_load_rd
+                instruction, decoded, memory, result, previous_class, pending_load_rd
             )
 
-            if instruction.is_branch:
+            if decoded[5]:  # is_branch
                 taken = self._branch_taken(instruction.op)
                 if taken:
                     result.branches_taken += 1
                     delay_pc = pc + 1
-                    if delay_pc < len(self.program.instructions):
-                        delay_slot = self.program.instructions[delay_pc]
-                        if delay_slot.is_branch:
+                    if delay_pc < len(instructions):
+                        delay_slot = instructions[delay_pc]
+                        delay_decoded = decode[delay_pc]
+                        if delay_decoded[5]:
                             raise IssError(
                                 "branch in delay slot at index %d" % delay_pc
                             )
                         previous_class, pending_load_rd = self._retire(
-                            delay_slot, memory, result, previous_class, pending_load_rd
+                            delay_slot, delay_decoded, memory, result,
+                            previous_class, pending_load_rd,
                         )
                     pc = self.program.resolve(instruction.target)
                 else:
@@ -218,7 +408,8 @@ class Iss:
                 pending_load_rd = None
                 continue
             previous_class, pending_load_rd = self._retire(
-                instruction, scratch, result, previous_class, pending_load_rd
+                instruction, _decode_instruction(instruction), scratch, result,
+                previous_class, pending_load_rd,
             )
         return result
 
@@ -227,22 +418,36 @@ class Iss:
     def _retire(
         self,
         instruction: Instruction,
+        decoded: tuple,
         memory: MutableMapping[int, int],
         result: IssResult,
         previous_class: str,
         pending_load_rd: Optional[int],
     ) -> Tuple[str, Optional[int]]:
-        """Execute one instruction, including hazard accounting."""
+        """Execute one instruction, including hazard accounting.
+
+        ``decoded`` is the precomputed tuple from
+        :func:`_decode_instruction`; it carries the read set, class,
+        base cycles, load destination and executor so the hot loop does
+        no per-retire re-derivation.
+        """
+        reads, klass, cycles, load_rd, executor, _ = decoded
         stall = 0
-        if pending_load_rd is not None and pending_load_rd in instruction.reads():
+        if pending_load_rd is not None and pending_load_rd in reads:
             stall = 1
             result.stall_cycles += 1
-        value = self._execute(instruction, memory, result)
-        self._account(instruction, result, previous_class, stall, value)
-        next_pending = None
-        if instruction.op == Opcode.LD and instruction.rd != 0:
-            next_pending = instruction.rd
-        return instruction.instruction_class, next_pending
+        value = executor(self, instruction, memory, result)
+        result.cycles += cycles + stall
+        result.instruction_count += 1
+        result.class_counts[klass] = result.class_counts.get(klass, 0) + 1
+        result.energy += self.power_model.instruction_energy(
+            klass, cycles, previous_class, value
+        )
+        if stall:
+            result.energy += self.power_model.stall_energy(stall)
+        if self.record_trace:
+            result.executed.append(instruction)
+        return klass, load_rd
 
     def _account(
         self,
@@ -271,45 +476,15 @@ class Iss:
         memory: MutableMapping[int, int],
         result: IssResult,
     ) -> int:
-        """Architectural semantics; returns the produced value."""
-        regs = self.registers
-        op = instruction.op
-        if op == Opcode.NOP or op in Opcode.BRANCHES:
-            return 0
-        if op == Opcode.SETI:
-            value = instruction.imm or 0
-            self._write_reg(instruction.rd, value)
-            return value
-        if op == Opcode.MOV:
-            value = regs[instruction.rs1]
-            self._write_reg(instruction.rd, value)
-            return value
-        if op in _ALU_SEMANTICS:
-            right = self._second_operand(instruction)
-            value = _ALU_SEMANTICS[op](regs[instruction.rs1], right)
-            self._write_reg(instruction.rd, value)
-            return value
-        if op == Opcode.CMP:
-            right = self._second_operand(instruction)
-            left = regs[instruction.rs1]
-            self._flag_eq = left == right
-            self._flag_lt = left < right
-            return int(self._flag_lt) * 2 + int(self._flag_eq)
-        if op == Opcode.LD:
-            address = regs[instruction.rs1] + (instruction.imm or 0)
-            value = memory.get(address, 0)
-            self._write_reg(instruction.rd, value)
-            result.memory_reads.append(address)
-            return value
-        if op == Opcode.ST:
-            address = regs[instruction.rs1] + (instruction.imm or 0)
-            value = regs[instruction.rd]
-            memory[address] = value
-            result.memory_writes.append(address)
-            return value
-        if op in (Opcode.CALL, Opcode.RET):
-            return 0
-        raise IssError("unimplemented opcode %r" % op)
+        """Architectural semantics; returns the produced value.
+
+        Dispatches through the decoded executor table; the per-opcode
+        executors are module-level functions shared by every ISS.
+        """
+        executor = _EXECUTORS.get(instruction.op)
+        if executor is None:
+            raise IssError("unimplemented opcode %r" % instruction.op)
+        return executor(self, instruction, memory, result)
 
     def _second_operand(self, instruction: Instruction) -> int:
         if instruction.rs2 is not None:

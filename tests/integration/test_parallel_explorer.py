@@ -1,0 +1,137 @@
+"""Sequential-vs-parallel explorer equivalence and CLI integration."""
+
+import dataclasses
+import json
+
+from repro.__main__ import main
+from repro.core.explorer import (
+    DesignSpaceExplorer,
+    parallel_sweep,
+    priority_permutations,
+)
+from repro.parallel import PoolStats
+from repro.systems import tcpip
+
+BUILDER = "repro.systems.tcpip:build_system"
+BUILDER_KWARGS = {"num_packets": 1, "packet_period_ns": 30_000.0}
+DMA_SIZES = [4, 16]
+
+
+def _assignments(count=2):
+    return priority_permutations(list(tcpip.BUS_MASTERS))[:count]
+
+
+def _canonical(points):
+    rows = []
+    for point in points:
+        payload = dataclasses.asdict(point.report)
+        payload = {
+            key: value
+            for key, value in payload.items()
+            if not key.endswith("_seconds")
+        }
+        rows.append(
+            (
+                point.dma_block_words,
+                point.priority_label,
+                json.dumps(payload, sort_keys=True, default=repr),
+            )
+        )
+    return rows
+
+
+def test_parallel_sweep_matches_sequential_sweep():
+    """``jobs=4`` must reproduce the in-process sweep byte for byte."""
+    assignments = _assignments()
+    bundle = tcpip.build_system(dma_block_words=4, **BUILDER_KWARGS)
+
+    sequential_points = []
+    for priorities in assignments:
+        for dma in DMA_SIZES:
+            point_bundle = tcpip.build_system(
+                dma_block_words=dma, priorities=priorities, **BUILDER_KWARGS
+            )
+            explorer = DesignSpaceExplorer(
+                point_bundle.network,
+                point_bundle.config,
+                point_bundle.stimuli_factory,
+            )
+            sequential_points.append(
+                explorer.evaluate(dma, priorities, strategy="caching")
+            )
+
+    inline_points, inline_results = parallel_sweep(
+        BUILDER, DMA_SIZES, assignments, jobs=1,
+        builder_kwargs=BUILDER_KWARGS,
+    )
+    stats = PoolStats()
+    pooled_points, pooled_results = parallel_sweep(
+        BUILDER, DMA_SIZES, assignments, jobs=4,
+        builder_kwargs=BUILDER_KWARGS, stats=stats,
+    )
+
+    assert all(result.ok for result in inline_results)
+    assert all(result.ok for result in pooled_results)
+    assert stats.workers == 4
+    assert _canonical(inline_points) == _canonical(sequential_points)
+    assert _canonical(pooled_points) == _canonical(sequential_points)
+
+
+def test_parallel_sweep_reports_bad_builder_as_failed_points():
+    points, results = parallel_sweep(
+        "repro.systems.tcpip:no_such_builder",
+        [4],
+        _assignments(1),
+        jobs=2,
+        max_retries=0,
+        builder_kwargs=BUILDER_KWARGS,
+    )
+    assert points == [None]
+    assert not results[0].ok
+    assert "no_such_builder" in results[0].error
+
+
+def test_warm_start_sweep_completes_and_stays_close():
+    """Warm starting reuses converged statistics — values may move by
+    cache-approximation noise, never more."""
+    assignments = _assignments()
+    cold_points, _ = parallel_sweep(
+        BUILDER, DMA_SIZES, assignments, jobs=1,
+        builder_kwargs=BUILDER_KWARGS,
+    )
+    from repro.parallel.runners import reset_warm_caches
+
+    reset_warm_caches()
+    warm_points, warm_results = parallel_sweep(
+        BUILDER, DMA_SIZES, assignments, jobs=1, warm_start=True,
+        builder_kwargs=BUILDER_KWARGS,
+    )
+    assert all(result.ok for result in warm_results)
+    for cold, warm in zip(cold_points, warm_points):
+        assert warm.dma_block_words == cold.dma_block_words
+        assert warm.priority_label == cold.priority_label
+        ref = cold.report.total_energy_j
+        assert abs(warm.report.total_energy_j - ref) <= 1e-4 * abs(ref)
+
+
+def test_cli_explore_jobs_matches_sequential(capsys):
+    argv_base = ["explore", "--dma", "4", "16", "--packets", "1"]
+    assert main(argv_base) == 0
+    sequential_output = capsys.readouterr().out
+
+    assert main(argv_base + ["--jobs", "2"]) == 0
+    parallel_output = capsys.readouterr().out
+
+    def point_lines(text):
+        return [line for line in text.splitlines()
+                if line.startswith(("dma=", "minimum:"))]
+
+    assert point_lines(parallel_output) == point_lines(sequential_output)
+
+
+def test_cli_estimate_multi_system_fan_out(capsys):
+    assert main(["estimate", "fig1", "fig1", "--strategy", "caching",
+                 "--jobs", "2"]) == 0
+    output = capsys.readouterr().out
+    assert output.count("Energy report:") == 2
+    assert "2 system(s)" in output

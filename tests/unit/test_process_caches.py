@@ -1,0 +1,165 @@
+"""Unit tests for the process-wide hot-path caches.
+
+Five caches accelerate repeated co-estimation: compiled-simulator,
+synthesis, codegen, ISS decode, and the exact-state hardware run memo.
+Each keeps ``Stats`` hit/miss accounting and (when telemetry is on)
+mirrors it into the metrics registry.  Caching must never change a
+single reported number — warm runs replay losslessly.
+"""
+
+import dataclasses
+
+from repro.core import PowerCoEstimator
+from repro.core.caching import WarmStartCache
+from repro.hw.estimator import HW_RUN_MEMO_STATS, clear_hw_run_memo
+from repro.hw.logicsim import COMPILE_CACHE_STATS, clear_compile_cache
+from repro.hw.synth import SYNTH_CACHE_STATS, clear_synth_cache
+from repro.sw.codegen import CODEGEN_CACHE_STATS, clear_codegen_cache
+from repro.sw.iss import DECODE_CACHE_STATS, clear_decode_cache
+from repro.systems import tcpip
+from repro.telemetry import Telemetry
+
+ALL_STATS = {
+    "compile": COMPILE_CACHE_STATS,
+    "synth": SYNTH_CACHE_STATS,
+    "codegen": CODEGEN_CACHE_STATS,
+    "iss_decode": DECODE_CACHE_STATS,
+    "hw_run_memo": HW_RUN_MEMO_STATS,
+}
+
+#: Metrics-registry counters each cache maintains when telemetry is on.
+COUNTER_NAMES = {
+    "compile": "hw.compile_cache",
+    "iss_decode": "iss.decode_cache",
+    "hw_run_memo": "hw.run_memo",
+}
+
+
+def _clear_all():
+    clear_compile_cache()
+    clear_synth_cache()
+    clear_codegen_cache()
+    clear_decode_cache()
+    clear_hw_run_memo()
+
+
+def _run(telemetry=None):
+    bundle = tcpip.build_system(
+        dma_block_words=8, num_packets=1, packet_period_ns=30_000.0
+    )
+    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    result = estimator.estimate(
+        bundle.stimuli(), strategy="caching", telemetry=telemetry
+    )
+    return result.report
+
+
+def _canonical(report):
+    """Report as a dict, wall-clock fields (nondeterministic) dropped."""
+    payload = dataclasses.asdict(report)
+    return {
+        key: value
+        for key, value in payload.items()
+        if not key.endswith("_seconds")
+    }
+
+
+class TestColdWarm:
+    def test_warm_run_hits_every_cache_and_replays_exactly(self):
+        _clear_all()
+        cold_report = _run()
+        cold = {name: s.snapshot() for name, s in ALL_STATS.items()}
+        for name, snapshot in cold.items():
+            assert snapshot["misses"] > 0, name
+
+        telemetry = Telemetry.metrics_only()
+        warm_report = _run(telemetry=telemetry)
+        warm = {name: s.snapshot() for name, s in ALL_STATS.items()}
+        for name in ALL_STATS:
+            assert warm[name]["hits"] > cold[name]["hits"], name
+
+        # Exact replay: not a single reported number moves.
+        assert _canonical(warm_report) == _canonical(cold_report)
+
+        # The same accounting is visible through the metrics registry.
+        counters = telemetry.metrics.snapshot()["counters"]
+        for name, prefix in COUNTER_NAMES.items():
+            assert counters.get(prefix + ".hits", 0) > 0, name
+
+    def test_clear_resets_stats_and_forces_misses(self):
+        _clear_all()
+        _run()
+        _clear_all()
+        for name, stats in ALL_STATS.items():
+            snapshot = stats.snapshot()
+            assert snapshot["hits"] == 0, name
+            assert snapshot["misses"] == 0, name
+        _run()
+        assert COMPILE_CACHE_STATS.misses > 0
+        assert DECODE_CACHE_STATS.misses > 0
+
+
+class TestWarmStartCache:
+    def _build(self, dma, priorities=None):
+        return tcpip.build_system(
+            dma_block_words=dma,
+            num_packets=1,
+            packet_period_ns=30_000.0,
+            priorities=priorities,
+        )
+
+    def test_same_system_adopts_cache(self):
+        warm = WarmStartCache()
+        bundle = self._build(8)
+        first = warm.strategy_for(bundle.network, bundle.config)
+        assert warm.cache is not None
+        again = warm.strategy_for(bundle.network, bundle.config)
+        assert again.cache is first.cache
+        assert warm.adoptions >= 1
+        assert warm.invalidations == 0
+
+    def test_priority_change_keeps_cache_valid(self):
+        # Bus priorities live outside the per-CFSM fingerprints: the
+        # converged energy statistics stay adoptable.
+        warm = WarmStartCache()
+        a = self._build(8, priorities={"create_pack": 0, "ip_check": 1,
+                                       "checksum": 2})
+        warm.strategy_for(a.network, a.config)
+        b = self._build(8, priorities={"checksum": 0, "ip_check": 1,
+                                       "create_pack": 2})
+        warm.strategy_for(b.network, b.config)
+        assert warm.invalidations == 0
+        assert warm.adoptions >= 1
+
+    def test_dma_change_invalidates_stale_processes_only(self):
+        warm = WarmStartCache()
+        a = self._build(4)
+        strategy = warm.strategy_for(a.network, a.config)
+        # Converge some entries by actually running.
+        estimator = PowerCoEstimator(a.network, a.config)
+        estimator.estimate(a.stimuli(), strategy=strategy)
+        fingerprints_before = warm.fingerprints
+
+        b = self._build(16)
+        warm.strategy_for(b.network, b.config)
+        assert warm.invalidations == 1
+        # The DMA block size is baked into the coordination logic, so at
+        # least one CFSM fingerprint must differ — but not all of them.
+        changed = {
+            name
+            for name in fingerprints_before
+            if warm.fingerprints.get(name) != fingerprints_before[name]
+        }
+        assert changed
+        assert changed != set(fingerprints_before)
+
+
+class TestRunMemoExactness:
+    def test_memoized_reruns_are_bit_identical(self):
+        _clear_all()
+        first = _run()
+        replayed = _run()
+        assert HW_RUN_MEMO_STATS.hits > 0
+        assert _canonical(replayed) == _canonical(first)
+        # Energy totals compare exactly (floats, no tolerance).
+        assert replayed.total_energy_j == first.total_energy_j
