@@ -12,7 +12,6 @@ can reference stable artifacts.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -21,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core import PowerCoEstimator
 from repro.core.report import EnergyReport
 from repro.estimation import Estimate, EstimationJob, EstimationStrategy
+from repro.ioutil import atomic_write_json, atomic_write_text
 from repro.systems import tcpip
 from repro.telemetry import Telemetry
 
@@ -45,9 +45,7 @@ def write_result(name: str, text: str) -> str:
     """Persist one experiment's rendered table; returns the path."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name + ".txt")
-    with open(path, "w") as handle:
-        handle.write(text)
-    return path
+    return atomic_write_text(path, text)
 
 
 def emit(capsys, text: str) -> None:
@@ -64,10 +62,7 @@ def write_bench(name: str, payload: Dict) -> str:
     the repository root where CI uploads ``BENCH_*.json`` artifacts.
     """
     path = os.path.join(REPO_ROOT, "BENCH_%s.json" % name)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, payload)
 
 
 def clear_process_caches() -> None:
@@ -94,10 +89,7 @@ def write_metrics(name: str, snapshot: Dict) -> str:
     """Persist one run's metrics snapshot as JSON; returns the path."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name + ".metrics.json")
-    with open(path, "w") as handle:
-        json.dump(snapshot, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, snapshot)
 
 
 @lru_cache(maxsize=None)

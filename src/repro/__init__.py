@@ -38,9 +38,12 @@ Quickstart::
     print(result.report.pretty())
 """
 
+from repro.errors import ReproError
+
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
     "cfsm",
     "sw",
     "hw",

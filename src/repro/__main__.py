@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.cfsm.describe import describe_network, implementation_statistics
 from repro.core import PowerCoEstimator
+from repro.ioutil import atomic_write_text
 from repro.core.explorer import (
     DesignSpaceExplorer,
     parallel_sweep,
@@ -73,11 +74,38 @@ def cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The :class:`~repro.resilience.FaultPlan` the fault flags describe."""
+    rate = getattr(args, "fault_rate", 0.0) or 0.0
+    if rate <= 0:
+        return None
+    from repro.resilience import FaultPlan
+
+    return FaultPlan.uniform(args.fault_sites, rate, seed=args.fault_seed)
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     if len(args.system) > 1:
+        if _fault_plan(args) is not None:
+            raise SystemExit(
+                "--fault-rate needs a single system (got %d)" % len(args.system)
+            )
         return _estimate_many(args)
     bundle = _bundle(args.system[0])
-    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    config = bundle.config
+    fault_plan = _fault_plan(args)
+    if fault_plan is not None:
+        from dataclasses import replace
+
+        from repro.resilience import ResilienceConfig
+
+        config = replace(
+            config,
+            resilience=ResilienceConfig(
+                fault_plan=fault_plan, max_retries=args.fault_retries
+            ),
+        )
+    estimator = PowerCoEstimator(bundle.network, config)
     telemetry = None
     if args.trace or args.metrics or args.telemetry_report:
         telemetry = Telemetry()
@@ -93,23 +121,21 @@ def cmd_estimate(args: argparse.Namespace) -> int:
             write_chrome_trace(telemetry.tracer, args.trace)
             print("wrote %s (load in Perfetto / chrome://tracing)" % args.trace)
         if args.metrics:
-            with open(args.metrics, "w") as handle:
-                handle.write(telemetry.metrics.to_json())
-                handle.write("\n")
+            atomic_write_text(args.metrics, telemetry.metrics.to_json() + "\n")
             print("wrote %s" % args.metrics)
         print()
         print(render_report(telemetry))
     if args.waveform_csv:
-        with open(args.waveform_csv, "w") as handle:
-            handle.write(
-                export_power_csv(result.master.accountant, bin_ns=args.bin_ns)
-            )
+        atomic_write_text(
+            args.waveform_csv,
+            export_power_csv(result.master.accountant, bin_ns=args.bin_ns),
+        )
         print("wrote %s" % args.waveform_csv)
     if args.waveform_vcd:
-        with open(args.waveform_vcd, "w") as handle:
-            handle.write(
-                export_power_vcd(result.master.accountant, bin_ns=args.bin_ns)
-            )
+        atomic_write_text(
+            args.waveform_vcd,
+            export_power_vcd(result.master.accountant, bin_ns=args.bin_ns),
+        )
         print("wrote %s" % args.waveform_vcd)
     return 0
 
@@ -167,9 +193,19 @@ def cmd_explore(args: argparse.Namespace) -> int:
             "num_packets": args.packets,
             "packet_period_ns": args.period_ns,
         },
+        timeout_s=args.timeout_s,
         collect_telemetry=bool(args.trace or args.metrics),
         stats=stats,
+        checkpoint_path=args.checkpoint,
+        resume_path=args.resume,
+        fault_plan=_fault_plan(args),
+        fault_retries=args.fault_retries,
     )
+    restored = sum(
+        1 for result in results if result.ok and result.attempts == 0
+    )
+    if restored:
+        print("%d point(s) restored from %s" % (restored, args.resume))
     failures = [result for result in results if not result.ok]
     for result in failures:
         print("point %s FAILED:\n%s" % (result.label, result.error))
@@ -194,11 +230,45 @@ def cmd_explore(args: argparse.Namespace) -> int:
         import json as _json
 
         merged = merge_metrics_snapshots(r.metrics for r in results)
-        with open(args.metrics, "w") as handle:
-            _json.dump(merged, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        atomic_write_text(
+            args.metrics,
+            _json.dumps(merged, indent=1, sort_keys=True) + "\n",
+        )
         print("wrote %s" % args.metrics)
+    if args.out:
+        _write_sweep_summary(args.out, points)
+        print("wrote %s" % args.out)
     return 1 if failures else 0
+
+
+def _write_sweep_summary(path: str, points) -> None:
+    """Atomically write the deterministic sweep summary as JSON.
+
+    Timing fields (``wall_seconds``, ``low_level_seconds``) are
+    excluded, so an interrupted-and-resumed sweep produces a summary
+    byte-identical to an uninterrupted one.
+    """
+    import dataclasses
+    import json as _json
+
+    rows = []
+    for point in points:
+        report = {
+            key: value
+            for key, value in dataclasses.asdict(point.report).items()
+            if not key.endswith("_seconds")
+        }
+        rows.append(
+            {
+                "dma_block_words": point.dma_block_words,
+                "priority_label": point.priority_label,
+                "total_energy_j": point.total_energy_j,
+                "report": report,
+            }
+        )
+    atomic_write_text(
+        path, _json.dumps(rows, indent=1, sort_keys=True) + "\n"
+    )
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -206,12 +276,32 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     parameter_file = characterizer.characterize()
     text = parameter_file.serialize()
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
+        atomic_write_text(args.output, text)
         print("wrote %s" % args.output)
     else:
         print(text, end="")
     return 0
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection flags shared by ``estimate`` and ``explore``."""
+    group = parser.add_argument_group("fault injection (chaos testing)")
+    group.add_argument("--fault-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="per-invocation fault probability at each "
+                            "injected boundary (0 disables injection)")
+    group.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                       help="fault-schedule seed (same seed, same faults)")
+    group.add_argument("--fault-sites", nargs="+",
+                       default=["hw", "iss", "cache", "bus"],
+                       choices=["hw", "iss", "cache", "bus"],
+                       metavar="SITE",
+                       help="which estimator boundaries to fault "
+                            "(default: all four)")
+    group.add_argument("--fault-retries", type=int, default=1, metavar="N",
+                       help="supervised retries per faulted invocation "
+                            "before degrading (0 makes every injected "
+                            "fault visible as a non-exact provenance tag)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -247,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--telemetry-report", action="store_true",
                           help="collect telemetry and print the "
                                "end-of-run report without writing files")
+    _add_fault_arguments(estimate)
     estimate.set_defaults(func=cmd_estimate)
 
     explore = commands.add_parser(
@@ -271,6 +362,20 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--metrics", metavar="FILE",
                          help="write the merged per-worker metrics "
                               "snapshot as JSON")
+    explore.add_argument("--out", metavar="FILE",
+                         help="write the deterministic sweep summary "
+                              "(per-point reports without timing) as JSON")
+    explore.add_argument("--checkpoint", metavar="FILE",
+                         help="atomically rewrite FILE after every "
+                              "completed point so the sweep survives kills")
+    explore.add_argument("--resume", metavar="FILE",
+                         help="load completed points from a checkpoint "
+                              "and re-run only the unfinished ones")
+    explore.add_argument("--timeout-s", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock budget per design point "
+                              "(enforced in both --jobs 1 and pooled modes)")
+    _add_fault_arguments(explore)
     explore.set_defaults(func=cmd_explore)
 
     characterize = commands.add_parser(

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
+from repro.errors import ReproError
 
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
-class CacheConfigError(Exception):
+class CacheConfigError(ReproError):
     """Raised for invalid cache geometries."""
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+from repro.errors import ReproError
 
 from repro.cfsm.actions import MacroOp, MacroOpKind, interned_macro_op
 from repro.cfsm.expr import Expression, _coerce
@@ -33,7 +34,7 @@ from repro.cfsm.expr import Expression, _coerce
 DEFAULT_MAX_ITERATIONS = 1_000_000
 
 
-class SGraphError(Exception):
+class SGraphError(ReproError):
     """Raised for malformed s-graphs or runaway executions."""
 
 

@@ -10,6 +10,7 @@ that can never fire.
 from __future__ import annotations
 
 from typing import List
+from repro.errors import ReproError
 
 from repro.cfsm.model import Cfsm, Network
 from repro.cfsm.sgraph import (
@@ -21,7 +22,7 @@ from repro.cfsm.sgraph import (
 )
 
 
-class NetworkValidationError(Exception):
+class NetworkValidationError(ReproError):
     """Raised when a network fails validation in strict mode."""
 
     def __init__(self, issues: List[str]) -> None:

@@ -153,6 +153,43 @@ class DesignSpaceExplorer:
         return min(points, key=lambda point: point.total_energy_j)
 
 
+def _builder_id(builder: Union[str, Callable]) -> str:
+    """Stable identity of a system builder for checkpoint signatures."""
+    if isinstance(builder, str):
+        return builder
+    return "%s:%s" % (
+        getattr(builder, "__module__", "?"),
+        getattr(builder, "__qualname__", getattr(builder, "__name__", "?")),
+    )
+
+
+def design_point_payload(point: DesignPoint) -> Dict[str, Any]:
+    """A JSON-serializable snapshot of one finished design point."""
+    import dataclasses
+
+    return {
+        "dma_block_words": point.dma_block_words,
+        "priorities": dict(point.priorities),
+        "priority_label": point.priority_label,
+        "report": dataclasses.asdict(point.report),
+    }
+
+
+def design_point_from_payload(payload: Dict[str, Any]) -> DesignPoint:
+    """Rebuild a :class:`DesignPoint` from its checkpoint payload.
+
+    JSON round-trips Python floats exactly (shortest-repr), so a
+    restored point's report carries the very numbers the original run
+    produced — the property that makes resumed sweeps byte-identical.
+    """
+    return DesignPoint(
+        dma_block_words=payload["dma_block_words"],
+        priorities=dict(payload["priorities"]),
+        priority_label=payload["priority_label"],
+        report=EnergyReport(**payload["report"]),
+    )
+
+
 def parallel_sweep(
     builder: Union[str, Callable],
     dma_sizes: Sequence[int],
@@ -166,6 +203,11 @@ def parallel_sweep(
     collect_telemetry: bool = False,
     root_seed: int = 0,
     stats=None,
+    checkpoint_path: Optional[str] = None,
+    resume_path: Optional[str] = None,
+    fault_plan=None,
+    fault_retries: int = 1,
+    on_point=None,
 ) -> Tuple[List[DesignPoint], List[Any]]:
     """The explorer cross product over the :mod:`repro.parallel` pool.
 
@@ -185,29 +227,52 @@ def parallel_sweep(
     up as ``None`` points with the failure recorded on the job result.
     Pass a :class:`~repro.parallel.PoolStats` as ``stats`` for
     retry/timeout/crash accounting.
+
+    **Checkpoint/resume.**  With ``checkpoint_path``, the sweep
+    atomically rewrites that file after every completed point, so a
+    killed sweep loses at most the points in flight.  With
+    ``resume_path``, previously completed points are loaded (after a
+    sweep-signature compatibility check) and *not* re-run; their
+    restored reports are byte-identical to the original run's.  The two
+    paths are usually the same file.  ``fault_plan`` arms fault
+    injection inside every point's master, and ``on_point`` is invoked
+    with each finalized job result in completion order (the point list
+    itself excludes no one: both run and restored points come back in
+    sweep order).
     """
     from repro.parallel import JobSpec, job_seed, run_jobs
+    from repro.parallel.jobs import JobResult
+    from repro.resilience.checkpoint import (
+        CheckpointWriter,
+        load_checkpoint,
+        sweep_signature,
+    )
 
     dma_sizes = list(dma_sizes)
     priority_assignments = [dict(p) for p in priority_assignments]
     specs: List[JobSpec] = []
     sweep_order: List[Tuple[int, int]] = []  # spec index -> (prio i, dma i)
     warm_key = "%s/%s" % (builder, strategy)
+    payload_common: Dict[str, Any] = {
+        "builder": builder,
+        "strategy": strategy,
+        "builder_kwargs": dict(builder_kwargs or {}),
+        "warm_start": warm_start,
+        "warm_key": warm_key,
+    }
+    if fault_plan is not None:
+        payload_common["fault_plan"] = fault_plan
+        payload_common["fault_retries"] = fault_retries
     for dma_index, dma in enumerate(dma_sizes):
         for prio_index, priorities in enumerate(priority_assignments):
             label = "dma=%d,%s" % (dma, priority_label(priorities))
+            payload = dict(payload_common)
+            payload["dma_block_words"] = dma
+            payload["priorities"] = priorities
             specs.append(
                 JobSpec(
                     fn="repro.parallel.runners:run_explorer_point",
-                    payload={
-                        "builder": builder,
-                        "dma_block_words": dma,
-                        "priorities": priorities,
-                        "strategy": strategy,
-                        "builder_kwargs": dict(builder_kwargs or {}),
-                        "warm_start": warm_start,
-                        "warm_key": warm_key,
-                    },
+                    payload=payload,
                     label=label,
                     seed=job_seed(root_seed, label),
                     timeout_s=timeout_s,
@@ -216,7 +281,70 @@ def parallel_sweep(
                 )
             )
             sweep_order.append((prio_index, dma_index))
-    results = run_jobs(specs, jobs=jobs, stats=stats)
+
+    # The signature covers everything that changes what a point means —
+    # but not the point list, so a partial checkpoint can seed a larger
+    # sweep over the same system.
+    import dataclasses as _dataclasses
+
+    signature = sweep_signature(
+        builder=_builder_id(builder),
+        strategy=strategy,
+        builder_kwargs=dict(builder_kwargs or {}),
+        warm_start=warm_start,
+        root_seed=root_seed,
+        fault_plan=(
+            _dataclasses.asdict(fault_plan) if fault_plan is not None else None
+        ),
+        fault_retries=(fault_retries if fault_plan is not None else None),
+    )
+    completed_payloads: Dict[str, Any] = {}
+    if resume_path is not None:
+        completed_payloads = load_checkpoint(resume_path, signature)
+    writer = (
+        CheckpointWriter(checkpoint_path, signature, completed=completed_payloads)
+        if checkpoint_path is not None
+        else None
+    )
+    if writer is not None:
+        writer.flush()  # the file exists from the first moment on
+
+    prefilled: Dict[int, JobResult] = {}
+    todo_specs: List[JobSpec] = []
+    todo_indices: List[int] = []
+    for index, spec in enumerate(specs):
+        payload = completed_payloads.get(spec.label)
+        if payload is not None:
+            prefilled[index] = JobResult(
+                label=spec.label,
+                index=index,
+                value=design_point_from_payload(payload),
+                attempts=0,
+                worker_pid=0,
+            )
+        else:
+            todo_specs.append(spec)
+            todo_indices.append(index)
+
+    def handle(result) -> None:
+        if writer is not None and result.error is None and result.value is not None:
+            writer.record_and_flush(
+                result.label,
+                design_point_payload(result.value),
+                meta={"total_points": len(specs)},
+            )
+        if on_point is not None:
+            on_point(result)
+
+    fresh = (
+        run_jobs(todo_specs, jobs=jobs, stats=stats, on_result=handle)
+        if todo_specs
+        else []
+    )
+    results: Dict[int, JobResult] = dict(prefilled)
+    for index, result in zip(todo_indices, fresh):
+        result.index = index
+        results[index] = result
     by_sweep = sorted(range(len(specs)), key=lambda i: sweep_order[i])
     points = [results[i].value for i in by_sweep]
     ordered_results = [results[i] for i in by_sweep]

@@ -33,6 +33,7 @@ import io
 import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
+from repro.errors import ReproError
 
 from repro.cfsm.actions import MacroOpKind, all_macro_op_names
 from repro.cfsm.builder import CfsmBuilder
@@ -77,7 +78,7 @@ for _name in all_macro_op_names():
 HW_TRANSITION_OVERHEAD_CYCLES = 2.0
 
 
-class CharacterizationError(Exception):
+class CharacterizationError(ReproError):
     """Raised when a macro-operation cannot be characterized."""
 
 

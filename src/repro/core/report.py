@@ -35,6 +35,14 @@ class EnergyReport:
     rtos_stats: Dict[str, float] = field(default_factory=dict)
     lost_events: int = 0
     truncated: bool = False
+    #: Transition counts by estimate provenance (exact/cached/
+    #: macromodel/degraded) — the run's accuracy fingerprint.
+    provenance: Dict[str, int] = field(default_factory=dict)
+    #: Energy attributed per provenance level (joules).
+    by_provenance: Dict[str, float] = field(default_factory=dict)
+    #: Resilience-layer counters (faults injected, retries, watchdog
+    #: timeouts, fallbacks per rung, component bypasses).
+    resilience_stats: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_master(cls, master, label: str = "") -> "EnergyReport":
@@ -56,6 +64,9 @@ class EnergyReport:
             strategy_stats=dict(stats.strategy),
             lost_events=stats.lost_events,
             truncated=stats.truncated,
+            provenance=dict(stats.provenance),
+            by_provenance=dict(master.accountant.by_provenance),
+            resilience_stats=dict(stats.resilience),
         )
         report.bus_stats = {
             "energy_j": bus.total_energy,
@@ -148,6 +159,25 @@ class EnergyReport:
             "  transitions      : %d   ISS calls: %d   gate-level calls: %d"
             % (self.total_transitions, self.iss_invocations, self.hw_invocations),
         ]
+        if self.provenance:
+            lines.append(
+                "  provenance       : "
+                + "  ".join(
+                    "%s=%d" % (level, self.provenance[level])
+                    for level in sorted(self.provenance)
+                )
+            )
+        nonzero_resilience = {
+            key: value for key, value in self.resilience_stats.items() if value
+        }
+        if nonzero_resilience:
+            lines.append(
+                "  resilience       : "
+                + "  ".join(
+                    "%s=%g" % (key, nonzero_resilience[key])
+                    for key in sorted(nonzero_resilience)
+                )
+            )
         for name in sorted(self.by_component):
             lines.append(
                 "    %-18s %.6g uJ" % (name, self.by_component[name] * 1e6)

@@ -28,11 +28,20 @@ from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 @dataclass
 class Estimate:
-    """A strategy's answer for one transition execution."""
+    """A strategy's answer for one transition execution.
+
+    ``provenance`` records which rung of the accuracy ladder produced
+    the numbers — ``"exact"`` (low-level simulation), ``"cached"``
+    (Section 4.2 path statistics), ``"macromodel"`` (Section 4.1), or
+    ``"degraded"`` (the resilience layer's last-resort analytical
+    estimate).  Strategies may leave it empty; the master then derives
+    it from ``ran_low_level`` and the active strategy.
+    """
 
     cycles: int
     energy: float
     ran_low_level: bool
+    provenance: str = ""
 
     def __post_init__(self) -> None:
         if self.cycles < 0:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+from repro.errors import ReproError
 
 from repro.cfsm.model import Cfsm
 from repro.hw.library import DFF_CLOCK_ENERGY_J, GateLibrary
@@ -29,7 +30,7 @@ from repro.hw.synth import (
 _INTERNAL_EVENTS = (MEM_READ_REQ, MEM_WRITE_ADDR, MEM_WRITE_DATA)
 
 
-class HwEstimatorError(Exception):
+class HwEstimatorError(ReproError):
     """Raised when a transition does not complete in the netlist."""
 
 

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+from repro.errors import ReproError
 
 CONST0 = 0
 CONST1 = 1
 
 
-class NetlistError(Exception):
+class NetlistError(ReproError):
     """Raised on malformed netlist construction."""
 
 

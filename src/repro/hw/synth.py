@@ -28,6 +28,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+from repro.errors import ReproError
 
 from repro.cfsm.expr import BinaryOp, Const, EventValue, Expression, UnaryOp, Var
 from repro.cfsm.model import Cfsm
@@ -56,7 +57,7 @@ from repro.hw.library import GateLibrary
 from repro.hw.netlist import Netlist, NetlistBuilder
 
 
-class SynthesisError(Exception):
+class SynthesisError(ReproError):
     """Raised when a CFSM cannot be mapped to hardware."""
 
 

@@ -1,0 +1,57 @@
+"""Crash-safe file output.
+
+Long co-estimation runs write artifacts worth hours of CPU time —
+trace files, metrics snapshots, benchmark records, sweep checkpoints.
+A plain ``open(path, "w")`` truncates the previous contents first, so a
+crash (or a kill during a checkpoint) leaves a zero-byte or half-written
+file where the last good artifact used to be.
+
+:func:`atomic_write_text` implements the standard durable-replace
+recipe: write to a temporary file *in the same directory* (so the final
+rename never crosses a filesystem), flush and fsync it, then
+``os.replace`` it over the destination.  Readers observe either the old
+complete file or the new complete file, never a truncated one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Atomically replace ``path`` with ``text``; returns ``path``.
+
+    The temporary file is created next to the destination and renamed
+    into place only after a successful write + fsync; on any failure it
+    is removed and the previous contents of ``path`` survive intact.
+    """
+    destination = os.path.abspath(path)
+    directory = os.path.dirname(destination)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(destination) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str, payload: Any, indent: int = 1) -> str:
+    """Atomically write ``payload`` as sorted, indented JSON + newline."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    )

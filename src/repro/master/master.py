@@ -24,6 +24,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+from repro.errors import ReproError
 
 from repro.bus.busmodel import SharedBus
 from repro.bus.model import BusParameters
@@ -37,6 +38,11 @@ from repro.hw.library import GateLibrary
 from repro.master.kernel import EventQueue
 from repro.master.rtos import RtosConfig, RtosScheduler
 from repro.master.tracing import EnergyAccountant
+from repro.resilience.supervisor import (
+    EstimatorUnavailable,
+    ResilienceConfig,
+    ResilientEstimator,
+)
 from repro.sw.codegen import (
     SHARED_MEMORY_BASE,
     CompiledCfsm,
@@ -48,7 +54,7 @@ from repro.sw.power_model import InstructionPowerModel
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
-class MasterError(Exception):
+class MasterError(ReproError):
     """Raised for co-simulation configuration or runtime errors."""
 
 
@@ -113,6 +119,10 @@ class MasterConfig:
     record_reactions: bool = False
     zero_delay: bool = False
     zero_delay_epsilon_ns: float = 0.001
+    #: Optional resilience layer: fault injection, watchdog/retry
+    #: supervision of the component estimators, and the graceful
+    #: degradation ladder (see :mod:`repro.resilience`).
+    resilience: Optional[ResilienceConfig] = None
 
 
 @dataclass
@@ -140,6 +150,10 @@ class RunStats:
     truncated: bool = False
     lost_events: int = 0
     strategy: Dict[str, float] = field(default_factory=dict)
+    #: Transition counts by estimate provenance (exact/cached/...).
+    provenance: Dict[str, int] = field(default_factory=dict)
+    #: Resilience-layer counters (faults, retries, fallbacks, ...).
+    resilience: Dict[str, float] = field(default_factory=dict)
 
 
 class _Process:
@@ -188,6 +202,16 @@ class SimulationMaster:
             else None
         )
         self.rtos = RtosScheduler(self.config.rtos)
+        self.resilience = (
+            ResilientEstimator(
+                self.config.resilience,
+                power_model=self.config.power_model,
+                library=self.config.library,
+                telemetry=self.telemetry,
+            )
+            if self.config.resilience is not None
+            else None
+        )
         self.stats = RunStats()
         self.reactions: List[ReactionRecord] = []
 
@@ -280,6 +304,8 @@ class SimulationMaster:
         self._charge_hw_idle()
         self._charge_bus_and_cache_summaries()
         self.stats.strategy = self.strategy.statistics()
+        if self.resilience is not None:
+            self.stats.resilience = self.resilience.statistics()
         self.stats.wall_seconds = _time.perf_counter() - started
         if telemetry.enabled:
             self._publish_metrics()
@@ -494,6 +520,8 @@ class SimulationMaster:
             process.kind == Implementation.SW
             and self.cache is not None
             and not self.config.zero_delay
+            and trace.memory_refs
+            and self._component_ok("cache")
         ):
             stall_cycles, cache_energy = self._simulate_cache(process, trace)
 
@@ -515,7 +543,7 @@ class SimulationMaster:
             end_ns = start_compute_ns + compute_ns
             self.accountant.add(
                 name, process.kind, start_compute_ns, end_ns, estimate.energy,
-                tag=transition.name,
+                tag=transition.name, provenance=estimate.provenance,
             )
             if cache_energy:
                 self.accountant.add(
@@ -525,16 +553,24 @@ class SimulationMaster:
                 self.accountant.add(
                     "_rtos", "rtos", start_compute_ns, end_ns, rtos_energy, tag=name
                 )
-            if trace.shared_writes and not self.config.zero_delay:
+            if (
+                trace.shared_writes
+                and not self.config.zero_delay
+                and self._component_ok("bus")
+            ):
                 for base, words in _contiguous_runs(trace.shared_writes):
                     self.bus.submit(name, True, base, words, end_ns)
                 self._schedule_bus_kick(end_ns)
             elif trace.shared_writes:
                 for address, value in trace.shared_writes:
-                    pass  # zero-delay mode: traffic is not timed
+                    pass  # zero-delay / bus-bypass: traffic is not timed
             self.queue.schedule(end_ns, "complete", (name, emissions))
 
-        if trace.shared_reads and not self.config.zero_delay:
+        if (
+            trace.shared_reads
+            and not self.config.zero_delay
+            and self._component_ok("bus")
+        ):
             runs = _contiguous_runs(trace.shared_reads)
             record = {
                 "remaining": len(runs),
@@ -599,6 +635,16 @@ class SimulationMaster:
                 self.stats.low_level_seconds += _time.perf_counter() - started
                 return Estimate(result.cycles, result.energy, True)
 
+        if self.resilience is not None:
+            site = "iss" if process.kind == Implementation.SW else "hw"
+            run_low_level = self.resilience.supervise(
+                site,
+                name,
+                run_low_level,
+                path_key=(name, transition.name, trace.path),
+                sim_time_ns=self._now,
+            )
+
         job = EstimationJob(
             cfsm=process.cfsm,
             transition=transition,
@@ -613,10 +659,14 @@ class SimulationMaster:
                 track="strategy",
                 args={"cfsm": name, "transition": transition.name},
             ) as estimate_span:
-                estimate = self.strategy.estimate(job)
+                estimate = self._estimate_supervised(job)
                 estimate_span.set("ran_low_level", estimate.ran_low_level)
+                estimate_span.set("provenance", estimate.provenance)
         else:
-            estimate = self.strategy.estimate(job)
+            estimate = self._estimate_supervised(job)
+        self.stats.provenance[estimate.provenance] = (
+            self.stats.provenance.get(estimate.provenance, 0) + 1
+        )
 
         # Keep the low-level engines' architectural state in sync with
         # the behavioral reference even when they were skipped.
@@ -628,6 +678,32 @@ class SimulationMaster:
             mask = (1 << process.cfsm.width) - 1
             for var, value in process.state.items():
                 process.hw.poke_variable(var, value & mask)
+        return estimate
+
+    def _estimate_supervised(self, job: EstimationJob) -> Estimate:
+        """Ask the strategy, riding the degradation ladder on failure.
+
+        With a resilience layer armed (and degradation enabled), a
+        persistently failed component estimator becomes a fallback
+        estimate instead of an aborted run.  Every estimate leaves with
+        a provenance tag; strategies that didn't set one get it derived
+        here (low-level run → ``exact``; macro-modeling → ``macromodel``;
+        caching and sampling replay prior statistics → ``cached``).
+        """
+        if self.resilience is not None and self.resilience.config.degradation:
+            try:
+                estimate = self.strategy.estimate(job)
+            except EstimatorUnavailable:
+                estimate = self.resilience.fallback(job)
+        else:
+            estimate = self.strategy.estimate(job)
+        if not estimate.provenance:
+            if estimate.ran_low_level:
+                estimate.provenance = "exact"
+            elif self.strategy.name == "macromodel":
+                estimate.provenance = "macromodel"
+            else:
+                estimate.provenance = "cached"
         return estimate
 
     def _simulate_cache(
@@ -664,8 +740,23 @@ class SimulationMaster:
     # Emission and bus plumbing
     # ------------------------------------------------------------------
 
+    def _component_ok(self, site: str) -> bool:
+        """Fault-gate one cache/bus boundary use (True without faults).
+
+        A faulted invocation is *bypassed*: the run proceeds without
+        that component's timing/energy contribution, and the bypass is
+        counted so reports show how much accounting was lost.
+        """
+        if self.resilience is None:
+            return True
+        return self.resilience.component_ok(site)
+
     def _emit_event(self, source: str, event_name: str, value: int, now: float) -> None:
-        if event_name in self.network.bus_events and not self.config.zero_delay:
+        if (
+            event_name in self.network.bus_events
+            and not self.config.zero_delay
+            and self._component_ok("bus")
+        ):
             address = self._bus_event_addresses[event_name]
             request = self.bus.submit(source, True, address, [value], now)
             self._pending_events[request.request_id] = (event_name, value, source)
@@ -731,6 +822,10 @@ class SimulationMaster:
         metrics.gauge("rtos.context_switches").set(
             getattr(self.rtos, "context_switches", 0)
         )
+        for level, count in stats.provenance.items():
+            metrics.gauge("provenance.%s" % level).set(count)
+        if self.resilience is not None:
+            self.resilience.publish_metrics()
         self.strategy.publish_metrics()
         self.accountant.publish_metrics(metrics)
 

@@ -33,6 +33,10 @@ class EnergySample:
     end_ns: float
     energy_j: float
     tag: str = ""
+    #: Accuracy rung that produced the number: "exact", "cached",
+    #: "macromodel", or "degraded" ("" for charges with no estimator,
+    #: e.g. bus bursts and idle clocking).
+    provenance: str = ""
 
 
 class EnergyAccountant:
@@ -45,6 +49,7 @@ class EnergyAccountant:
         self.samples: List[EnergySample] = []
         self.by_component: Dict[str, float] = {}
         self.by_category: Dict[str, float] = {}
+        self.by_provenance: Dict[str, float] = {}
         self.total_energy = 0.0
 
     def add(
@@ -55,6 +60,7 @@ class EnergyAccountant:
         end_ns: float,
         energy_j: float,
         tag: str = "",
+        provenance: str = "",
     ) -> None:
         """Record one energy contribution."""
         if energy_j < 0:
@@ -65,10 +71,16 @@ class EnergyAccountant:
             raise ValueError("non-finite energy sample: %r" % energy_j)
         if self.keep_samples:
             self.samples.append(
-                EnergySample(component, category, start_ns, end_ns, energy_j, tag)
+                EnergySample(
+                    component, category, start_ns, end_ns, energy_j, tag, provenance
+                )
             )
         self.by_component[component] = self.by_component.get(component, 0.0) + energy_j
         self.by_category[category] = self.by_category.get(category, 0.0) + energy_j
+        if provenance:
+            self.by_provenance[provenance] = (
+                self.by_provenance.get(provenance, 0.0) + energy_j
+            )
         self.total_energy += energy_j
         if self.tracer.enabled:
             self.tracer.counter(
@@ -92,6 +104,8 @@ class EnergyAccountant:
             registry.gauge("energy.by_category.%s_j" % category).set(energy)
         for component, energy in self.by_component.items():
             registry.gauge("energy.by_component.%s_j" % component).set(energy)
+        for provenance, energy in self.by_provenance.items():
+            registry.gauge("energy.by_provenance.%s_j" % provenance).set(energy)
 
     def power_waveform(
         self,

@@ -13,9 +13,10 @@ import importlib
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from repro.errors import ReproError
 
 
-class JobError(Exception):
+class JobError(ReproError):
     """A job failed permanently (retries exhausted or bad spec)."""
 
 

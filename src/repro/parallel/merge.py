@@ -146,7 +146,7 @@ def merged_chrome_trace_events(
 
 
 def write_merged_chrome_trace(results: Iterable[JobResult], path: str) -> str:
-    """Write the merged Chrome trace JSON to ``path``; returns the path."""
-    with open(path, "w") as handle:
-        handle.write(json.dumps(merged_chrome_trace_events(results)))
-    return path
+    """Atomically write the merged Chrome trace JSON to ``path``."""
+    from repro.ioutil import atomic_write_text
+
+    return atomic_write_text(path, json.dumps(merged_chrome_trace_events(results)))

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.parallel.jobs import JobResult, JobSpec, resolve_callable
+from repro.resilience.supervisor import WatchdogTimeout, call_with_watchdog
 from repro.telemetry import Telemetry
 
 #: How often the master polls the result queue while jobs are in
@@ -109,8 +110,19 @@ def _worker_main(task_queue, result_queue) -> None:
             result_queue.put(("error", pid, index, traceback.format_exc()))
 
 
-def _run_inline(specs: List[JobSpec], stats: PoolStats) -> List[JobResult]:
-    """The ``jobs=1`` path: plain sequential execution, no processes."""
+def _run_inline(
+    specs: List[JobSpec],
+    stats: PoolStats,
+    on_result=None,
+) -> List[JobResult]:
+    """The ``jobs=1`` path: plain sequential execution, no processes.
+
+    ``spec.timeout_s`` is honored here too, via the resilience layer's
+    wall-clock watchdog: a timed-out attempt counts as a timeout and is
+    retried like in the pooled path.  (The hung attempt's thread cannot
+    be killed in-process; it is abandoned, exactly as a supervised
+    component estimator would be.)
+    """
     results: List[JobResult] = []
     pool_start = time.perf_counter()
     for index, spec in enumerate(specs):
@@ -120,7 +132,9 @@ def _run_inline(specs: List[JobSpec], stats: PoolStats) -> List[JobResult]:
             attempts += 1
             result.started_offset_s = time.perf_counter() - pool_start
             try:
-                value, seconds, metrics, spans = _execute(spec)
+                value, seconds, metrics, spans = call_with_watchdog(
+                    lambda: _execute(spec), spec.timeout_s
+                )
                 result.value = value
                 result.seconds = seconds
                 result.metrics = metrics
@@ -128,6 +142,16 @@ def _run_inline(specs: List[JobSpec], stats: PoolStats) -> List[JobResult]:
                 result.error = None
                 stats.completed += 1
                 break
+            except WatchdogTimeout:
+                stats.timeouts += 1
+                result.error = (
+                    "job %d (%s) exceeded its %.1fs timeout"
+                    % (index, spec.label, spec.timeout_s)
+                )
+                if attempts > spec.max_retries:
+                    stats.failed += 1
+                    break
+                stats.retries += 1
             except Exception:
                 result.error = traceback.format_exc()
                 if attempts > spec.max_retries:
@@ -136,6 +160,8 @@ def _run_inline(specs: List[JobSpec], stats: PoolStats) -> List[JobResult]:
                 stats.retries += 1
         result.attempts = attempts
         results.append(result)
+        if on_result is not None:
+            on_result(result)
     return results
 
 
@@ -215,6 +241,7 @@ def run_jobs(
     specs: List[JobSpec],
     jobs: int = 1,
     stats: Optional[PoolStats] = None,
+    on_result=None,
 ) -> List[JobResult]:
     """Execute ``specs`` with up to ``jobs`` workers; results in spec order.
 
@@ -222,6 +249,11 @@ def run_jobs(
     retry budget) come back with ``result.error`` set; no exception is
     raised so one bad design point cannot abort a long sweep.  Pass a
     :class:`PoolStats` to observe retry/timeout/crash accounting.
+
+    ``on_result`` is called with each finalized :class:`JobResult` as
+    soon as it is known (completion order, not spec order) — the hook
+    checkpoint writers use to flush incrementally.  An exception from
+    the callback aborts the run (workers are shut down first).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1, got %d" % jobs)
@@ -231,8 +263,10 @@ def run_jobs(
     try:
         if jobs == 1 or len(specs) <= 1:
             stats.workers = 1
-            return _run_inline(specs, stats)
-        return _run_pooled(specs, min(jobs, len(specs)), stats, started)
+            return _run_inline(specs, stats, on_result=on_result)
+        return _run_pooled(
+            specs, min(jobs, len(specs)), stats, started, on_result=on_result
+        )
     finally:
         stats.wall_seconds = time.perf_counter() - started
 
@@ -242,6 +276,7 @@ def _run_pooled(
     workers: int,
     stats: PoolStats,
     pool_start: float,
+    on_result=None,
 ) -> List[JobResult]:
     stats.workers = workers
     pool = _Pool(workers)
@@ -279,6 +314,8 @@ def _run_pooled(
                 attempts=attempts_by_index[index],
                 worker_pid=0,
             )
+            if on_result is not None:
+                on_result(results[index])
 
     try:
         dispatch()
@@ -315,6 +352,8 @@ def _run_pooled(
                         metrics=metrics,
                         spans=spans,
                     )
+                    if on_result is not None:
+                        on_result(results[index])
                 elif kind == "error":
                     _, _, index, reason = message
                     in_flight.pop(pid, None)

@@ -53,6 +53,8 @@ def run_explorer_point(
     builder_kwargs: Optional[Dict[str, Any]] = None,
     warm_start: bool = False,
     warm_key: str = "",
+    fault_plan=None,
+    fault_retries: int = 1,
     telemetry=None,
 ) -> DesignPoint:
     """Build the system in-process and co-estimate one design point.
@@ -62,16 +64,30 @@ def run_explorer_point(
     ``dma_block_words``, ``priorities``, and ``builder_kwargs``.  With
     ``warm_start=True`` the point runs against this process's shared
     energy cache for ``warm_key`` (guarded, see
-    :class:`~repro.core.caching.WarmStartCache`).
+    :class:`~repro.core.caching.WarmStartCache`).  A ``fault_plan``
+    arms the resilience layer inside the point's master: injected
+    estimator failures degrade gracefully instead of failing the job.
     """
     build = resolve_callable(builder)
     kwargs = dict(builder_kwargs or {})
     kwargs["dma_block_words"] = dma_block_words
     kwargs["priorities"] = dict(priorities)
     bundle = build(**kwargs)
+    config = bundle.config
+    if fault_plan is not None:
+        from dataclasses import replace
+
+        from repro.resilience.supervisor import ResilienceConfig
+
+        config = replace(
+            config,
+            resilience=ResilienceConfig(
+                fault_plan=fault_plan, max_retries=fault_retries
+            ),
+        )
     explorer = DesignSpaceExplorer(
         bundle.network,
-        bundle.config,
+        config,
         bundle.stimuli_factory,
         shared_memory_image=bundle.shared_memory_image,
     )

@@ -1,0 +1,61 @@
+"""Resilience layer: fault injection, supervision, checkpoint/resume.
+
+Three cooperating pieces harden the co-estimation framework against
+component-estimator failure and lost compute:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection at the hw/iss/cache/bus boundaries;
+* :mod:`repro.resilience.supervisor` — watchdog + retry + the
+  exact → cached → macromodel → degraded fallback ladder, with
+  provenance tagging of every estimate;
+* :mod:`repro.resilience.checkpoint` — atomic sweep checkpoints so
+  ``repro explore`` can be killed and resumed.
+
+Enable supervision by putting a :class:`ResilienceConfig` on
+:class:`~repro.master.master.MasterConfig`; enable checkpoints with
+``repro explore --checkpoint FILE`` / ``--resume FILE``.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    load_checkpoint,
+    sweep_signature,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.resilience.supervisor import (
+    PROVENANCE_LEVELS,
+    CorruptedEstimate,
+    EstimatorUnavailable,
+    ResilienceConfig,
+    ResilientEstimator,
+    WatchdogTimeout,
+    call_with_watchdog,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "PROVENANCE_LEVELS",
+    "CheckpointError",
+    "CheckpointWriter",
+    "CorruptedEstimate",
+    "EstimatorUnavailable",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceConfig",
+    "ResilientEstimator",
+    "WatchdogTimeout",
+    "call_with_watchdog",
+    "load_checkpoint",
+    "sweep_signature",
+]

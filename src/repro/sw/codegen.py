@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+from repro.errors import ReproError
 
 from repro.cfsm.expr import BinaryOp, Const, EventValue, Expression, UnaryOp, Var
 from repro.cfsm.model import Cfsm, Transition
@@ -71,7 +72,7 @@ _DIRECT_BRANCH = {
 }
 
 
-class CodegenError(Exception):
+class CodegenError(ReproError):
     """Raised when an s-graph cannot be compiled (e.g. too deep)."""
 
 

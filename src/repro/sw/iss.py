@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, MutableMapping, Optional, Set, Tuple
+from repro.errors import ReproError
 
 from repro.cfsm.expr import _BINOP_FUNCS
 from repro.sw.isa import BASE_CYCLES, Instruction, NUM_REGISTERS, Opcode, class_of
@@ -227,7 +228,7 @@ def _decode_program(program: Program) -> List[tuple]:
     return table
 
 
-class IssError(Exception):
+class IssError(ReproError):
     """Raised on malformed executions (runaway loops, bad delay slots)."""
 
 

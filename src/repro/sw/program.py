@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+from repro.errors import ReproError
 
 from repro.sw.isa import Instruction, Opcode
 
@@ -12,7 +13,7 @@ from repro.sw.isa import Instruction, Opcode
 INSTRUCTION_BYTES = 4
 
 
-class ProgramError(Exception):
+class ProgramError(ReproError):
     """Raised for malformed programs (duplicate/undefined labels)."""
 
 

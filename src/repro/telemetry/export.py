@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
+from repro.ioutil import atomic_write_text
 from repro.telemetry.tracer import Tracer
 
 __all__ = [
@@ -109,10 +110,12 @@ def render_chrome_trace(tracer: Tracer) -> str:
 
 
 def write_chrome_trace(tracer: Tracer, path: str) -> str:
-    """Write the Chrome trace JSON to ``path``; returns the path."""
-    with open(path, "w") as handle:
-        handle.write(render_chrome_trace(tracer))
-    return path
+    """Atomically write the Chrome trace JSON to ``path``.
+
+    The previous trace at ``path`` survives intact if this process
+    dies mid-write (see :mod:`repro.ioutil`).
+    """
+    return atomic_write_text(path, render_chrome_trace(tracer))
 
 
 def _jsonl_records(tracer: Tracer) -> List[Dict[str, Any]]:
@@ -153,10 +156,8 @@ def render_jsonl(tracer: Tracer) -> str:
 
 
 def write_jsonl(tracer: Tracer, path: str) -> str:
-    """Write the JSONL stream to ``path``; returns the path."""
-    with open(path, "w") as handle:
-        text = render_jsonl(tracer)
-        handle.write(text)
-        if text:
-            handle.write("\n")
-    return path
+    """Atomically write the JSONL stream to ``path``."""
+    text = render_jsonl(tracer)
+    if text:
+        text += "\n"
+    return atomic_write_text(path, text)

@@ -1,0 +1,157 @@
+"""Integration: kill a checkpointed sweep mid-run, resume, compare.
+
+A resumed sweep must re-run only the unfinished points and reproduce
+the uninterrupted sweep's results byte for byte — for both the inline
+(``jobs=1``) and pooled (``jobs=2``) paths.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.explorer import parallel_sweep, priority_permutations
+from repro.resilience import CheckpointError, load_checkpoint
+from repro.systems import tcpip
+
+BUILDER = "repro.systems.tcpip:build_system"
+BUILDER_KWARGS = {"num_packets": 1, "packet_period_ns": 30_000.0}
+DMA_SIZES = [4, 16]
+
+
+def _assignments(count=2):
+    return priority_permutations(list(tcpip.BUS_MASTERS))[:count]
+
+
+def _canonical(points):
+    rows = []
+    for point in points:
+        payload = dataclasses.asdict(point.report)
+        payload = {
+            key: value
+            for key, value in payload.items()
+            if not key.endswith("_seconds")
+        }
+        rows.append(
+            (
+                point.dma_block_words,
+                point.priority_label,
+                json.dumps(payload, sort_keys=True, default=repr),
+            )
+        )
+    return rows
+
+
+class _KillAfter(Exception):
+    """Raised by the on_point hook to simulate a mid-sweep kill."""
+
+
+def _killing_hook(survivors):
+    seen = {"n": 0}
+
+    def hook(result):
+        seen["n"] += 1
+        if seen["n"] >= survivors:
+            raise _KillAfter()
+
+    return hook
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_kill_and_resume_matches_uninterrupted(tmp_path, jobs):
+    assignments = _assignments()
+    checkpoint = str(tmp_path / ("sweep-%d.ckpt" % jobs))
+
+    reference_points, _ = parallel_sweep(
+        BUILDER, DMA_SIZES, assignments, jobs=jobs,
+        builder_kwargs=BUILDER_KWARGS,
+    )
+
+    # First attempt dies after two completed points.
+    with pytest.raises(_KillAfter):
+        parallel_sweep(
+            BUILDER, DMA_SIZES, assignments, jobs=jobs,
+            builder_kwargs=BUILDER_KWARGS,
+            checkpoint_path=checkpoint,
+            on_point=_killing_hook(2),
+        )
+
+    # The checkpoint holds exactly the finished points, durably.
+    partial = load_checkpoint(
+        checkpoint,
+        signature=json.load(open(checkpoint))["signature"],
+    )
+    assert len(partial) == 2
+
+    resumed_points, resumed_results = parallel_sweep(
+        BUILDER, DMA_SIZES, assignments, jobs=jobs,
+        builder_kwargs=BUILDER_KWARGS,
+        checkpoint_path=checkpoint,
+        resume_path=checkpoint,
+    )
+    restored = [r for r in resumed_results if r.ok and r.attempts == 0]
+    rerun = [r for r in resumed_results if r.ok and r.attempts > 0]
+    assert len(restored) == 2
+    assert len(rerun) == len(DMA_SIZES) * len(assignments) - 2
+    assert _canonical(resumed_points) == _canonical(reference_points)
+
+    # The final checkpoint covers the whole sweep.
+    final = load_checkpoint(
+        checkpoint,
+        signature=json.load(open(checkpoint))["signature"],
+    )
+    assert len(final) == len(DMA_SIZES) * len(assignments)
+
+
+def test_resume_with_different_sweep_is_refused(tmp_path):
+    checkpoint = str(tmp_path / "sweep.ckpt")
+    parallel_sweep(
+        BUILDER, [4], _assignments(1), jobs=1,
+        builder_kwargs=BUILDER_KWARGS, checkpoint_path=checkpoint,
+    )
+    with pytest.raises(CheckpointError):
+        parallel_sweep(
+            BUILDER, [4], _assignments(1), jobs=1, strategy="full",
+            builder_kwargs=BUILDER_KWARGS, resume_path=checkpoint,
+        )
+
+
+def test_subset_checkpoint_seeds_superset_sweep(tmp_path):
+    """The point list is outside the signature by design."""
+    checkpoint = str(tmp_path / "sweep.ckpt")
+    assignments = _assignments(1)
+    parallel_sweep(
+        BUILDER, [4], assignments, jobs=1,
+        builder_kwargs=BUILDER_KWARGS, checkpoint_path=checkpoint,
+    )
+    points, results = parallel_sweep(
+        BUILDER, [4, 16], assignments, jobs=1,
+        builder_kwargs=BUILDER_KWARGS, resume_path=checkpoint,
+    )
+    assert len(points) == 2
+    restored = [r for r in results if r.attempts == 0]
+    assert len(restored) == 1
+    assert all(r.ok for r in results)
+
+
+def test_cli_checkpoint_resume_out_is_byte_identical(tmp_path, capsys):
+    checkpoint = str(tmp_path / "cli.ckpt")
+    first_out = str(tmp_path / "first.json")
+    second_out = str(tmp_path / "second.json")
+    argv = [
+        "explore", "--dma", "4", "16", "--packets", "1",
+        "--checkpoint", checkpoint,
+    ]
+    assert main(argv + ["--out", first_out]) == 0
+    capsys.readouterr()
+
+    # A full checkpoint exists; the resumed run restores every point.
+    assert main(argv + ["--resume", checkpoint, "--out", second_out]) == 0
+    output = capsys.readouterr().out
+    assert "restored from" in output
+
+    with open(first_out, "rb") as first, open(second_out, "rb") as second:
+        assert first.read() == second.read()
+    assert os.path.getsize(first_out) > 0

@@ -1,0 +1,112 @@
+"""Integration: fault injection through a full co-estimation run.
+
+The ISSUE.md acceptance bar: a producer/consumer run with a 10% fault
+rate on the hw and iss sites must complete without raising, tag every
+energy contribution with its provenance, surface the resilience
+counters, and land within 15% of the fault-free total energy.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import PowerCoEstimator
+from repro.resilience import FaultPlan, ResilienceConfig
+from repro.systems import producer_consumer
+from repro.telemetry import Telemetry
+
+NUM_PACKETS = 3
+
+
+def _run(fault_plan=None, fault_retries=1, telemetry=None):
+    bundle = producer_consumer.build_system(num_packets=NUM_PACKETS)
+    config = bundle.config
+    if fault_plan is not None:
+        config = replace(
+            config,
+            resilience=ResilienceConfig(
+                fault_plan=fault_plan, max_retries=fault_retries
+            ),
+        )
+    estimator = PowerCoEstimator(bundle.network, config)
+    return estimator.estimate(
+        bundle.stimuli(), strategy="full", telemetry=telemetry
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run()
+
+
+@pytest.fixture(scope="module")
+def faulty():
+    telemetry = Telemetry.metrics_only()
+    plan = FaultPlan.uniform(["hw", "iss"], 0.1, seed=7)
+    result = _run(fault_plan=plan, fault_retries=0, telemetry=telemetry)
+    return result, telemetry.metrics.snapshot()
+
+
+def test_faulty_run_completes(faulty):
+    result, _ = faulty
+    assert result.report.total_energy_j > 0
+    assert result.report.transitions["producer"] == NUM_PACKETS
+
+
+def test_every_contribution_carries_provenance(faulty):
+    result, _ = faulty
+    provenance = result.report.provenance
+    assert provenance, "no provenance counts recorded"
+    assert set(provenance) <= {"exact", "cached", "macromodel", "degraded"}
+    assert provenance.get("exact", 0) > 0
+    # With a 10% fault rate and one retry some calls must have degraded.
+    assert sum(provenance.values()) > provenance.get("exact", 0)
+    by_provenance = result.report.by_provenance
+    assert set(by_provenance) == set(provenance)
+    component_energy = (
+        result.report.by_category.get("sw", 0.0)
+        + result.report.by_category.get("hw", 0.0)
+    )
+    assert sum(by_provenance.values()) == pytest.approx(component_energy)
+
+
+def test_resilience_counters_surface(faulty):
+    result, metrics = faulty
+    stats = result.report.resilience_stats
+    assert stats["persistent_failures"] > 0
+    assert stats["fallbacks"] > 0
+    assert stats["fault.invocations.hw"] > 0
+    assert stats["fault.invocations.iss"] > 0
+    # The same accounting reaches the metrics registry.
+    assert metrics["counters"]["resilience.fallbacks"] == stats["fallbacks"]
+    assert metrics["gauges"]["resilience.stats.persistent_failures"] == (
+        stats["persistent_failures"]
+    )
+
+
+def test_energy_within_15_percent_of_fault_free(baseline, faulty):
+    result, _ = faulty
+    reference = baseline.report.total_energy_j
+    assert result.report.total_energy_j == pytest.approx(reference, rel=0.15)
+
+
+def test_same_seed_is_deterministic():
+    plan = FaultPlan.uniform(["hw", "iss"], 0.1, seed=7)
+    first = _run(fault_plan=plan)
+    second = _run(fault_plan=plan)
+    assert first.report.total_energy_j == second.report.total_energy_j
+    assert first.report.provenance == second.report.provenance
+    assert first.report.resilience_stats == second.report.resilience_stats
+
+
+def test_fault_free_run_reports_exact_only(baseline):
+    provenance = baseline.report.provenance
+    assert set(provenance) <= {"exact", "cached"}
+    assert baseline.report.resilience_stats == {}
+
+
+def test_summary_mentions_provenance(faulty):
+    result, _ = faulty
+    text = "\n".join(result.report.summary_lines())
+    assert "provenance" in text
+    assert "resilience" in text

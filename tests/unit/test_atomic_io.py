@@ -1,0 +1,130 @@
+"""Crash-safe writes and checkpoint file semantics."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ioutil import atomic_write_json, atomic_write_text
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    load_checkpoint,
+    sweep_signature,
+)
+
+
+class TestAtomicWrite:
+    def test_creates_and_replaces(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        with open(path) as handle:
+            assert handle.read() == "second"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "data")
+        assert os.listdir(str(tmp_path)) == ["out.txt"]
+
+    def test_failure_preserves_old_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "precious")
+
+        class Explodes:
+            def __str__(self):
+                raise RuntimeError("mid-write failure")
+
+        with pytest.raises(TypeError):
+            atomic_write_text(path, Explodes())  # write() rejects non-str
+        with open(path) as handle:
+            assert handle.read() == "precious"
+        assert os.listdir(str(tmp_path)) == ["out.txt"]
+
+    def test_json_sorted_with_newline(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"b": 2, "a": 1})
+        with open(path) as handle:
+            text = handle.read()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 1, "b": 2}
+
+
+class TestSweepSignature:
+    def test_stable_and_order_independent(self):
+        a = sweep_signature(builder="m:f", strategy="caching", seed=1)
+        b = sweep_signature(seed=1, strategy="caching", builder="m:f")
+        assert a == b
+
+    def test_sensitive_to_values(self):
+        a = sweep_signature(strategy="caching")
+        b = sweep_signature(strategy="full")
+        assert a != b
+
+    def test_non_json_values_stringify_deterministically(self):
+        """``default=str`` keeps odd values (tuples-in-reprs, paths)
+        signable without crashing the sweep."""
+        a = sweep_signature(odd={1, 2, 3})
+        b = sweep_signature(odd={1, 2, 3})
+        assert a == b
+
+    def test_rejects_unserializable(self):
+        class Unstringable:
+            def __str__(self):
+                return 42  # -> TypeError inside json.dumps
+
+        with pytest.raises(CheckpointError):
+            sweep_signature(bad=Unstringable())
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        signature = sweep_signature(strategy="caching")
+        writer = CheckpointWriter(path, signature)
+        writer.record_and_flush("dma4", {"energy": 1.5})
+        writer.record_and_flush("dma8", {"energy": 2.5}, meta={"total": 4})
+
+        completed = load_checkpoint(path, signature)
+        assert completed == {"dma4": {"energy": 1.5}, "dma8": {"energy": 2.5}}
+
+    def test_resume_carries_prior_results_forward(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        signature = sweep_signature(strategy="caching")
+        CheckpointWriter(path, signature).record_and_flush("a", 1)
+
+        resumed = CheckpointWriter(
+            path, signature, completed=load_checkpoint(path, signature)
+        )
+        resumed.record_and_flush("b", 2)
+        assert load_checkpoint(path, signature) == {"a": 1, "b": 2}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "nope.ckpt"), "sig")
+
+    def test_signature_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        CheckpointWriter(path, sweep_signature(strategy="caching")).flush()
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path, sweep_signature(strategy="full"))
+        assert "different sweep" in str(excinfo.value)
+
+    def test_garbage_file_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, "sig")
+
+    def test_foreign_json_refused(self, tmp_path):
+        path = str(tmp_path / "sweep.ckpt")
+        atomic_write_json(path, {"hello": "world"})
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, "sig")
+
+    def test_errors_are_repro_errors(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_checkpoint(str(tmp_path / "nope.ckpt"), "sig")

@@ -1,0 +1,103 @@
+"""The unified ReproError hierarchy and its structured context."""
+
+import pytest
+
+from repro import ReproError
+from repro.cache.cachesim import CacheConfigError
+from repro.cfsm.sgraph import SGraphError
+from repro.cfsm.validate import NetworkValidationError
+from repro.core.macromodel import CharacterizationError
+from repro.hw.estimator import HwEstimatorError
+from repro.hw.netlist import NetlistError
+from repro.hw.synth import SynthesisError
+from repro.master.master import MasterError
+from repro.parallel.jobs import JobError
+from repro.resilience import (
+    CheckpointError,
+    CorruptedEstimate,
+    EstimatorUnavailable,
+    InjectedFault,
+    WatchdogTimeout,
+)
+from repro.sw.codegen import CodegenError
+from repro.sw.iss import IssError
+from repro.sw.program import ProgramError
+
+FRAMEWORK_ERRORS = [
+    MasterError,
+    IssError,
+    HwEstimatorError,
+    SynthesisError,
+    NetlistError,
+    CodegenError,
+    ProgramError,
+    CacheConfigError,
+    JobError,
+    NetworkValidationError,
+    SGraphError,
+    CharacterizationError,
+    InjectedFault,
+    WatchdogTimeout,
+    CorruptedEstimate,
+    EstimatorUnavailable,
+    CheckpointError,
+]
+
+
+@pytest.mark.parametrize("error_type", FRAMEWORK_ERRORS)
+def test_every_framework_error_is_a_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+    assert issubclass(error_type, Exception)
+
+
+@pytest.mark.parametrize(
+    "error_type",
+    # NetworkValidationError keeps its issue-list constructor.
+    [e for e in FRAMEWORK_ERRORS if e is not NetworkValidationError],
+)
+def test_plain_raise_still_works(error_type):
+    """The historical one-argument form is untouched by the re-parent."""
+    with pytest.raises(error_type) as excinfo:
+        raise error_type("boom")
+    assert str(excinfo.value) == "boom"
+    assert excinfo.value.context == {}
+
+
+def test_network_validation_error_keeps_issue_list():
+    error = NetworkValidationError(["a is bad", "b is bad"])
+    assert error.issues == ["a is bad", "b is bad"]
+    assert "a is bad" in str(error)
+    assert isinstance(error, ReproError)
+
+
+def test_structured_context():
+    error = IssError(
+        "unknown opcode",
+        component="consumer",
+        path_id=("consumer", "t1"),
+        sim_time_ns=1250.0,
+    )
+    assert error.component == "consumer"
+    assert error.path_id == ("consumer", "t1")
+    assert error.sim_time_ns == 1250.0
+    assert error.context == {
+        "component": "consumer",
+        "path_id": ("consumer", "t1"),
+        "sim_time_ns": 1250.0,
+    }
+    described = error.describe()
+    assert described.startswith("unknown opcode [")
+    assert "component='consumer'" in described
+    assert "sim_time_ns=1250.0" in described
+
+
+def test_describe_without_context_is_the_message():
+    assert MasterError("deadlock").describe() == "deadlock"
+
+
+def test_one_except_clause_catches_everything():
+    for error_type in FRAMEWORK_ERRORS:
+        try:
+            raise error_type("x")
+        except ReproError as caught:
+            assert isinstance(caught, error_type)
