@@ -10,8 +10,15 @@ Commands operate on the built-in example systems:
   design space and report the minimum-energy configuration.
 * ``characterize`` — run the software macro-model characterization and
   print the parameter file (the paper's Figure 3 artifact).
+* ``lint <system> [--format text|json|sarif] [--baseline PATH]`` — run
+  the whole-design static analyzer (see docs/static-analysis.md); the
+  exit code is 2 for errors, 1 for warnings, 0 otherwise.
 
-Systems: ``fig1`` (producer/timer/consumer), ``tcpip``, ``automotive``.
+``estimate`` and ``explore`` run the fast lint subset as a pre-flight
+gate (``--no-preflight`` opts out).
+
+Systems: ``fig1`` (producer/timer/consumer), ``tcpip``, ``tcpip-out``
+(TCP/IP with the outgoing path enabled), ``automotive``.
 """
 
 from __future__ import annotations
@@ -45,6 +52,9 @@ from repro.telemetry import Telemetry, render_report, write_chrome_trace
 _SYSTEMS = {
     "fig1": lambda: producer_consumer.build_system(num_packets=4),
     "tcpip": lambda: tcpip.build_system(dma_block_words=16),
+    "tcpip-out": lambda: tcpip.build_system(
+        dma_block_words=16, include_outgoing=True, num_outgoing=2
+    ),
     "automotive": lambda: automotive.build_system(),
 }
 
@@ -54,6 +64,9 @@ _SYSTEM_BUILDERS = {
     "fig1": ("repro.systems.producer_consumer:build_system",
              {"num_packets": 4}),
     "tcpip": ("repro.systems.tcpip:build_system", {"dma_block_words": 16}),
+    "tcpip-out": ("repro.systems.tcpip:build_system",
+                  {"dma_block_words": 16, "include_outgoing": True,
+                   "num_outgoing": 2}),
     "automotive": ("repro.systems.automotive:build_system", {}),
 }
 
@@ -84,6 +97,36 @@ def _fault_plan(args: argparse.Namespace):
     return FaultPlan.uniform(args.fault_sites, rate, seed=args.fault_seed)
 
 
+def _preflight(network, args: argparse.Namespace, metrics=None,
+               label: Optional[str] = None) -> None:
+    """Fast-lint gate before expensive runs (opt out: --no-preflight).
+
+    Errors abort the run (the same malformations would surface later
+    as confusing mid-simulation failures); warnings and notes print a
+    one-line summary and let the run proceed.
+    """
+    if getattr(args, "no_preflight", False):
+        return
+    from repro.lint import Severity, run_lint
+
+    result = run_lint(network, fast_only=True, metrics=metrics)
+    errors = result.count(Severity.ERROR)
+    if errors:
+        from repro.lint import render_text
+
+        sys.stderr.write(render_text(result.diagnostics,
+                                     title="pre-flight %s" % network.name))
+        raise SystemExit(
+            "pre-flight lint found %d error(s) in %r; fix them or rerun "
+            "with --no-preflight" % (errors, network.name)
+        )
+    remainder = len(result.diagnostics)
+    if remainder:
+        print("pre-flight lint: %d advisory finding(s) in %r "
+              "(run `repro lint %s` for details)"
+              % (remainder, network.name, label or network.name))
+
+
 def cmd_estimate(args: argparse.Namespace) -> int:
     if len(args.system) > 1:
         if _fault_plan(args) is not None:
@@ -109,6 +152,9 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     telemetry = None
     if args.trace or args.metrics or args.telemetry_report:
         telemetry = Telemetry()
+    _preflight(bundle.network, args,
+               metrics=telemetry.metrics if telemetry else None,
+               label=args.system[0])
     result = estimator.estimate(
         bundle.stimuli(),
         strategy=args.strategy,
@@ -180,6 +226,15 @@ def _estimate_many(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    _preflight(
+        tcpip.build_system(
+            dma_block_words=args.dma[0],
+            num_packets=args.packets,
+            packet_period_ns=args.period_ns,
+        ).network,
+        args,
+        label="tcpip",
+    )
     assignments = priority_permutations(list(tcpip.BUS_MASTERS))
     stats = PoolStats()
     points, results = parallel_sweep(
@@ -271,6 +326,45 @@ def _write_sweep_summary(path: str, points) -> None:
     )
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint <system>`` — the whole-design static analyzer."""
+    from repro.lint import (
+        EMITTERS,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+
+    bundle = _bundle(args.system)
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    telemetry = Telemetry() if args.metrics else None
+    result = run_lint(
+        bundle.network,
+        fast_only=args.fast,
+        baseline=baseline,
+        metrics=telemetry.metrics if telemetry else None,
+    )
+    if args.write_baseline:
+        accepted = result.diagnostics + result.suppressed
+        write_baseline(args.write_baseline, accepted)
+        print("wrote %s (%d finding(s) accepted)"
+              % (args.write_baseline, len(accepted)))
+        return 0
+    emitter = EMITTERS[args.format]
+    text = emitter(result.diagnostics,
+                   suppressed=len(result.suppressed),
+                   title=bundle.network.name)
+    if args.output:
+        atomic_write_text(args.output, text)
+        print("wrote %s" % args.output)
+    else:
+        print(text, end="")
+    if args.metrics:
+        atomic_write_text(args.metrics, telemetry.metrics.to_json() + "\n")
+        print("wrote %s" % args.metrics)
+    return result.exit_code
+
+
 def cmd_characterize(args: argparse.Namespace) -> int:
     characterizer = MacroModelCharacterizer()
     parameter_file = characterizer.characterize()
@@ -337,6 +431,8 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--telemetry-report", action="store_true",
                           help="collect telemetry and print the "
                                "end-of-run report without writing files")
+    estimate.add_argument("--no-preflight", action="store_true",
+                          help="skip the fast pre-flight lint gate")
     _add_fault_arguments(estimate)
     estimate.set_defaults(func=cmd_estimate)
 
@@ -375,8 +471,34 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="wall-clock budget per design point "
                               "(enforced in both --jobs 1 and pooled modes)")
+    explore.add_argument("--no-preflight", action="store_true",
+                         help="skip the fast pre-flight lint gate")
     _add_fault_arguments(explore)
     explore.set_defaults(func=cmd_explore)
+
+    lint = commands.add_parser(
+        "lint", help="run the whole-design static analyzer"
+    )
+    lint.add_argument("system", choices=sorted(_SYSTEMS))
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json", "sarif"],
+                      help="report format (default: text)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="suppress findings accepted in this baseline "
+                           "file (see docs/static-analysis.md)")
+    lint.add_argument("--write-baseline", metavar="PATH",
+                      help="accept every current finding into PATH "
+                           "and exit 0")
+    lint.add_argument("--fast", action="store_true",
+                      help="run only the fast passes (no synthesis, "
+                           "no macro-model characterization) — the "
+                           "same subset the pre-flight gate uses")
+    lint.add_argument("--output", metavar="PATH",
+                      help="write the report to PATH instead of stdout")
+    lint.add_argument("--metrics", metavar="FILE",
+                      help="write per-rule hit counters as a metrics "
+                           "registry JSON snapshot")
+    lint.set_defaults(func=cmd_lint)
 
     characterize = commands.add_parser(
         "characterize", help="build the SW macro-model parameter file"

@@ -134,7 +134,10 @@ class SGraphOptimizer:
                 return right
         elif op == "AND" and (right_const == 0 or left_const == 0):
             return Const(0)
-        elif op in ("SHL", "SHR") and right_const == 0:
+        elif op == "SHL" and right_const == 0:
+            # SHR is deliberately excluded: the interpreter's SHR wraps
+            # its operand to 32-bit unsigned, so SHR(x, 0) != x for
+            # negative x.
             return left
         return None
 

@@ -1,10 +1,13 @@
-"""Static checks on CFSM networks.
+"""Static checks on CFSM networks (legacy string-list façade).
 
-The checks catch the system-description mistakes that otherwise show up
-as confusing co-simulation behaviour: undeclared variables, emissions of
-events that are not declared outputs, value reads of pure events,
-dangling inputs that no process or testbench drives, and transitions
-that can never fire.
+The checks themselves now live in the :mod:`repro.lint` rule catalog —
+this module re-renders the subset marked ``in_validate`` (the
+historical contract of ``NetworkBuilder.build(validate=True)``) back
+into the plain strings this API has always returned.  New, advisory
+analyses (races, unconsumed outputs, path/cacheability reports) are
+deliberately NOT part of this subset: strict builds must not start
+failing on designs that were previously accepted.  Run ``repro lint``
+for the full analysis.
 """
 
 from __future__ import annotations
@@ -13,13 +16,6 @@ from typing import List
 from repro.errors import ReproError
 
 from repro.cfsm.model import Cfsm, Network
-from repro.cfsm.sgraph import (
-    Assign,
-    Emit,
-    SGraph,
-    SharedRead,
-    _expressions_of,
-)
 
 
 class NetworkValidationError(ReproError):
@@ -30,58 +26,33 @@ class NetworkValidationError(ReproError):
         self.issues = issues
 
 
+def _legacy_strings(diagnostics) -> List[str]:
+    """Render lint diagnostics in the historical ``proc.t: message``
+    form, keeping only the rules in the validate contract."""
+    from repro.lint.diagnostics import RULES
+
+    issues: List[str] = []
+    for diagnostic in diagnostics:
+        if not RULES[diagnostic.code].in_validate:
+            continue
+        location = diagnostic.location
+        if location.cfsm and location.transition:
+            issues.append(
+                "%s.%s: %s"
+                % (location.cfsm, location.transition, diagnostic.message)
+            )
+        elif location.cfsm:
+            issues.append("%s: %s" % (location.cfsm, diagnostic.message))
+        else:
+            issues.append(diagnostic.message)
+    return issues
+
+
 def validate_cfsm(cfsm: Cfsm) -> List[str]:
     """Return a list of problems found in one CFSM (empty if clean)."""
-    issues: List[str] = []
-    seen_transitions = set()
-    for transition in cfsm.transitions:
-        prefix = "%s.%s: " % (cfsm.name, transition.name)
-        if transition.name in seen_transitions:
-            issues.append(prefix + "duplicate transition name")
-        seen_transitions.add(transition.name)
-        if not transition.trigger:
-            issues.append(prefix + "has no trigger events (would never fire)")
-        for event in transition.trigger:
-            if event not in cfsm.inputs:
-                issues.append(prefix + "triggers on undeclared input %r" % event)
-        issues.extend(prefix + issue for issue in _check_body(cfsm, transition.body))
-        if transition.guard is not None:
-            for name in transition.guard.variables():
-                if name not in cfsm.variables:
-                    issues.append(prefix + "guard reads undeclared variable %r" % name)
-            for event in transition.guard.event_values():
-                issues.extend(prefix + issue for issue in _check_value_read(cfsm, event))
-    return issues
+    from repro.lint.network_rules import check_cfsm
 
-
-def _check_body(cfsm: Cfsm, body: SGraph) -> List[str]:
-    issues: List[str] = []
-    for stmt in body.nodes():
-        if isinstance(stmt, (Assign, SharedRead)) and stmt.target not in cfsm.variables:
-            issues.append("assigns undeclared variable %r" % stmt.target)
-        if isinstance(stmt, Emit):
-            if stmt.event not in cfsm.outputs:
-                issues.append("emits undeclared output %r" % stmt.event)
-            elif stmt.value is not None and not cfsm.outputs[stmt.event].has_value:
-                issues.append("emits a value on pure event %r" % stmt.event)
-        for expression in _expressions_of(stmt):
-            for name in expression.variables():
-                if name not in cfsm.variables:
-                    issues.append("reads undeclared variable %r" % name)
-            for event in expression.event_values():
-                issues.extend(_check_value_read(cfsm, event))
-    for name in cfsm.shared_variables:
-        if name not in cfsm.variables:
-            issues.append("shared variable %r is not declared" % name)
-    return issues
-
-
-def _check_value_read(cfsm: Cfsm, event: str) -> List[str]:
-    if event not in cfsm.inputs:
-        return ["reads value of undeclared input %r" % event]
-    if not cfsm.inputs[event].has_value:
-        return ["reads value of pure event %r" % event]
-    return []
+    return _legacy_strings(check_cfsm(cfsm))
 
 
 def validate_network(network: Network, strict: bool = True) -> List[str]:
@@ -90,50 +61,12 @@ def validate_network(network: Network, strict: bool = True) -> List[str]:
     Returns the list of issues; raises :class:`NetworkValidationError`
     in strict mode when the list is non-empty.
     """
+    from repro.lint.network_rules import check_cfsm, check_network
+
     issues: List[str] = []
     for _, cfsm in sorted(network.cfsms.items()):
-        issues.extend(validate_cfsm(cfsm))
-        if network.mapping.get(cfsm.name) is None:
-            issues.append("%s: has no HW/SW mapping" % cfsm.name)
-
-    # Event wiring: every consumed event must be produced by a CFSM or
-    # declared as an environment input.
-    dangling = network.external_inputs() - network.environment_inputs
-    for event in sorted(dangling):
-        consumers = ", ".join(c.name for c in network.consumers_of(event))
-        issues.append(
-            "event %r is consumed by [%s] but produced by no CFSM and "
-            "not declared as an environment input" % (event, consumers)
-        )
-
-    # Events mapped to the bus must actually exist.
-    known_events = set(network.all_event_types())
-    for event in sorted(network.bus_events):
-        if event not in known_events:
-            issues.append("bus event %r is not declared by any CFSM" % event)
-
-    # Reset events must reach at least one process, and it makes no
-    # sense for a transition to trigger on one (the reset pre-empts
-    # normal reaction).
-    for event in sorted(network.reset_events):
-        if not network.consumers_of(event):
-            issues.append("reset event %r has no watching process" % event)
-        for _, cfsm in sorted(network.cfsms.items()):
-            for transition in cfsm.transitions:
-                if event in transition.trigger:
-                    issues.append(
-                        "%s.%s: triggers on reset event %r"
-                        % (cfsm.name, transition.name, event)
-                    )
-
-    # Conflicting value-ness between producer and consumer declarations
-    # is caught by Network.all_event_types; surface it as an issue
-    # rather than an exception for consistency.
-    try:
-        network.all_event_types()
-    except ValueError as error:
-        issues.append(str(error))
-
+        issues.extend(_legacy_strings(check_cfsm(cfsm)))
+    issues.extend(_legacy_strings(check_network(network)))
     if strict and issues:
         raise NetworkValidationError(issues)
     return issues

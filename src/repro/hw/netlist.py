@@ -22,7 +22,24 @@ CONST1 = 1
 
 
 class NetlistError(ReproError):
-    """Raised on malformed netlist construction."""
+    """Raised on malformed netlist construction.
+
+    Carries the standard :class:`~repro.errors.ReproError` context
+    (``component`` is the netlist name) plus the offending ``net`` id,
+    so supervisors can attribute structural failures without parsing
+    the message.
+    """
+
+    def __init__(self, *args, net: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.net = net
+
+    @property
+    def context(self) -> Dict[str, object]:
+        fields = dict(super().context)
+        if self.net is not None:
+            fields["net"] = self.net
+        return fields
 
 
 @dataclass(frozen=True)
@@ -66,7 +83,11 @@ class Netlist:
         return len(self.dffs)
 
     def check(self) -> None:
-        """Verify structural sanity and evaluation-order validity."""
+        """Verify structural sanity and evaluation-order validity.
+
+        Failures raise :class:`NetlistError` with structured context:
+        ``component`` names this netlist, ``net`` the offending net id.
+        """
         defined = {CONST0, CONST1}
         for nets in self.input_ports.values():
             defined.update(nets)
@@ -77,17 +98,22 @@ class Netlist:
                 if net not in defined:
                     raise NetlistError(
                         "gate %r reads net %d before it is defined"
-                        % (gate.cell, net)
+                        % (gate.cell, net),
+                        component=self.name, net=net,
                     )
             defined.add(gate.output)
         for dff in self.dffs:
             if dff.d not in defined:
-                raise NetlistError("flip-flop D net %d is undefined" % dff.d)
+                raise NetlistError(
+                    "flip-flop D net %d is undefined" % dff.d,
+                    component=self.name, net=dff.d,
+                )
         for name, nets in self.output_ports.items():
             for net in nets:
                 if net not in defined:
                     raise NetlistError(
-                        "output port %r uses undefined net %d" % (name, net)
+                        "output port %r uses undefined net %d" % (name, net),
+                        component=self.name, net=net,
                     )
 
     def stats(self) -> Dict[str, int]:

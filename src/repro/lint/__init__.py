@@ -1,0 +1,70 @@
+"""Whole-design static analysis (the ``repro lint`` subsystem).
+
+Layers:
+
+* :mod:`repro.lint.diagnostics` — rule catalog, severities, locations,
+  fingerprints;
+* :mod:`repro.lint.baseline` — accepted-findings suppression files;
+* :mod:`repro.lint.emitters` — text / JSON / SARIF 2.1.0 reports;
+* :mod:`repro.lint.network_rules` — per-CFSM and cross-CFSM wiring
+  rules (including shared-variable race detection);
+* :mod:`repro.lint.paths` — s-graph reachability, feasible-path
+  enumeration, the Section 4.2 cacheability report, and Section 4.1
+  macro-model coverage;
+* :mod:`repro.lint.netlist_rules` — gate-level structural lint;
+* :mod:`repro.lint.passes` — the pass manager tying it together.
+"""
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.diagnostics import (
+    RULES,
+    Diagnostic,
+    Location,
+    Rule,
+    Severity,
+    exit_code,
+    max_severity,
+    rule,
+    sort_diagnostics,
+)
+from repro.lint.emitters import (
+    EMITTERS,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_report,
+)
+from repro.lint.passes import PASSES, LintPass, LintResult, run_lint
+from repro.lint.paths import CacheabilityReport, cacheability_report
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "CacheabilityReport",
+    "Diagnostic",
+    "EMITTERS",
+    "LintPass",
+    "LintResult",
+    "Location",
+    "PASSES",
+    "RULES",
+    "Rule",
+    "Severity",
+    "cacheability_report",
+    "exit_code",
+    "load_baseline",
+    "max_severity",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "rule",
+    "run_lint",
+    "sarif_report",
+    "sort_diagnostics",
+    "write_baseline",
+]

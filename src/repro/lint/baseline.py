@@ -1,0 +1,127 @@
+"""Baseline files: accepted-findings suppression.
+
+A baseline is a checked-in JSON inventory of known findings.  Linting
+with ``--baseline`` subtracts them, so a legacy design can gate CI on
+*new* findings only — the standard ratchet workflow (ruff's
+``--add-noqa``, ESLint bulk-suppressions, Android lint baselines).
+
+Suppression matches on the diagnostic fingerprint (rule code +
+location + message), never on ordering, so concurrent analyses and
+report reshuffles do not invalidate a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.lint.diagnostics import Diagnostic
+
+#: Format marker so later PRs can migrate baseline files knowingly.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """Raised for unreadable or future-versioned baseline files."""
+
+
+@dataclass
+class Baseline:
+    """A set of suppressed findings keyed by fingerprint."""
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: List[Diagnostic]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        entries: Dict[str, Dict[str, str]] = {}
+        for diagnostic in diagnostics:
+            entries[diagnostic.fingerprint] = {
+                "code": diagnostic.code,
+                "location": diagnostic.location.qualified_name(),
+                "message": diagnostic.message,
+            }
+        return cls(entries=entries)
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        """Whether ``diagnostic`` is in the accepted set."""
+        return diagnostic.fingerprint in self.entries
+
+    def apply(
+        self, diagnostics: List[Diagnostic]
+    ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """Split into (kept, suppressed), preserving order."""
+        kept: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            if self.suppresses(diagnostic):
+                suppressed.append(diagnostic)
+            else:
+                kept.append(diagnostic)
+        return kept, suppressed
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize; entries are sorted so the file diffs cleanly."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "suppress": [
+                {
+                    "fingerprint": fingerprint,
+                    "code": meta.get("code", ""),
+                    "location": meta.get("location", ""),
+                    "message": meta.get("message", ""),
+                }
+                for fingerprint, meta in sorted(self.entries.items())
+            ],
+        }
+        return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        """Parse a baseline produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise BaselineError("baseline is not valid JSON: %s" % error)
+        if not isinstance(payload, dict):
+            raise BaselineError("baseline must be a JSON object")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                "unsupported baseline version %r (expected %d)"
+                % (version, BASELINE_VERSION)
+            )
+        entries: Dict[str, Dict[str, str]] = {}
+        for row in payload.get("suppress", []):
+            if not isinstance(row, dict) or "fingerprint" not in row:
+                raise BaselineError("malformed baseline entry: %r" % (row,))
+            fingerprint = str(row["fingerprint"])
+            entries[fingerprint] = {
+                "code": str(row.get("code", "")),
+                "location": str(row.get("location", "")),
+                "message": str(row.get("message", "")),
+            }
+        return cls(entries=entries)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return Baseline.from_json(handle.read())
+    except OSError as error:
+        raise BaselineError("cannot read baseline %s: %s" % (path, error))
+
+
+def write_baseline(path: str, diagnostics: List[Diagnostic]) -> Baseline:
+    """Write a baseline accepting ``diagnostics`` (atomic)."""
+    from repro.ioutil import atomic_write_text
+
+    baseline = Baseline.from_diagnostics(diagnostics)
+    atomic_write_text(path, baseline.to_json())
+    return baseline

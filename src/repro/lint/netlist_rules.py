@@ -1,0 +1,213 @@
+"""Gate-level structural lint (NL300-NL306).
+
+Checks any :class:`~repro.hw.netlist.Netlist` — hand-built or produced
+by :mod:`repro.hw.synth` — for the classic structural defects:
+combinational cycles, floating nets, shorted drivers, dead logic, and
+invalid flip-flop initialization.  At network scope it synthesizes
+every hardware-mapped process (through the process-wide synthesis
+cache, so a following estimation run pays nothing extra) and compares
+the value-bus widths of connected blocks.
+
+Dead gates are reported as ONE aggregated note per netlist: the
+builder's constant folding and the shared-ALU synthesis style leave
+fanout-free cells behind by construction (unused ALU unit results,
+unread carry-outs), so a per-gate note would drown real findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfsm.model import Network
+from repro.errors import ReproError
+from repro.hw.netlist import CONST0, CONST1, Netlist
+from repro.lint.diagnostics import Diagnostic, Location, make
+
+
+def lint_netlist(netlist: Netlist,
+                 system: Optional[str] = None) -> List[Diagnostic]:
+    """Structural rules NL301-NL304 and NL306 over one netlist."""
+    diagnostics: List[Diagnostic] = []
+    where = Location(system=system, netlist=netlist.name)
+
+    drivers: Dict[int, int] = {CONST0: 1, CONST1: 1}
+
+    def drive(net: int) -> None:
+        drivers[net] = drivers.get(net, 0) + 1
+
+    for nets in netlist.input_ports.values():
+        for net in nets:
+            drive(net)
+    for dff in netlist.dffs:
+        drive(dff.q)
+    for gate in netlist.gates:
+        drive(gate.output)
+
+    for net in sorted(net for net, count in drivers.items() if count > 1):
+        diagnostics.append(make(
+            "NL303",
+            "net %d has %d drivers shorted together" % (net, drivers[net]),
+            Location(system=system, netlist=netlist.name, net=net),
+            data={"drivers": drivers[net]},
+        ))
+
+    read_nets: Set[int] = set()
+    for gate in netlist.gates:
+        read_nets.update(gate.inputs)
+    for dff in netlist.dffs:
+        read_nets.add(dff.d)
+    for nets in netlist.output_ports.values():
+        read_nets.update(nets)
+    for net in sorted(read_nets - set(drivers)):
+        diagnostics.append(make(
+            "NL302",
+            "net %d is read by logic but driven by nothing" % net,
+            Location(system=system, netlist=netlist.name, net=net),
+        ))
+
+    diagnostics.extend(_combinational_loops(netlist, system))
+
+    dead = _dead_gate_count(netlist)
+    if dead:
+        diagnostics.append(make(
+            "NL304",
+            "%d of %d gates reach no output port or flip-flop "
+            "(fanout-free logic left by constant folding / unused ALU "
+            "units)" % (dead, netlist.gate_count),
+            where, data={"dead_gates": dead, "gates": netlist.gate_count},
+        ))
+
+    for index, dff in enumerate(netlist.dffs):
+        if dff.init not in (0, 1):
+            diagnostics.append(make(
+                "NL306",
+                "flip-flop %d (q=net %d) has init %d, outside {0, 1}"
+                % (index, dff.q, dff.init),
+                Location(system=system, netlist=netlist.name, net=dff.q),
+                data={"init": dff.init},
+            ))
+    return diagnostics
+
+
+def _combinational_loops(netlist: Netlist,
+                         system: Optional[str]) -> List[Diagnostic]:
+    """NL301: gates that can never be scheduled because their inputs
+    (transitively) depend on their own outputs.
+
+    Worklist topological scheduling: a gate is ready once all its
+    inputs are defined (constants, input ports, flip-flop Q nets, or
+    previously scheduled gate outputs).  Gates left over whose missing
+    inputs ARE driven — just never definable — sit on a cycle.
+    """
+    defined: Set[int] = {CONST0, CONST1}
+    for nets in netlist.input_ports.values():
+        defined.update(nets)
+    for dff in netlist.dffs:
+        defined.add(dff.q)
+
+    driven: Set[int] = set(defined)
+    for gate in netlist.gates:
+        driven.add(gate.output)
+
+    remaining = list(netlist.gates)
+    while True:
+        scheduled, deferred = [], []
+        for gate in remaining:
+            if all(net in defined for net in gate.inputs):
+                scheduled.append(gate)
+            else:
+                deferred.append(gate)
+        if not scheduled:
+            break
+        for gate in scheduled:
+            defined.add(gate.output)
+        remaining = deferred
+
+    cyclic = [
+        gate for gate in remaining
+        if all(net in driven for net in gate.inputs)
+    ]
+    if not cyclic:
+        return []
+    nets = sorted({gate.output for gate in cyclic})
+    cells = sorted({gate.cell for gate in cyclic})
+    return [make(
+        "NL301",
+        "combinational loop through %d gate(s) (%s); nets involved: %s"
+        % (len(cyclic), ", ".join(cells),
+           ", ".join(str(net) for net in nets[:8])
+           + ("..." if len(nets) > 8 else "")),
+        Location(system=system, netlist=netlist.name, net=nets[0]),
+        data={"nets": nets, "cells": cells},
+    )]
+
+
+def _dead_gate_count(netlist: Netlist) -> int:
+    """Gates whose output transitively reaches no port or flip-flop."""
+    by_output = {gate.output: gate for gate in netlist.gates}
+    needed: Set[int] = set()
+    for nets in netlist.output_ports.values():
+        needed.update(nets)
+    for dff in netlist.dffs:
+        needed.add(dff.d)
+    live: Set[int] = set()
+    stack = [net for net in needed if net in by_output]
+    while stack:
+        net = stack.pop()
+        if net in live:
+            continue
+        live.add(net)
+        for source in by_output[net].inputs:
+            if source in by_output and source not in live:
+                stack.append(source)
+    return netlist.gate_count - len(live)
+
+
+def check_hw_blocks(network: Network) -> List[Diagnostic]:
+    """Synthesize every HW-mapped process and lint the results
+    (NL300 on rejection, NL301-NL306 structurally, NL305 across
+    connected blocks)."""
+    from repro.hw.synth import SynthesizedBlock, synthesize_cfsm_cached
+
+    diagnostics: List[Diagnostic] = []
+    blocks: Dict[str, SynthesizedBlock] = {}
+    for cfsm in network.hardware_cfsms():
+        try:
+            blocks[cfsm.name] = synthesize_cfsm_cached(cfsm)
+        except ReproError as error:
+            diagnostics.append(make(
+                "NL300",
+                "hardware synthesis failed: %s" % error,
+                Location(system=network.name, cfsm=cfsm.name),
+            ))
+            continue
+        diagnostics.extend(
+            lint_netlist(blocks[cfsm.name].netlist, system=network.name)
+        )
+
+    for producer_name, producer in sorted(blocks.items()):
+        for event, value_port in sorted(producer.value_ports.items()):
+            out_width = len(producer.netlist.output_ports[value_port])
+            for consumer in network.consumers_of(event):
+                consumed = blocks.get(consumer.name)
+                if consumed is None:
+                    continue
+                in_port = consumed.input_ports.get(event)
+                if in_port is None:
+                    continue
+                in_width = len(consumed.netlist.input_ports[in_port])
+                if in_width != out_width:
+                    diagnostics.append(make(
+                        "NL305",
+                        "event %r travels from %r (%d-bit bus) to %r "
+                        "(%d-bit bus); the datapath widths disagree"
+                        % (event, producer_name, out_width,
+                           consumer.name, in_width),
+                        Location(system=network.name, event=event,
+                                 port=value_port),
+                        data={"producer": producer_name,
+                              "consumer": consumer.name,
+                              "producer_width": out_width,
+                              "consumer_width": in_width},
+                    ))
+    return diagnostics

@@ -1,0 +1,140 @@
+"""Pass manager: which analyses run, in what order, over a network.
+
+Passes are registered in a fixed order (cheap structural checks first)
+and filtered two ways: the *fast subset* (``fast=True`` passes only —
+no synthesis, no macro-model characterization) backs the pre-flight
+gate inside ``estimate``/``explore``; a baseline subtracts accepted
+findings afterwards.  Per-rule hit counts are threaded into a
+:class:`~repro.telemetry.metrics.MetricsRegistry` as
+``lint.rule.<CODE>`` counters so long-running explorations expose what
+the gate keeps catching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cfsm.model import Network
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import (
+    Diagnostic,
+    exit_code,
+    max_severity,
+    sort_diagnostics,
+)
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One analysis stage.
+
+    ``fast`` passes are pure structural walks; slow passes may
+    synthesize hardware or characterize the software macro-model.
+    """
+
+    name: str
+    run: Callable[[Network], List[Diagnostic]]
+    fast: bool = True
+
+
+def _run_cfsm_rules(network: Network) -> List[Diagnostic]:
+    from repro.lint.network_rules import check_cfsm
+
+    diagnostics: List[Diagnostic] = []
+    for _, cfsm in sorted(network.cfsms.items()):
+        diagnostics.extend(check_cfsm(cfsm, system=network.name))
+    return diagnostics
+
+
+def _run_network_rules(network: Network) -> List[Diagnostic]:
+    from repro.lint.network_rules import check_network
+
+    return check_network(network)
+
+
+def _run_path_rules(network: Network) -> List[Diagnostic]:
+    from repro.lint.paths import check_paths
+
+    return check_paths(network)
+
+
+def _run_macro_coverage(network: Network) -> List[Diagnostic]:
+    from repro.core.macromodel import MacroModelCharacterizer
+    from repro.lint.paths import check_macro_coverage
+
+    if not network.software_cfsms():
+        return []
+    parameter_file = MacroModelCharacterizer().characterize()
+    return check_macro_coverage(network, parameter_file)
+
+
+def _run_netlist_rules(network: Network) -> List[Diagnostic]:
+    from repro.lint.netlist_rules import check_hw_blocks
+
+    return check_hw_blocks(network)
+
+
+#: All registered passes, execution order.  Names are stable (they
+#: appear in ``--verbose`` output and telemetry), codes stay with their
+#: pass.
+PASSES: List[LintPass] = [
+    LintPass("cfsm-structure", _run_cfsm_rules),
+    LintPass("network-wiring", _run_network_rules),
+    LintPass("path-analysis", _run_path_rules),
+    LintPass("macro-coverage", _run_macro_coverage, fast=False),
+    LintPass("netlist-structure", _run_netlist_rules, fast=False),
+]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    system: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: List[Diagnostic] = field(default_factory=list)
+    passes_run: List[str] = field(default_factory=list)
+
+    @property
+    def max_severity(self) -> Optional[str]:
+        return max_severity(self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        return exit_code(self.diagnostics)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+
+def run_lint(network: Network,
+             fast_only: bool = False,
+             baseline: Optional[Baseline] = None,
+             metrics=None) -> LintResult:
+    """Run the pass pipeline over ``network``.
+
+    ``fast_only`` restricts to the pre-flight subset.  ``baseline``
+    moves accepted findings into ``result.suppressed``.  ``metrics``
+    (a :class:`~repro.telemetry.metrics.MetricsRegistry`) receives
+    ``lint.rule.<CODE>`` hit counters for every finding, suppressed or
+    not — the baseline hides reports, not facts.
+    """
+    result = LintResult(system=network.name)
+    diagnostics: List[Diagnostic] = []
+    for lint_pass in PASSES:
+        if fast_only and not lint_pass.fast:
+            continue
+        diagnostics.extend(lint_pass.run(network))
+        result.passes_run.append(lint_pass.name)
+    diagnostics = sort_diagnostics(diagnostics)
+    if metrics is not None:
+        for diagnostic in diagnostics:
+            metrics.counter("lint.rule.%s" % diagnostic.code).inc()
+    if baseline is not None:
+        kept, suppressed = baseline.apply(diagnostics)
+        result.diagnostics = kept
+        result.suppressed = suppressed
+    else:
+        result.diagnostics = diagnostics
+    return result

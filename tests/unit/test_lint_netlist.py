@@ -1,0 +1,181 @@
+"""Unit tests: gate-level structural lint and NetlistError context."""
+
+import pytest
+
+from repro.cfsm.builder import NetworkBuilder
+from repro.cfsm.expr import const, event_value
+from repro.cfsm.model import Implementation
+from repro.cfsm.sgraph import assign, emit
+from repro.hw.netlist import Dff, Gate, Netlist, NetlistError
+from repro.lint.netlist_rules import check_hw_blocks, lint_netlist
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def one(diagnostics, code):
+    matches = [d for d in diagnostics if d.code == code]
+    assert len(matches) == 1, "expected one %s, got %r" % (code, matches)
+    return matches[0]
+
+
+def netlist(gates=(), dffs=(), inputs=None, outputs=None, num_nets=16):
+    return Netlist(
+        name="t",
+        num_nets=num_nets,
+        gates=list(gates),
+        dffs=list(dffs),
+        input_ports=dict(inputs or {}),
+        output_ports=dict(outputs or {}),
+    )
+
+
+class TestStructuralRules:
+    def test_clean_netlist(self):
+        built = netlist(
+            gates=[Gate("INV", (2,), 3)],
+            inputs={"a": [2]},
+            outputs={"y": [3]},
+        )
+        assert lint_netlist(built) == []
+
+    def test_undriven_net(self):
+        built = netlist(gates=[Gate("INV", (5,), 6)], outputs={"y": [6]})
+        finding = one(lint_netlist(built), "NL302")
+        assert finding.location.net == 5
+
+    def test_shorted_drivers(self):
+        built = netlist(
+            gates=[Gate("INV", (2,), 4), Gate("BUF", (2,), 4)],
+            inputs={"a": [2]},
+            outputs={"y": [4]},
+        )
+        finding = one(lint_netlist(built), "NL303")
+        assert finding.location.net == 4
+        assert finding.data["drivers"] == 2
+
+    def test_combinational_loop(self):
+        built = netlist(
+            gates=[Gate("INV", (5,), 4), Gate("INV", (4,), 5)],
+            outputs={"y": [4]},
+        )
+        finding = one(lint_netlist(built), "NL301")
+        assert finding.data["nets"] == [4, 5]
+        assert finding.data["cells"] == ["INV"]
+        # A loop is an error: the simulator would never settle.
+        assert finding.severity == "error"
+
+    def test_loop_not_confused_with_floating_inputs(self):
+        # A gate waiting on a truly undriven net is NL302, not NL301.
+        built = netlist(gates=[Gate("INV", (9,), 4)], outputs={"y": [4]})
+        found = codes(lint_netlist(built))
+        assert "NL302" in found
+        assert "NL301" not in found
+
+    def test_dead_gates_aggregated(self):
+        built = netlist(
+            gates=[
+                Gate("INV", (2,), 4),   # reaches output: live
+                Gate("INV", (2,), 5),   # feeds only gate 6: dead pair
+                Gate("BUF", (5,), 6),
+            ],
+            inputs={"a": [2]},
+            outputs={"y": [4]},
+        )
+        finding = one(lint_netlist(built), "NL304")
+        assert finding.data["dead_gates"] == 2
+        assert finding.data["gates"] == 3
+
+    def test_dff_keeps_fanin_alive(self):
+        built = netlist(
+            gates=[Gate("INV", (2,), 4)],
+            dffs=[Dff(d=4, q=5)],
+            inputs={"a": [2]},
+            outputs={"y": [5]},
+        )
+        assert "NL304" not in codes(lint_netlist(built))
+
+    def test_invalid_dff_init(self):
+        built = netlist(
+            dffs=[Dff(d=2, q=4, init=7)],
+            inputs={"a": [2]},
+            outputs={"y": [4]},
+        )
+        finding = one(lint_netlist(built), "NL306")
+        assert finding.location.net == 4
+        assert finding.data["init"] == 7
+
+
+def hw_network(consumer_width=16):
+    """HW producer emitting a valued event to a HW consumer."""
+    net = NetworkBuilder("hwsys")
+    producer = net.cfsm("prod", mapping=Implementation.HW)
+    producer.input("GO").output("DATA", has_value=True)
+    producer.transition("t", trigger=["GO"], body=[emit("DATA", const(3))])
+    consumer = net.cfsm("cons", mapping=Implementation.HW,
+                        width=consumer_width)
+    consumer.input("DATA", has_value=True).var("x", 0)
+    consumer.transition("t", trigger=["DATA"],
+                        body=[assign("x", event_value("DATA"))])
+    net.environment_input("GO")
+    return net.build(validate=False)
+
+
+class TestHwBlocks:
+    def test_synthesized_blocks_linted(self):
+        diagnostics = check_hw_blocks(hw_network())
+        # Real synthesis output must carry no structural errors.
+        assert not any(d.severity == "error" for d in diagnostics)
+
+    def test_width_mismatch_reported(self):
+        diagnostics = check_hw_blocks(hw_network(consumer_width=8))
+        finding = one(diagnostics, "NL305")
+        assert finding.location.event == "DATA"
+        assert finding.data["producer_width"] == 16
+        assert finding.data["consumer_width"] == 8
+
+    def test_software_only_network_skips_synthesis(self):
+        net = NetworkBuilder("swsys")
+        proc = net.cfsm("p", mapping=Implementation.SW)
+        proc.input("GO")
+        proc.transition("t", trigger=["GO"], body=[])
+        net.environment_input("GO")
+        assert check_hw_blocks(net.build(validate=False)) == []
+
+
+class TestNetlistErrorContext:
+    """Netlist.check() failures carry structured error context."""
+
+    def test_gate_reading_undefined_net(self):
+        built = netlist(gates=[Gate("INV", (9,), 4)])
+        with pytest.raises(NetlistError) as info:
+            built.check()
+        assert info.value.context["component"] == "t"
+        assert info.value.context["net"] == 9
+        assert "INV" in str(info.value)
+
+    def test_dff_with_undefined_d(self):
+        built = netlist(dffs=[Dff(d=9, q=4)])
+        with pytest.raises(NetlistError) as info:
+            built.check()
+        assert info.value.context["net"] == 9
+
+    def test_output_port_on_undefined_net(self):
+        built = netlist(outputs={"y": [9]})
+        with pytest.raises(NetlistError) as info:
+            built.check()
+        assert info.value.context["component"] == "t"
+        assert info.value.context["net"] == 9
+        assert "'y'" in str(info.value)
+
+    def test_gate_order_is_evaluation_order(self):
+        # Using a net before the gate that drives it is rejected even
+        # though a driver exists later in the list.
+        built = netlist(
+            gates=[Gate("INV", (4,), 5), Gate("INV", (2,), 4)],
+            inputs={"a": [2]},
+        )
+        with pytest.raises(NetlistError) as info:
+            built.check()
+        assert info.value.context["net"] == 4

@@ -1,0 +1,305 @@
+"""Unit tests: path enumeration, cacheability, and macro coverage."""
+
+import pytest
+
+from repro.cfsm.actions import MacroOpKind, all_macro_op_names
+from repro.cfsm.builder import CfsmBuilder, NetworkBuilder
+from repro.cfsm.expr import add, const, event_value, gt, var
+from repro.cfsm.model import Implementation
+from repro.cfsm.sgraph import SGraph, assign, emit, if_, loop, shared_read
+from repro.core.macromodel import MacroCost, ParameterFile
+from repro.lint.paths import (
+    BLOWUP_THRESHOLD,
+    SIGNATURE_CAP,
+    TOP,
+    PathSet,
+    cacheability_report,
+    check_macro_coverage,
+    check_paths,
+    compute_value_sets,
+    enumerate_paths,
+    shadowing_transition,
+    static_macro_ops,
+    static_value,
+)
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestPathSet:
+    def test_identity(self):
+        empty = PathSet()
+        assert empty.count == 1
+        assert empty.signatures == ((),)
+
+    def test_sequence_multiplies(self):
+        two = PathSet().prefixed(1, "T").union(PathSet().prefixed(1, "F"))
+        combined = two.sequence(two)
+        assert combined.count == 4
+        assert len(combined.signatures) == 4
+        assert ((1, "T"), (1, "T")) in combined.signatures
+
+    def test_union_adds(self):
+        two = PathSet().union(PathSet())
+        assert two.count == 2
+
+    def test_power(self):
+        two = PathSet().prefixed(1, "T").union(PathSet().prefixed(1, "F"))
+        cubed = two.power(3)
+        assert cubed.count == 8
+        assert len(cubed.signatures) == 8
+        assert two.power(0).count == 1
+
+    def test_signature_cap_keeps_count_exact(self):
+        two = PathSet().prefixed(1, "T").union(PathSet().prefixed(1, "F"))
+        big = two.power(20)  # 2^20 >> SIGNATURE_CAP
+        assert big.count == 2 ** 20 > SIGNATURE_CAP
+        assert big.capped
+        assert big.signatures is None
+
+
+class TestValueSets:
+    def build(self):
+        builder = CfsmBuilder("p")
+        builder.input("GO", has_value=True)
+        builder.var("mode", 0).var("data", 0).var("mem", 0)
+        builder.transition("t", trigger=["GO"], body=[
+            assign("mode", const(2)),
+            assign("data", event_value("GO")),
+            shared_read("mem", const(0x10)),
+        ])
+        return builder.build()
+
+    def test_constants_collected(self):
+        values = compute_value_sets(self.build())
+        assert values["mode"] == frozenset({0, 2})
+
+    def test_data_dependence_widens_to_top(self):
+        values = compute_value_sets(self.build())
+        assert values["data"] is TOP
+        assert values["mem"] is TOP
+
+    def test_static_value(self):
+        values = {"a": frozenset({3}), "b": frozenset({1, 2})}
+        assert static_value(add(var("a"), const(1)), values) == 4
+        assert static_value(var("b"), values) is None  # not a singleton
+        assert static_value(event_value("GO"), values) is None
+
+
+class TestEnumeratePaths:
+    def test_straight_line_is_one_path(self):
+        result = enumerate_paths([assign("x", const(1))],
+                                 {"x": frozenset({0})})
+        assert result.count == 1
+        assert result.paths.signatures == ((),)
+
+    def test_unknown_branch_doubles(self):
+        body = [if_(gt(var("x"), const(0)), [emit("A")], [emit("B")])]
+        result = enumerate_paths(body, {"x": TOP})
+        assert result.count == 2
+        assert result.constant_branches == []
+
+    def test_static_branch_prunes(self):
+        # Wrap in an SGraph so statements get their depth-first node
+        # ids, the way check_paths sees transition bodies.
+        body = SGraph(
+            [if_(gt(var("x"), const(0)), [emit("A")], [emit("B")])]
+        ).statements
+        result = enumerate_paths(body, {"x": frozenset({5})})
+        assert result.count == 1
+        assert result.constant_branches == [(1, True)]
+
+    def test_counted_loop_powers(self):
+        body = [loop(const(3), [
+            if_(gt(var("x"), const(0)), [emit("A")], []),
+        ])]
+        result = enumerate_paths(body, {"x": TOP})
+        assert result.count == 2 ** 3
+        assert not result.paths.unbounded
+
+    def test_data_bound_over_branching_body_is_unbounded(self):
+        body = [loop(var("n"), [
+            if_(gt(var("x"), const(0)), [emit("A")], []),
+        ])]
+        result = enumerate_paths(body, {"n": TOP, "x": TOP})
+        assert result.paths.unbounded
+
+    def test_data_bound_over_straight_body_is_fine(self):
+        # Loop iterations leave no trace in the path signature, so a
+        # data-dependent bound around branch-free code is one path.
+        body = [loop(var("n"), [assign("x", add(var("x"), const(1)))])]
+        result = enumerate_paths(body, {"n": TOP, "x": TOP})
+        assert result.count == 1
+        assert not result.paths.unbounded
+
+
+def build_network(transitions, variables=(), inputs=("GO",), name="sys"):
+    net = NetworkBuilder(name)
+    proc = net.cfsm("p", mapping=Implementation.SW)
+    for event in inputs:
+        proc.input(event, has_value=True)
+    proc.output("OUT", has_value=True)
+    for var_name, initial in variables:
+        proc.var(var_name, initial)
+    for args in transitions:
+        proc.transition(**args)
+    net.environment_input(*inputs)
+    return net.build(validate=False)
+
+
+class TestLivenessRules:
+    def test_shadowed_transition(self):
+        built = build_network([
+            dict(name="first", trigger=["GO"], body=[]),
+            dict(name="second", trigger=["GO"], body=[emit("OUT", const(1))]),
+        ])
+        cfsm = built.cfsms["p"]
+        values = compute_value_sets(cfsm)
+        assert shadowing_transition(cfsm, 1, values).name == "first"
+        finding = [d for d in check_paths(built) if d.code == "SG201"]
+        assert finding and finding[0].location.transition == "second"
+        assert finding[0].data["shadowed_by"] == "first"
+
+    def test_guarded_earlier_transition_does_not_shadow(self):
+        built = build_network(
+            [
+                dict(name="first", trigger=["GO"], body=[],
+                     guard=gt(var("x"), const(0))),
+                dict(name="second", trigger=["GO"], body=[]),
+            ],
+            variables=[("x", 0)],
+        )
+        cfsm = built.cfsms["p"]
+        # x is TOP-free but {0}: the guard is statically false, so
+        # "first" never fires — SG202 on it, no SG201 on "second"...
+        values = compute_value_sets(cfsm)
+        assert shadowing_transition(cfsm, 1, values) is None
+        found = codes(check_paths(built))
+        assert "SG202" in found
+        assert "SG201" not in found
+
+    def test_statically_false_guard(self):
+        built = build_network(
+            [dict(name="t", trigger=["GO"], body=[],
+                  guard=gt(var("x"), const(9)))],
+            variables=[("x", 1)],
+        )
+        assert "SG202" in codes(check_paths(built))
+
+    def test_constant_branch_noted(self):
+        built = build_network(
+            [dict(name="t", trigger=["GO"], body=[
+                if_(gt(var("x"), const(0)), [emit("OUT", const(1))], []),
+            ])],
+            variables=[("x", 4)],
+        )
+        finding = [d for d in check_paths(built) if d.code == "SG203"]
+        assert finding
+        assert finding[0].data["taken"] is True
+        assert finding[0].location.node == 1
+
+    def test_unbounded_table_noted(self):
+        built = build_network(
+            [dict(name="t", trigger=["GO"], body=[
+                loop(event_value("GO"), [
+                    if_(gt(event_value("GO"), const(0)),
+                        [emit("OUT", const(1))], []),
+                ]),
+            ])],
+        )
+        assert "SG204" in codes(check_paths(built))
+
+    def test_blowup_noted(self):
+        depth = 10  # 2^10 = 1024 > BLOWUP_THRESHOLD
+        assert 2 ** depth > BLOWUP_THRESHOLD
+        built = build_network(
+            [dict(name="t", trigger=["GO"], body=[
+                loop(const(depth), [
+                    if_(gt(event_value("GO"), const(0)),
+                        [emit("OUT", const(1))], []),
+                ]),
+            ])],
+        )
+        finding = [d for d in check_paths(built) if d.code == "SG205"]
+        assert finding and finding[0].data["paths"] == 2 ** depth
+
+
+class TestCacheabilityReport:
+    def build(self):
+        return build_network(
+            [
+                # Statically-false guard: never fires, and (being
+                # guarded) does not shadow the transitions below.
+                dict(name="dead", trigger=["GO"],
+                     guard=gt(var("z"), const(9)),
+                     body=[
+                         if_(gt(event_value("GO"), const(5)),
+                             [emit("OUT", const(2))], []),
+                     ]),
+                dict(name="plain", trigger=["GO"], body=[
+                    emit("OUT", const(1)),
+                ]),
+                dict(name="branchy", trigger=["GO2"], body=[
+                    if_(gt(event_value("GO2"), const(0)),
+                        [emit("OUT", const(1))], []),
+                ]),
+            ],
+            variables=[("z", 0)],
+            inputs=("GO", "GO2"),
+        )
+
+    def test_rows_and_sizes(self):
+        report = cacheability_report(self.build())
+        assert report.row_for("p", "plain").path_count == 1
+        assert report.row_for("p", "branchy").path_count == 2
+        assert report.row_for("p", "dead").dead
+        assert report.predicted_table_size("path") == 3
+        assert report.predicted_table_size("transition") == 2
+
+    def test_unknown_granularity_rejected(self):
+        with pytest.raises(ValueError):
+            cacheability_report(self.build()).predicted_table_size("bogus")
+
+    def test_missing_row_rejected(self):
+        with pytest.raises(KeyError):
+            cacheability_report(self.build()).row_for("p", "absent")
+
+
+class TestMacroCoverage:
+    def build(self):
+        return build_network(
+            [dict(name="t", trigger=["GO"], body=[
+                assign("x", event_value("GO")),
+                if_(gt(var("x"), const(0)), [emit("OUT", var("x"))], []),
+            ])],
+            variables=[("x", 0)],
+        )
+
+    def test_static_ops_mirror_interpreter(self):
+        transition = self.build().cfsms["p"].transitions[0]
+        ops = static_macro_ops(transition)
+        assert {MacroOpKind.AVV, MacroOpKind.ADETECT,
+                MacroOpKind.TIVART, MacroOpKind.TIVARF,
+                MacroOpKind.AEMIT} <= ops
+        assert "GT" in ops  # the comparison itself is priced
+
+    def test_full_table_is_clean(self):
+        table = ParameterFile(
+            {name: MacroCost() for name in all_macro_op_names()}
+        )
+        assert check_macro_coverage(self.build(), table) == []
+
+    def test_missing_op_reported(self):
+        names = set(all_macro_op_names()) - {MacroOpKind.ADETECT}
+        table = ParameterFile({name: MacroCost() for name in names})
+        findings = check_macro_coverage(self.build(), table)
+        assert codes(findings) == {"MM401"}
+        assert findings[0].data["op"] == MacroOpKind.ADETECT
+        assert findings[0].data["transitions"] == ["t"]
+
+    def test_hardware_processes_exempt(self):
+        built = self.build()
+        built.remap("p", Implementation.HW)
+        assert check_macro_coverage(built, ParameterFile({})) == []
