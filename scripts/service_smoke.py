@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of `repro serve` — the CI service gate.
+
+Starts the server as a subprocess, then drives the acceptance scenario
+from the outside, exactly as a deployment would see it:
+
+1. concurrent estimates for two bundled systems answer 200 with exact
+   provenance;
+2. a chaos request (100% hw faults) answers 200 *degraded*, with the
+   breaker for that site open in /stats;
+3. a burst beyond workers+queue sees explicit 429 backpressure with a
+   Retry-After header;
+4. SIGTERM drains gracefully: exit code 0 and a drain report.
+
+Exits non-zero (with a message) on the first violated expectation.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+
+
+def post(port, body, timeout=120):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=timeout)
+    try:
+        connection.request("POST", "/estimate", body=json.dumps(body),
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        headers = dict(response.getheaders())
+        return response.status, headers, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def get(port, path):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def fail(message):
+    print("service smoke FAILED: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--queue-depth", "4", "--deadline-s", "60",
+         "--breaker-threshold", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=dict(os.environ, PYTHONUNBUFFERED="1"), text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        if "listening on http://" not in banner:
+            fail("no startup banner: %r" % banner)
+        port = int(banner.split("http://127.0.0.1:")[1].split(" ")[0])
+
+        status, body = get(port, "/readyz")
+        if (status, body.get("status")) != (200, "ready"):
+            fail("/readyz not ready: %s %s" % (status, body))
+
+        # 1. Concurrent clean estimates for two bundled systems.
+        outcomes = {}
+
+        def run_clean(system):
+            outcomes[system] = post(port, {"system": system,
+                                           "strategy": "full"})
+
+        threads = [threading.Thread(target=run_clean, args=(system,))
+                   for system in ("fig1", "tcpip")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        for system, (status, _, body) in outcomes.items():
+            if status != 200:
+                fail("%s answered %s: %s" % (system, status, body))
+            if body["degraded"]:
+                fail("clean %s run reported degraded" % system)
+            if set(body["provenance"]) != {"exact"}:
+                fail("clean %s run not fully exact: %s"
+                     % (system, body["provenance"]))
+        print("clean estimates OK: fig1 + tcpip, all-exact provenance")
+
+        # 2. Chaos request: 100% hw faults must trip the breaker and
+        #    still be answered from the degradation ladder.
+        status, _, body = post(port, {
+            "system": "fig1", "strategy": "full",
+            "fault": {"rate": 1.0, "sites": ["hw"], "retries": 0},
+        })
+        if status != 200:
+            fail("chaos request answered %s: %s" % (status, body))
+        if not body["degraded"]:
+            fail("100%% hw faults but degraded=false")
+        if not any(level != "exact" for level in body["provenance"]):
+            fail("no degraded provenance tag: %s" % body["provenance"])
+        if body["breakers"].get("fig1:hw") != "open":
+            fail("fig1:hw breaker not open: %s" % body["breakers"])
+        _, stats = get(port, "/stats")
+        breaker = stats["breakers"]["fig1:hw"]
+        if breaker["opens"] < 1 or breaker["short_circuits"] < 1:
+            fail("breaker never short-circuited: %s" % breaker)
+        print("breaker OK: fig1:hw open, %d short-circuits, provenance %s"
+              % (breaker["short_circuits"], body["provenance"]))
+
+        # 3. Saturation: a burst beyond workers+queue must see 429s
+        #    (and every accepted request must still complete).
+        burst = []
+        start_together = threading.Barrier(24)
+
+        def run_burst(index):
+            start_together.wait(30)  # maximize submission collisions
+            try:
+                burst.append(post(port, {
+                    "system": "tcpip", "strategy": "full",
+                    "fault": {"rate": 0.01, "sites": ["hw"],
+                              "seed": index, "retries": 1},
+                }))
+            except OSError:
+                # A connection reset under overload is backpressure
+                # too, just the TCP-level kind; tolerated, not counted.
+                burst.append(("reset", {}, {}))
+
+        threads = [threading.Thread(target=run_burst, args=(index,))
+                   for index in range(24)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(180)
+        statuses = sorted(str(status) for status, _, _ in burst)
+        if "429" not in statuses:
+            fail("24-request burst against workers=2/queue=4 saw no 429: %s"
+                 % statuses)
+        if statuses.count("200") < 1:
+            fail("burst starved completely: %s" % statuses)
+        for status, headers, _ in burst:
+            if status == 429 and "Retry-After" not in headers:
+                fail("429 without Retry-After header")
+            if status not in (200, 429, 503, 504, "reset"):
+                fail("unexpected burst status %s" % status)
+        print("backpressure OK: burst statuses %s"
+              % dict((status, statuses.count(status))
+                     for status in sorted(set(statuses))))
+
+        # 4. Graceful drain on SIGTERM.
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=120)
+        output = process.stdout.read()
+        if process.returncode != 0:
+            fail("serve exited %s after SIGTERM:\n%s"
+                 % (process.returncode, output))
+        if "drain" not in output:
+            fail("no drain report in output:\n%s" % output)
+        print("drain OK: exit 0 — %s"
+              % output.strip().splitlines()[-1])
+        print("service smoke PASSED")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,10 @@ Commands operate on the built-in example systems:
 * ``lint <system> [--format text|json|sarif] [--baseline PATH]`` — run
   the whole-design static analyzer (see docs/static-analysis.md); the
   exit code is 2 for errors, 1 for warnings, 0 otherwise.
+* ``serve [--port N] [--workers N] [--queue-depth N]`` — run the
+  long-lived co-estimation service (JSON over HTTP, bounded admission
+  queue, circuit breakers, graceful SIGTERM drain; see
+  docs/service.md).
 
 ``estimate`` and ``explore`` run the fast lint subset as a pre-flight
 gate (``--no-preflight`` opts out).
@@ -45,39 +49,16 @@ from repro.parallel import (
     run_jobs,
     write_merged_chrome_trace,
 )
-from repro.systems import automotive, producer_consumer, tcpip
+from repro.systems import build_bundle, builder_spec, system_names, tcpip
 from repro.systems.bundle import SystemBundle
 from repro.telemetry import Telemetry, render_report, write_chrome_trace
-
-_SYSTEMS = {
-    "fig1": lambda: producer_consumer.build_system(num_packets=4),
-    "tcpip": lambda: tcpip.build_system(dma_block_words=16),
-    "tcpip-out": lambda: tcpip.build_system(
-        dma_block_words=16, include_outgoing=True, num_outgoing=2
-    ),
-    "automotive": lambda: automotive.build_system(),
-}
-
-#: Builder specs for worker-side reconstruction (multi-system fan-out):
-#: the same systems as ``_SYSTEMS`` but as picklable descriptions.
-_SYSTEM_BUILDERS = {
-    "fig1": ("repro.systems.producer_consumer:build_system",
-             {"num_packets": 4}),
-    "tcpip": ("repro.systems.tcpip:build_system", {"dma_block_words": 16}),
-    "tcpip-out": ("repro.systems.tcpip:build_system",
-                  {"dma_block_words": 16, "include_outgoing": True,
-                   "num_outgoing": 2}),
-    "automotive": ("repro.systems.automotive:build_system", {}),
-}
 
 
 def _bundle(name: str) -> SystemBundle:
     try:
-        return _SYSTEMS[name]()
-    except KeyError:
-        raise SystemExit(
-            "unknown system %r (choose from %s)" % (name, ", ".join(_SYSTEMS))
-        )
+        return build_bundle(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0])) from None
 
 
 def cmd_describe(args: argparse.Namespace) -> int:
@@ -125,6 +106,22 @@ def _preflight(network, args: argparse.Namespace, metrics=None,
         print("pre-flight lint: %d advisory finding(s) in %r "
               "(run `repro lint %s` for details)"
               % (remainder, network.name, label or network.name))
+
+
+def _degraded_levels(report) -> List[str]:
+    """Provenance levels below ``exact`` that contributed to ``report``.
+
+    ``--fail-on-degraded`` turns these into a non-zero exit.  Replay
+    strategies (caching/sampling/macromodel) tag their replayed
+    estimates ``cached``/``macromodel`` by design, so the guard is
+    meant for ``--strategy full`` runs, where every healthy estimate is
+    ``exact`` and anything else means the resilience ladder answered.
+    """
+    return sorted(
+        level
+        for level, count in report.provenance.items()
+        if level != "exact" and count > 0
+    )
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
@@ -183,6 +180,14 @@ def cmd_estimate(args: argparse.Namespace) -> int:
             export_power_vcd(result.master.accountant, bin_ns=args.bin_ns),
         )
         print("wrote %s" % args.waveform_vcd)
+    if args.fail_on_degraded:
+        levels = _degraded_levels(result.report)
+        if levels:
+            print("FAIL: %d estimate(s) with provenance below exact (%s) "
+                  "(--fail-on-degraded)"
+                  % (sum(result.report.provenance[level] for level in levels),
+                     ", ".join(levels)))
+            return 3
     return 0
 
 
@@ -196,7 +201,7 @@ def _estimate_many(args: argparse.Namespace) -> int:
             )
     specs = []
     for name in args.system:
-        builder, builder_kwargs = _SYSTEM_BUILDERS[name]
+        builder, builder_kwargs = builder_spec(name)
         specs.append(
             JobSpec(
                 fn="repro.parallel.runners:run_estimate",
@@ -213,19 +218,46 @@ def _estimate_many(args: argparse.Namespace) -> int:
     stats = PoolStats()
     results = run_jobs(specs, jobs=args.jobs, stats=stats)
     failed = 0
+    degraded: List[str] = []
     for result in results:
         if result.ok:
             print(result.value.pretty())
             print()
+            if _degraded_levels(result.value):
+                degraded.append(result.label)
         else:
             failed += 1
             print("%s FAILED:\n%s" % (result.label, result.error))
     print("%d system(s) in %.2fs with %d worker(s)"
           % (stats.completed, stats.wall_seconds, stats.workers))
-    return 1 if failed else 0
+    if failed:
+        return 1
+    if args.fail_on_degraded and degraded:
+        print("FAIL: degraded provenance in %s (--fail-on-degraded)"
+              % ", ".join(degraded))
+        return 3
+    return 0
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    # SIGTERM becomes an in-band SystemExit so a kill mid-sweep unwinds
+    # through the pool's `finally` (no orphaned workers) after the
+    # per-point checkpoint flush — the sweep stays resumable.
+    import threading as _threading
+
+    restore_signals = None
+    if _threading.current_thread() is _threading.main_thread():
+        from repro.service.lifecycle import raise_on_signals
+
+        restore_signals = raise_on_signals()
+    try:
+        return _explore_body(args)
+    finally:
+        if restore_signals is not None:
+            restore_signals()
+
+
+def _explore_body(args: argparse.Namespace) -> int:
     _preflight(
         tcpip.build_system(
             dma_block_words=args.dma[0],
@@ -377,6 +409,27 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — the long-running co-estimation service."""
+    from repro.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline_s=args.deadline_s,
+        drain_timeout_s=args.drain_timeout_s,
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery_s=args.breaker_recovery_s,
+        checkpoint_path=args.checkpoint,
+    )
+    return run_server(
+        args.host,
+        args.port,
+        config=config,
+        resume_path=args.resume,
+    )
+
+
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     """Fault-injection flags shared by ``estimate`` and ``explore``."""
     group = parser.add_argument_group("fault injection (chaos testing)")
@@ -406,13 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     describe = commands.add_parser("describe", help="print a system summary")
-    describe.add_argument("system", choices=sorted(_SYSTEMS))
+    describe.add_argument("system", choices=system_names())
     describe.add_argument("--sizes", action="store_true",
                           help="compile/synthesize and report sizes")
     describe.set_defaults(func=cmd_describe)
 
     estimate = commands.add_parser("estimate", help="run co-estimation")
-    estimate.add_argument("system", nargs="+", choices=sorted(_SYSTEMS),
+    estimate.add_argument("system", nargs="+", choices=system_names(),
                           help="one or more systems; several fan out "
                                "over --jobs workers")
     estimate.add_argument("--strategy", default="full",
@@ -433,6 +486,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "end-of-run report without writing files")
     estimate.add_argument("--no-preflight", action="store_true",
                           help="skip the fast pre-flight lint gate")
+    estimate.add_argument("--fail-on-degraded", action="store_true",
+                          help="exit 3 when any estimate's provenance is "
+                               "below exact — a CI guard against silent "
+                               "degradation (use with --strategy full; "
+                               "replay strategies tag cached/macromodel "
+                               "by design)")
     _add_fault_arguments(estimate)
     estimate.set_defaults(func=cmd_estimate)
 
@@ -479,7 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = commands.add_parser(
         "lint", help="run the whole-design static analyzer"
     )
-    lint.add_argument("system", choices=sorted(_SYSTEMS))
+    lint.add_argument("system", choices=system_names())
     lint.add_argument("--format", default="text",
                       choices=["text", "json", "sarif"],
                       help="report format (default: text)")
@@ -505,6 +564,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     characterize.add_argument("--output", metavar="PATH")
     characterize.set_defaults(func=cmd_characterize)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived co-estimation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8090,
+                       help="TCP port; 0 picks a free one (default: 8090)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent estimation worker threads "
+                            "(default: 2)")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="admission queue capacity; beyond it requests "
+                            "get 429 + Retry-After (default: 8)")
+    serve.add_argument("--deadline-s", type=float, default=30.0, metavar="S",
+                       help="default per-request deadline, queue wait "
+                            "included (default: 30)")
+    serve.add_argument("--drain-timeout-s", type=float, default=10.0,
+                       metavar="S",
+                       help="how long a SIGTERM drain may spend finishing "
+                            "queued work before checkpointing the rest "
+                            "(default: 10)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       metavar="N",
+                       help="consecutive supervised failures that open a "
+                            "site's circuit breaker (default: 3)")
+    serve.add_argument("--breaker-recovery-s", type=float, default=30.0,
+                       metavar="S",
+                       help="open time before a half-open probe "
+                            "(default: 30)")
+    serve.add_argument("--checkpoint", metavar="FILE",
+                       help="write unfinished requests here on drain")
+    serve.add_argument("--resume", metavar="FILE",
+                       help="re-enqueue the requests of a drain checkpoint "
+                            "at startup")
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

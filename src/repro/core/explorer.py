@@ -245,6 +245,7 @@ def parallel_sweep(
     from repro.resilience.checkpoint import (
         CheckpointWriter,
         load_checkpoint,
+        resilience_signature,
         sweep_signature,
     )
 
@@ -284,19 +285,20 @@ def parallel_sweep(
 
     # The signature covers everything that changes what a point means —
     # but not the point list, so a partial checkpoint can seed a larger
-    # sweep over the same system.
-    import dataclasses as _dataclasses
-
+    # sweep over the same system.  The resilience section is folded in
+    # unconditionally (even all-None), so a no-fault checkpoint and a
+    # faulted one can never be mixed.
     signature = sweep_signature(
         builder=_builder_id(builder),
         strategy=strategy,
         builder_kwargs=dict(builder_kwargs or {}),
         warm_start=warm_start,
         root_seed=root_seed,
-        fault_plan=(
-            _dataclasses.asdict(fault_plan) if fault_plan is not None else None
+        resilience=resilience_signature(
+            fault_plan=fault_plan,
+            fault_retries=(fault_retries if fault_plan is not None else None),
+            timeout_s=timeout_s,
         ),
-        fault_retries=(fault_retries if fault_plan is not None else None),
     )
     completed_payloads: Dict[str, Any] = {}
     if resume_path is not None:

@@ -9,8 +9,13 @@ file where the last good artifact used to be.
 :func:`atomic_write_text` implements the standard durable-replace
 recipe: write to a temporary file *in the same directory* (so the final
 rename never crosses a filesystem), flush and fsync it, then
-``os.replace`` it over the destination.  Readers observe either the old
-complete file or the new complete file, never a truncated one.
+``os.replace`` it over the destination, then fsync the *containing
+directory*.  Readers observe either the old complete file or the new
+complete file, never a truncated one — and the directory fsync makes
+the rename itself durable: without it, a power cut between the rename
+and the filesystem's metadata flush can resurrect the old file (or on
+first write, no file at all), losing a checkpoint the process already
+reported as safely written.
 """
 
 from __future__ import annotations
@@ -20,7 +25,29 @@ import os
 import tempfile
 from typing import Any
 
-__all__ = ["atomic_write_text", "atomic_write_json"]
+__all__ = ["atomic_write_text", "atomic_write_json", "fsync_directory"]
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's metadata (its entry table) to stable storage.
+
+    Needed after ``os.replace`` for the rename to survive a crash.
+    Best-effort: platforms/filesystems that cannot fsync a directory
+    (some network mounts; directories opened read-only on Windows) are
+    silently tolerated — the data-file fsync already happened, so the
+    worst case is the pre-rename state, which is exactly what atomic
+    replace promises anyway.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: str, text: str) -> str:
@@ -41,6 +68,7 @@ def atomic_write_text(path: str, text: str) -> str:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, destination)
+        fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)

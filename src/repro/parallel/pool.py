@@ -69,8 +69,16 @@ class PoolStats:
         }
 
 
-def _execute(spec: JobSpec) -> Tuple[Any, float, Optional[Dict], Optional[List[Tuple]]]:
-    """Run one spec in this process; returns (value, seconds, metrics, spans)."""
+def execute_spec(
+    spec: JobSpec,
+) -> Tuple[Any, float, Optional[Dict], Optional[List[Tuple]]]:
+    """Run one spec in this process; returns (value, seconds, metrics, spans).
+
+    This is the single job-execution path: pool workers, the inline
+    ``jobs=1`` runner, and the co-estimation service's worker threads
+    all funnel through it, so seeding, telemetry collection, and payload
+    handling behave identically everywhere a job can run.
+    """
     fn = resolve_callable(spec.fn)
     random.seed(spec.seed)
     telemetry: Optional[Telemetry] = None
@@ -102,7 +110,7 @@ def _worker_main(task_queue, result_queue) -> None:
         index, spec = item
         result_queue.put(("started", pid, index, time.time()))
         try:
-            value, seconds, metrics, spans = _execute(spec)
+            value, seconds, metrics, spans = execute_spec(spec)
             result_queue.put(("done", pid, index, value, seconds, metrics, spans))
         except BaseException:
             # Report and keep serving: an exception is a *job* failure,
@@ -133,7 +141,7 @@ def _run_inline(
             result.started_offset_s = time.perf_counter() - pool_start
             try:
                 value, seconds, metrics, spans = call_with_watchdog(
-                    lambda: _execute(spec), spec.timeout_s
+                    lambda: execute_spec(spec), spec.timeout_s
                 )
                 result.value = value
                 result.seconds = seconds

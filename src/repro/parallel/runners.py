@@ -109,13 +109,26 @@ def run_estimate(
     strategy: str = "full",
     label: str = "",
     telemetry=None,
+    resilience=None,
 ) -> EnergyReport:
-    """Build a system bundle and run one co-estimation; returns the report."""
+    """Build a system bundle and run one co-estimation; returns the report.
+
+    ``resilience`` (a :class:`~repro.resilience.supervisor.
+    ResilienceConfig`) overrides the bundle's own resilience settings —
+    the co-estimation service uses this to arm each run with the
+    request's deadline watchdog, fault plan, and its shared circuit
+    breakers.
+    """
     from repro.core.coestimator import PowerCoEstimator
 
     build = resolve_callable(builder)
     bundle = build(**dict(builder_kwargs or {}))
-    estimator = PowerCoEstimator(bundle.network, bundle.config)
+    config = bundle.config
+    if resilience is not None:
+        from dataclasses import replace
+
+        config = replace(config, resilience=resilience)
+    estimator = PowerCoEstimator(bundle.network, config)
     result = estimator.estimate(
         bundle.stimuli(),
         strategy=strategy,

@@ -20,6 +20,7 @@ from repro.resilience.checkpoint import (
     CheckpointError,
     CheckpointWriter,
     load_checkpoint,
+    resilience_signature,
     sweep_signature,
 )
 from repro.resilience.faults import (
@@ -57,5 +58,6 @@ __all__ = [
     "WatchdogTimeout",
     "call_with_watchdog",
     "load_checkpoint",
+    "resilience_signature",
     "sweep_signature",
 ]

@@ -25,6 +25,7 @@ package, which imports :mod:`repro.resilience`).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -36,6 +37,7 @@ from repro.ioutil import atomic_write_json
 __all__ = [
     "CheckpointError",
     "sweep_signature",
+    "resilience_signature",
     "CheckpointWriter",
     "load_checkpoint",
 ]
@@ -61,6 +63,34 @@ def sweep_signature(**parameters: Any) -> str:
             "sweep signature parameters must be JSON-serializable: %s" % exc
         ) from exc
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def resilience_signature(
+    fault_plan: Any = None,
+    fault_retries: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    degradation: bool = True,
+) -> Dict[str, Any]:
+    """Canonical digest-ready view of a run's resilience configuration.
+
+    Fault injection, the supervised retry budget, per-point timeouts,
+    and the degradation switch all change the *meaning* of a completed
+    point (its provenance mix, even its energy total) without changing
+    the design point itself.  Sweeps must therefore fold this dict into
+    :func:`sweep_signature` unconditionally — including the all-``None``
+    no-fault shape — so that resuming a checkpoint written under a
+    different fault plan or retry budget is rejected instead of silently
+    mixing provenances.
+    """
+    plan: Any = fault_plan
+    if plan is not None and dataclasses.is_dataclass(plan):
+        plan = dataclasses.asdict(plan)
+    return {
+        "fault_plan": plan,
+        "fault_retries": fault_retries,
+        "timeout_s": timeout_s,
+        "degradation": degradation,
+    }
 
 
 class CheckpointWriter:

@@ -130,12 +130,14 @@ class FaultPlan:
         rate: float,
         seed: int = 0,
         kind: str = "exception",
+        hang_s: float = 0.05,
     ) -> "FaultPlan":
         """One ``kind`` fault source per site, all at ``rate``."""
         return cls(
             seed=seed,
             specs=tuple(
-                FaultSpec(site=site, kind=kind, probability=rate)
+                FaultSpec(site=site, kind=kind, probability=rate,
+                          hang_s=hang_s)
                 for site in sites
             ),
         )

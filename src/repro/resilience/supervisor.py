@@ -115,6 +115,14 @@ class ResilienceConfig:
         max_energy_j: sanity bound of the result validator — a single
             transition above this is treated as corrupted (component
             energies in this framework are nano- to micro-joules).
+        breaker_registry: optional circuit-breaker lookup with a
+            ``get(site) -> breaker`` method (see
+            :mod:`repro.service.breaker`).  Breakers remember persistent
+            failures *across* runs: an open breaker short-circuits the
+            supervised call straight onto the degradation ladder instead
+            of re-attempting a site known to be down.  Process-local
+            live state — excluded from equality and never serialized
+            (field is dropped when the config is pickled to workers).
     """
 
     fault_plan: Optional[FaultPlan] = None
@@ -122,6 +130,20 @@ class ResilienceConfig:
     max_retries: int = 1
     degradation: bool = True
     max_energy_j: float = 1e-3
+    breaker_registry: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __getstate__(self):
+        # Breakers hold locks and service-wide live state; a pickled
+        # config (process-pool payloads) travels without them.
+        state = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        state["breaker_registry"] = None
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -183,6 +205,8 @@ class ResilientEstimator:
         self.watchdog_timeouts = 0
         self.corrupted = 0
         self.failures = 0
+        self.failures_by_site: Dict[str, int] = {}
+        self.short_circuits: Dict[str, int] = {}
         self.fallbacks: Dict[str, int] = {}
         self.bypasses: Dict[str, int] = {}
 
@@ -205,6 +229,12 @@ class ResilientEstimator:
         retries transient failures; after ``max_retries`` consecutive
         failures it raises :class:`EstimatorUnavailable` for the master
         to route down the degradation ladder.
+
+        With a circuit breaker armed for ``site`` (see
+        ``ResilienceConfig.breaker_registry``), an open breaker
+        short-circuits the call — no low-level attempt at all — and
+        every persistent outcome (success / exhausted retries) is
+        reported back so the breaker learns across runs.
         """
 
         def attempt() -> Estimate:
@@ -230,6 +260,17 @@ class ResilientEstimator:
             return estimate
 
         def supervised() -> Estimate:
+            breaker = self._breaker(site)
+            if breaker is not None and not breaker.allow():
+                self.short_circuits[site] = self.short_circuits.get(site, 0) + 1
+                self._count("resilience.breaker.short_circuit")
+                raise EstimatorUnavailable(
+                    "circuit breaker for %s is open — short-circuiting to "
+                    "the degradation ladder" % site,
+                    component=component,
+                    path_id=path_key,
+                    sim_time_ns=sim_time_ns,
+                )
             attempts = 0
             while True:
                 try:
@@ -242,13 +283,20 @@ class ResilientEstimator:
                 except Exception as exc:
                     failure = exc
                 else:
+                    if breaker is not None:
+                        breaker.record_success()
                     if path_key is not None:
                         self._record_exact(path_key, estimate)
                     return estimate
                 attempts += 1
                 if attempts > self.config.max_retries:
                     self.failures += 1
+                    self.failures_by_site[site] = (
+                        self.failures_by_site.get(site, 0) + 1
+                    )
                     self._count("resilience.persistent_failures")
+                    if breaker is not None:
+                        breaker.record_failure()
                     raise EstimatorUnavailable(
                         "%s estimator failed persistently after %d attempt(s): %s"
                         % (site, attempts, failure),
@@ -260,6 +308,12 @@ class ResilientEstimator:
                 self._count("resilience.retries")
 
         return supervised
+
+    def _breaker(self, site: str):
+        registry = self.config.breaker_registry
+        if registry is None:
+            return None
+        return registry.get(site)
 
     def _validate(
         self, estimate: Estimate, component: str, sim_time_ns: Optional[float]
@@ -423,6 +477,10 @@ class ResilientEstimator:
         }
         for level, count in sorted(self.fallbacks.items()):
             stats["fallback.%s" % level] = float(count)
+        for site, count in sorted(self.failures_by_site.items()):
+            stats["failures.%s" % site] = float(count)
+        for site, count in sorted(self.short_circuits.items()):
+            stats["breaker_short_circuit.%s" % site] = float(count)
         for site, count in sorted(self.bypasses.items()):
             stats["bypass.%s" % site] = float(count)
         if self.injector is not None:

@@ -1,0 +1,87 @@
+"""Idempotent request deduplication (in-flight coalescing).
+
+Power co-estimation is a pure function of (design, workload, strategy,
+fault plan) — exactly what :func:`repro.service.api.request_fingerprint`
+digests.  When two clients submit that same computation concurrently
+(retry storms, fan-in dashboards, duplicated CI jobs), running it twice
+buys nothing, and under load it costs a queue slot someone else needed.
+
+The table tracks every fingerprint from admission to completion.  The
+first submission is the **primary** — it owns a queue slot and a worker.
+Every later identical submission while the primary is queued or running
+becomes a **follower**: it is handed the primary's pending result and
+occupies *no* queue slot.  When the primary finishes (success, failure,
+shed, deadline — any terminal outcome), all followers observe the same
+outcome, and the fingerprint is released so the next identical request
+computes afresh.
+
+This is coalescing, not a response cache: nothing is remembered after
+completion.  (Cross-run result reuse is the job of the §4.2 energy
+caches, which the workers already share process-wide.)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = ["InflightTable"]
+
+
+class InflightTable:
+    """Fingerprint → in-flight primary entry, with follower counting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Any] = {}
+        self._followers: Dict[str, int] = {}
+        # Lifetime accounting (read by /stats).
+        self.coalesced = 0
+        self.primaries = 0
+
+    def admit(self, fingerprint: str, entry: Any) -> Any:
+        """Register ``entry`` unless an identical request is in flight.
+
+        Returns ``entry`` itself when it became the primary, or the
+        already-in-flight primary to attach to (the caller must then
+        *not* enqueue anything).
+        """
+        with self._lock:
+            primary = self._inflight.get(fingerprint)
+            if primary is not None:
+                self.coalesced += 1
+                self._followers[fingerprint] = (
+                    self._followers.get(fingerprint, 0) + 1
+                )
+                return primary
+            self._inflight[fingerprint] = entry
+            self.primaries += 1
+            return entry
+
+    def complete(self, fingerprint: str) -> int:
+        """Release ``fingerprint``; returns how many followers rode along.
+
+        Must be called on *every* terminal outcome of the primary —
+        completion, failure, shed, expiry — or the fingerprint would
+        coalesce forever onto a corpse.
+        """
+        with self._lock:
+            self._inflight.pop(fingerprint, None)
+            return self._followers.pop(fingerprint, 0)
+
+    def get(self, fingerprint: str) -> Optional[Any]:
+        with self._lock:
+            return self._inflight.get(fingerprint)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "inflight": len(self._inflight),
+                "primaries": self.primaries,
+                "coalesced": self.coalesced,
+            }

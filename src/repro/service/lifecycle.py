@@ -1,0 +1,161 @@
+"""Graceful-drain lifecycle: signals, drain state, drain checkpoints.
+
+The drain sequence a SIGTERM (or SIGINT) triggers is the standard
+serving-stack contract:
+
+1. **Stop admitting** — ``/readyz`` flips to 503 and new submissions
+   are refused, so load balancers and retrying clients move on.
+2. **Finish what's running** — workers keep consuming the queue until
+   it is empty or the drain timeout expires.
+3. **Checkpoint what's left** — queued-but-unstarted requests are
+   written through the PR-3 :class:`~repro.resilience.checkpoint.
+   CheckpointWriter` (atomic replace + directory fsync), so a restart
+   with ``--resume`` re-enqueues them instead of losing them.
+4. **Exit 0** — a drained shutdown is a *successful* shutdown; only a
+   failure to drain is an error.
+
+Signal handling is deliberately thin: the handler only records the
+request and wakes the waiter — all real work happens on a normal
+thread, because almost nothing is async-signal-safe.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.resilience.checkpoint import (
+    CheckpointWriter,
+    load_checkpoint,
+    sweep_signature,
+)
+
+__all__ = [
+    "DrainController",
+    "install_drain_signals",
+    "raise_on_signals",
+    "service_checkpoint_signature",
+    "write_drain_checkpoint",
+    "load_drain_checkpoint",
+]
+
+
+class DrainController:
+    """Single source of truth for the service's admission state."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self.reason: Optional[str] = None
+
+    @property
+    def draining(self) -> bool:
+        return self._event.is_set()
+
+    def request_drain(self, reason: str = "requested") -> bool:
+        """Flip to draining; returns False if already draining."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self.reason = reason
+            self._event.set()
+            return True
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a drain is requested."""
+        return self._event.wait(timeout)
+
+
+def install_drain_signals(
+    controller: DrainController,
+    signals=(signal.SIGTERM, signal.SIGINT),
+) -> Callable[[], None]:
+    """Route ``signals`` into ``controller.request_drain``.
+
+    Returns a restore function that reinstates the previous handlers
+    (tests install and uninstall around a server's lifetime).  Only the
+    main thread may install signal handlers; callers on other threads
+    should skip installation and drive the controller directly.
+    """
+
+    def handler(signum, frame):  # noqa: ARG001 - signal signature
+        controller.request_drain("signal %d" % signum)
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, handler)
+
+    def restore() -> None:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+    return restore
+
+
+def raise_on_signals(
+    signals=(signal.SIGTERM,),
+    exception_factory: Callable[[int], BaseException] = None,
+) -> Callable[[], None]:
+    """Convert ``signals`` into an in-band exception in the main thread.
+
+    Used by batch commands (``repro explore``): a SIGTERM becomes a
+    ``SystemExit`` raised at the next bytecode boundary, which unwinds
+    through the pool's ``finally`` (terminating every worker process)
+    and past the checkpoint writer (already flushed per-point) — a kill
+    mid-sweep leaves a loadable checkpoint and no orphans.  Returns the
+    restore function.
+    """
+    if exception_factory is None:
+        def exception_factory(signum):
+            return SystemExit(128 + signum)
+
+    def handler(signum, frame):  # noqa: ARG001 - signal signature
+        raise exception_factory(signum)
+
+    previous = {}
+    for signum in signals:
+        previous[signum] = signal.signal(signum, handler)
+
+    def restore() -> None:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+    return restore
+
+
+#: Bump when the drain-checkpoint payload shape changes.
+_SERVICE_CHECKPOINT_VERSION = 1
+
+
+def service_checkpoint_signature() -> str:
+    """The sweep-signature under which drain checkpoints are written.
+
+    Deliberately free of tuning knobs (workers, queue depth, port):
+    a restart with a different capacity configuration must still be
+    able to pick the pending requests up.  Request payloads carry their
+    own meaning (system, strategy, fault plan), validated on re-parse.
+    """
+    return sweep_signature(
+        kind="repro-service-drain",
+        version=_SERVICE_CHECKPOINT_VERSION,
+    )
+
+
+def write_drain_checkpoint(
+    path: str,
+    pending_payloads: List[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Atomically persist the requests a drain could not finish."""
+    writer = CheckpointWriter(path, service_checkpoint_signature())
+    for index, payload in enumerate(pending_payloads):
+        label = payload.get("request_id") or "pending-%d" % index
+        writer.record(str(label), payload)
+    writer.flush(meta=dict(meta or {}, pending=len(pending_payloads)))
+
+
+def load_drain_checkpoint(path: str) -> List[Dict[str, Any]]:
+    """Pending request payloads of a drain checkpoint, admission order."""
+    completed = load_checkpoint(path, service_checkpoint_signature())
+    return [completed[label] for label in sorted(completed)]

@@ -1,0 +1,165 @@
+"""Bounded admission queue with backpressure and load shedding.
+
+The service's memory ceiling lives here: the queue holds at most
+``max_depth`` waiting requests, ever.  When it is full, the queue
+answers with *explicit* backpressure instead of growing:
+
+* an incoming request at a priority **no higher** than everything
+  queued is refused (:class:`QueueFull` → HTTP 429 + ``Retry-After``);
+* an incoming request at a **higher** priority than the lowest queued
+  one *sheds* that victim — the victim's submitter gets an immediate
+  503 instead of a slot, and the newcomer takes its place.  Under
+  sustained overload the queue therefore converges to serving the
+  highest-priority traffic, which is the standard load-shedding
+  contract of a serving stack.
+
+Ordering is priority-major, FIFO within a priority.  The structure is a
+plain list scanned under a lock: ``max_depth`` is tens-to-hundreds, so
+O(depth) take/shed is simpler and *provably* correct against the
+"heap with arbitrary removal" alternative, and the lock hold times are
+nanoseconds next to a co-estimation run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["QueueFull", "QueueClosed", "AdmissionQueue"]
+
+
+class QueueFull(ReproError):
+    """The admission queue is at capacity and the request lost (429)."""
+
+
+class QueueClosed(ReproError):
+    """The queue no longer admits work (drain in progress, 503)."""
+
+
+class AdmissionQueue:
+    """Bounded, priority-ordered, thread-safe admission queue."""
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._items: List[Tuple[int, int, Any]] = []  # (priority, seq, item)
+        self._seq = 0
+        self._closed = False
+        # Lifetime accounting (read by /stats).
+        self.admitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.peak_depth = 0
+
+    # -- producer side --------------------------------------------------
+
+    def submit(self, item: Any, priority: int) -> Optional[Any]:
+        """Admit ``item``; returns the shed victim, if admission cost one.
+
+        Raises :class:`QueueFull` when the queue is at capacity and no
+        queued entry has a strictly lower priority, :class:`QueueClosed`
+        after :meth:`close`.
+        """
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("admission queue is closed (draining)")
+            victim = None
+            if len(self._items) >= self.max_depth:
+                index = self._lowest_priority_index()
+                if self._items[index][0] >= priority:
+                    self.rejected += 1
+                    raise QueueFull(
+                        "admission queue full (%d queued at priority >= %d)"
+                        % (len(self._items), priority)
+                    )
+                victim = self._items.pop(index)[2]
+                self.shed += 1
+            self._seq += 1
+            self._items.append((priority, self._seq, item))
+            self.admitted += 1
+            if len(self._items) > self.peak_depth:
+                self.peak_depth = len(self._items)
+            self._not_empty.notify()
+            return victim
+
+    def _lowest_priority_index(self) -> int:
+        """Index of the shed victim: lowest priority, newest arrival."""
+        best = 0
+        for index in range(1, len(self._items)):
+            priority, seq, _ = self._items[index]
+            if (priority, -seq) < (self._items[best][0], -self._items[best][1]):
+                best = index
+        return best
+
+    # -- consumer side --------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Pop the best entry (highest priority, oldest within it).
+
+        Blocks up to ``timeout`` (forever if ``None``); returns ``None``
+        on timeout or when the queue is closed *and* empty — the worker
+        shutdown signal.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            best = 0
+            for index in range(1, len(self._items)):
+                priority, seq, _ = self._items[index]
+                if (-priority, seq) < (-self._items[best][0],
+                                       self._items[best][1]):
+                    best = index
+            return self._items.pop(best)[2]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked :meth:`take`."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def drain_remaining(self) -> List[Any]:
+        """Remove and return everything still queued (drain checkpoint)."""
+        with self._not_empty:
+            items = [item for _, _, item in sorted(
+                self._items, key=lambda entry: (-entry[0], entry[1])
+            )]
+            self._items.clear()
+            return items
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "max_depth": self.max_depth,
+                "peak_depth": self.peak_depth,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "closed": self._closed,
+            }

@@ -1,0 +1,770 @@
+"""The long-running co-estimation server.
+
+``repro serve`` turns the one-shot estimator into a shared facility: a
+stdlib :class:`~http.server.ThreadingHTTPServer` front end (JSON API,
+no new dependencies) over a bounded admission queue and a pool of
+worker threads that run the same supervised master the CLI runs.
+
+The request path, end to end::
+
+    POST /estimate ─▶ parse ─▶ fingerprint ─▶ dedup ─▶ admission queue
+                                  │                        │
+                     (identical in-flight request:         │ full: 429 + Retry-After
+                      coalesce, no queue slot)             │ higher-priority arrival:
+                                                           │ shed lowest, 503 to victim
+                                                  worker thread
+                                                           │ deadline left? (504 if not)
+                                               supervised co-estimation
+                                        (per-request watchdog, circuit breakers,
+                                         degradation ladder, provenance tags)
+                                                           │
+                                               200 + report  /  504  /  500
+
+Robustness properties, each tested:
+
+* bounded memory — the queue never exceeds ``queue_depth`` entries and
+  every refusal is an explicit 429/503, never an unbounded buffer;
+* deadline isolation — a request's remaining budget becomes the run's
+  resilience watchdog, so one slow gate-level simulation degrades (with
+  a provenance tag) instead of pinning a worker past the deadline;
+* failure isolation — persistent per-site failures trip a circuit
+  breaker keyed ``<system>:<site>``; an open breaker short-circuits
+  straight onto the §4.2-cache / §4.1-macromodel rungs, answering
+  degraded-but-tagged instead of erroring, and half-open probes find
+  recovery on their own;
+* graceful drain — SIGTERM stops admission, finishes what it can
+  within the drain timeout, checkpoints the rest through the PR-3
+  :class:`~repro.resilience.checkpoint.CheckpointWriter`, and exits 0.
+
+Workers are *threads*, not processes: co-estimation runs are seconds
+long and the service optimizes robustness and cache sharing (the
+process-wide compile/synthesis/ISS caches and the warm-start energy
+cache are shared by every request for free).  Throughput under the GIL
+scales with the low-level simulators' time spent outside Python — for
+CPU-bound saturation the front end is meant to be replicated, which is
+why drain + checkpoint + idempotent dedup exist.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.parallel.jobs import JobSpec, job_seed
+from repro.resilience.supervisor import (
+    ResilienceConfig,
+    WatchdogTimeout,
+    call_with_watchdog,
+)
+from repro.service.api import (
+    BadRequest,
+    EstimateRequest,
+    parse_request,
+    request_fingerprint,
+)
+from repro.service.breaker import BreakerRegistry
+from repro.service.dedup import InflightTable
+from repro.service.lifecycle import (
+    DrainController,
+    install_drain_signals,
+    load_drain_checkpoint,
+    write_drain_checkpoint,
+)
+from repro.service.queue import AdmissionQueue, QueueClosed, QueueFull
+from repro.systems import build_bundle, builder_spec, system_names
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceRejected",
+    "PendingResult",
+    "DrainReport",
+    "CoEstimationService",
+    "ServiceHTTPServer",
+    "run_server",
+]
+
+
+class ServiceRejected(ReproError):
+    """A submission was refused (backpressure, drain, shed)."""
+
+    def __init__(self, message: str, status: int, reason: str,
+                 retry_after_s: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one service instance (see docs/service.md)."""
+
+    workers: int = 2
+    queue_depth: int = 8
+    default_deadline_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    breaker_threshold: int = 3
+    breaker_recovery_s: float = 30.0
+    #: Optional per-low-level-call watchdog; the effective watchdog is
+    #: ``min(call_watchdog_s, request's remaining deadline)``.
+    call_watchdog_s: Optional[float] = None
+    checkpoint_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be non-negative")
+
+
+class PendingResult:
+    """Completion handle shared by a primary and its coalesced followers."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.status: int = 0
+        self.body: Dict[str, Any] = {}
+        self.headers: Dict[str, str] = {}
+
+    def resolve(self, status: int, body: Dict[str, Any],
+                headers: Optional[Dict[str, str]] = None) -> None:
+        if self._event.is_set():
+            return  # first terminal outcome wins
+        self.status = status
+        self.body = body
+        self.headers = dict(headers or {})
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+@dataclass
+class _Entry:
+    """One admitted request riding through queue and worker."""
+
+    request: EstimateRequest
+    fingerprint: str
+    pending: PendingResult
+    admitted_at: float
+
+
+@dataclass
+class DrainReport:
+    """Outcome of one graceful drain."""
+
+    reason: str = ""
+    drained_clean: bool = True
+    completed: int = 0
+    checkpointed: int = 0
+    abandoned_in_flight: int = 0
+    checkpoint_path: Optional[str] = None
+
+    def summary(self) -> str:
+        parts = [
+            "drain (%s): %s" % (self.reason or "requested",
+                                "clean" if self.drained_clean else "timed out"),
+            "%d request(s) completed" % self.completed,
+        ]
+        if self.checkpointed:
+            parts.append("%d checkpointed to %s"
+                         % (self.checkpointed, self.checkpoint_path))
+        if self.abandoned_in_flight:
+            parts.append("%d abandoned in flight" % self.abandoned_in_flight)
+        return ", ".join(parts)
+
+
+class CoEstimationService:
+    """Queue + workers + breakers + dedup + drain, HTTP-agnostic.
+
+    The HTTP layer is a thin adapter over this class, so tests (and
+    embedders) can drive admission, execution and drain directly.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 clock=time.monotonic) -> None:
+        self.config = config or ServiceConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.clock = clock
+        self.queue = AdmissionQueue(self.config.queue_depth)
+        self.breakers = BreakerRegistry(
+            failure_threshold=self.config.breaker_threshold,
+            recovery_s=self.config.breaker_recovery_s,
+            clock=clock,
+        )
+        self.dedup = InflightTable()
+        self.drain_controller = DrainController()
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        self._in_flight = 0
+        self._avg_run_s = 0.0
+        self._completed = 0
+        self._failed = 0
+        self._expired = 0
+        self._shed = 0
+        self._provenance: Dict[str, int] = {}
+        self._degraded_responses = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name="coest-worker-%d" % index,
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def ready(self) -> bool:
+        return (self._started and not self._stopped
+                and not self.drain_controller.draining)
+
+    def resume_from_checkpoint(self, path: str) -> int:
+        """Re-enqueue the pending requests of a drain checkpoint.
+
+        Resumed requests have no waiting client; they run for their
+        side effects (warming the process-wide caches and the service's
+        shadow statistics) and to honor the work-loss contract: a
+        drained request is *deferred*, not dropped.
+        """
+        resumed = 0
+        for payload in load_drain_checkpoint(path):
+            try:
+                request = EstimateRequest.from_payload(
+                    payload, known_systems=system_names()
+                )
+                self.submit(request)
+            except (BadRequest, ServiceRejected):
+                continue
+            resumed += 1
+        return resumed
+
+    # -- admission ------------------------------------------------------
+
+    def submit(self, request: EstimateRequest) -> Tuple[PendingResult, bool]:
+        """Admit one request; returns ``(pending, coalesced)``.
+
+        Raises :class:`ServiceRejected` with the HTTP status to answer
+        (503 draining, 429 queue full + Retry-After).
+        """
+        if not self._started:
+            raise ServiceRejected("service not started", 503, "not_started")
+        if self.drain_controller.draining or self._stopped:
+            self._count("service.rejected.draining")
+            raise ServiceRejected("service is draining", 503, "draining")
+        bundle = build_bundle(request.system)
+        fingerprint = request_fingerprint(bundle, request)
+        entry = _Entry(
+            request=request,
+            fingerprint=fingerprint,
+            pending=PendingResult(),
+            admitted_at=self.clock(),
+        )
+        primary = self.dedup.admit(fingerprint, entry)
+        if primary is not entry:
+            self._count("service.coalesced")
+            return primary.pending, True
+        try:
+            victim = self.queue.submit(entry, request.priority)
+        except QueueFull:
+            self.dedup.complete(fingerprint)
+            self._count("service.rejected.queue_full")
+            raise ServiceRejected(
+                "admission queue full", 429, "queue_full",
+                retry_after_s=self._retry_after_s(),
+            ) from None
+        except QueueClosed:
+            self.dedup.complete(fingerprint)
+            self._count("service.rejected.draining")
+            raise ServiceRejected(
+                "service is draining", 503, "draining"
+            ) from None
+        self._count("service.admitted")
+        self._gauge("service.queue_depth", self.queue.depth)
+        if victim is not None:
+            self._finish_shed(victim)
+        return entry.pending, False
+
+    def _retry_after_s(self) -> int:
+        with self._lock:
+            avg = self._avg_run_s or 1.0
+        backlog = self.queue.depth + self._in_flight
+        estimate = backlog * avg / max(1, self.config.workers)
+        return max(1, int(estimate + 0.999))
+
+    def _finish_shed(self, victim: _Entry) -> None:
+        with self._lock:
+            self._shed += 1
+        self._count("service.shed")
+        self.dedup.complete(victim.fingerprint)
+        victim.pending.resolve(
+            503,
+            {
+                "status": "rejected",
+                "reason": "load_shed",
+                "request_id": victim.request.request_id,
+                "detail": "shed for a higher-priority request under "
+                          "queue pressure",
+            },
+            headers={"Retry-After": str(self._retry_after_s())},
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            entry = self.queue.take(timeout=0.1)
+            if entry is None:
+                if self.queue.closed or self._stopped:
+                    return
+                continue
+            with self._lock:
+                self._in_flight += 1
+            try:
+                self._execute(entry)
+            finally:
+                self.dedup.complete(entry.fingerprint)
+                with self._lock:
+                    self._in_flight -= 1
+                self._gauge("service.queue_depth", self.queue.depth)
+
+    def _execute(self, entry: _Entry) -> None:
+        request = entry.request
+        queue_wait = self.clock() - entry.admitted_at
+        self._observe("service.queue_wait_seconds", queue_wait)
+        remaining = request.deadline_s - queue_wait
+        if remaining <= 0:
+            with self._lock:
+                self._expired += 1
+            self._count("service.deadline_expired")
+            entry.pending.resolve(
+                504,
+                {
+                    "status": "error",
+                    "reason": "deadline_exceeded",
+                    "request_id": request.request_id,
+                    "detail": "deadline of %.3fs expired after %.3fs in "
+                              "the queue" % (request.deadline_s, queue_wait),
+                },
+            )
+            return
+        watchdog_s = remaining
+        if self.config.call_watchdog_s is not None:
+            watchdog_s = min(watchdog_s, self.config.call_watchdog_s)
+        resilience = ResilienceConfig(
+            fault_plan=request.fault_plan,
+            watchdog_s=watchdog_s,
+            max_retries=request.fault_retries,
+            breaker_registry=self.breakers.scoped(request.system),
+        )
+        builder, builder_kwargs = builder_spec(request.system)
+        spec = JobSpec(
+            fn="repro.parallel.runners:run_estimate",
+            payload={
+                "builder": builder,
+                "builder_kwargs": dict(builder_kwargs),
+                "strategy": request.strategy,
+                "label": "%s/%s" % (request.system, request.strategy),
+                "resilience": resilience,
+            },
+            label=request.request_id,
+            seed=job_seed(0, request.system),
+        )
+        from repro.parallel.pool import execute_spec
+
+        started = self.clock()
+        try:
+            # Outer backstop only: the in-run watchdog already bounds
+            # every low-level call at `watchdog_s` and degrades instead
+            # of hanging, so this fires only if the master itself wedges.
+            report, run_seconds, _, _ = call_with_watchdog(
+                lambda: execute_spec(spec), remaining + 1.0
+            )
+        except WatchdogTimeout:
+            with self._lock:
+                self._expired += 1
+            self._count("service.deadline_expired")
+            entry.pending.resolve(
+                504,
+                {
+                    "status": "error",
+                    "reason": "deadline_exceeded",
+                    "request_id": request.request_id,
+                    "detail": "run exceeded the %.3fs remaining deadline"
+                              % remaining,
+                },
+            )
+            return
+        except Exception as exc:
+            with self._lock:
+                self._failed += 1
+            self._count("service.failed")
+            entry.pending.resolve(
+                500,
+                {
+                    "status": "error",
+                    "reason": "estimation_failed",
+                    "request_id": request.request_id,
+                    "detail": "%s: %s" % (type(exc).__name__, exc),
+                },
+            )
+            return
+        self._finish_ok(entry, report, queue_wait,
+                        self.clock() - started, run_seconds)
+
+    def _finish_ok(self, entry: _Entry, report, queue_wait: float,
+                   wall_s: float, run_seconds: float) -> None:
+        import dataclasses
+
+        degraded = any(
+            count > 0
+            for level, count in report.provenance.items()
+            if level != "exact"
+        )
+        with self._lock:
+            self._completed += 1
+            self._avg_run_s = (
+                wall_s if self._avg_run_s == 0.0
+                else 0.8 * self._avg_run_s + 0.2 * wall_s
+            )
+            for level, count in report.provenance.items():
+                self._provenance[level] = (
+                    self._provenance.get(level, 0) + count
+                )
+            if degraded:
+                self._degraded_responses += 1
+        self._count("service.completed")
+        if degraded:
+            self._count("service.degraded_responses")
+        self._observe("service.run_seconds", wall_s)
+        entry.pending.resolve(
+            200,
+            {
+                "status": "ok",
+                "request_id": entry.request.request_id,
+                "system": entry.request.system,
+                "strategy": entry.request.strategy,
+                "fingerprint": entry.fingerprint,
+                "total_energy_j": report.total_energy_j,
+                "provenance": dict(report.provenance),
+                "by_provenance": dict(report.by_provenance),
+                "degraded": degraded,
+                "breakers": {
+                    name: snap["state"]
+                    for name, snap in self.breakers.snapshot().items()
+                    if name.startswith(entry.request.system + ":")
+                },
+                "queue_seconds": queue_wait,
+                "run_seconds": run_seconds,
+                "report": dataclasses.asdict(report),
+            },
+        )
+
+    # -- drain ----------------------------------------------------------
+
+    def drain(self, reason: str = "requested",
+              timeout_s: Optional[float] = None) -> DrainReport:
+        """Stop admitting, finish or checkpoint the backlog, stop workers.
+
+        Idempotent with respect to the admission state; returns the
+        :class:`DrainReport` the CLI prints before exiting 0.
+        """
+        self.drain_controller.request_drain(reason)
+        timeout = (self.config.drain_timeout_s
+                   if timeout_s is None else timeout_s)
+        deadline = self.clock() + timeout
+        while self.clock() < deadline:
+            with self._lock:
+                busy = self._in_flight
+            if self.queue.depth == 0 and busy == 0:
+                break
+            time.sleep(0.02)
+        self.queue.close()
+        leftovers: List[_Entry] = self.queue.drain_remaining()
+        join_deadline = max(0.0, deadline - self.clock()) + 1.0
+        for thread in self._threads:
+            thread.join(join_deadline)
+        self._stopped = True
+        with self._lock:
+            abandoned = self._in_flight
+            completed = self._completed
+        report = DrainReport(
+            reason=self.drain_controller.reason or reason,
+            drained_clean=(not leftovers and abandoned == 0),
+            completed=completed,
+            checkpointed=len(leftovers),
+            abandoned_in_flight=abandoned,
+            checkpoint_path=self.config.checkpoint_path,
+        )
+        if self.config.checkpoint_path is not None:
+            write_drain_checkpoint(
+                self.config.checkpoint_path,
+                [entry.request.to_payload() for entry in leftovers],
+                meta={
+                    "reason": report.reason,
+                    "completed": completed,
+                    "abandoned_in_flight": abandoned,
+                },
+            )
+        for entry in leftovers:
+            self.dedup.complete(entry.fingerprint)
+            entry.pending.resolve(
+                503,
+                {
+                    "status": "rejected",
+                    "reason": "draining",
+                    "request_id": entry.request.request_id,
+                    "checkpointed": self.config.checkpoint_path is not None,
+                },
+                headers={"Retry-After": "30"},
+            )
+        self._gauge("service.queue_depth", 0)
+        return report
+
+    # -- observability --------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The /stats document (also the programmatic dashboard view)."""
+        with self._lock:
+            service = {
+                "state": ("draining" if self.drain_controller.draining
+                          else "ready" if self.ready else "stopped"),
+                "workers": self.config.workers,
+                "in_flight": self._in_flight,
+                "completed": self._completed,
+                "failed": self._failed,
+                "deadline_expired": self._expired,
+                "shed": self._shed,
+                "degraded_responses": self._degraded_responses,
+                "avg_run_seconds": self._avg_run_s,
+            }
+            provenance = dict(self._provenance)
+        self._gauge("service.queue_depth", self.queue.depth)
+        self._gauge("service.breakers_open", self.breakers.open_count())
+        return {
+            "service": service,
+            "queue": self.queue.snapshot(),
+            "dedup": self.dedup.snapshot(),
+            "breakers": self.breakers.snapshot(),
+            "provenance": provenance,
+            "metrics": self.telemetry.metrics.snapshot(),
+        }
+
+    def _count(self, name: str) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(name).inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(name).set(value)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.histogram(name).observe(value)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service reference."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: CoEstimationService,
+                 quiet: bool = True) -> None:
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-coestimation/1.0"
+    protocol_version = "HTTP/1.1"
+
+    #: Grace added to a request's deadline while the handler waits for
+    #: its pending result; drain always resolves earlier.
+    WAIT_GRACE_S = 5.0
+
+    @property
+    def service(self) -> CoEstimationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:
+        if not getattr(self.server, "quiet", True):
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._respond(200, {
+                "status": "alive",
+                "draining": self.service.drain_controller.draining,
+            })
+        elif self.path == "/readyz":
+            if self.service.ready:
+                self._respond(200, {"status": "ready"})
+            else:
+                reason = ("draining" if self.service.drain_controller.draining
+                          else "not_started")
+                self._respond(503, {"status": reason})
+        elif self.path == "/stats":
+            self._respond(200, self.service.stats_snapshot())
+        else:
+            self._respond(404, {"status": "error",
+                                "reason": "unknown path %s" % self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/estimate":
+            self._respond(404, {"status": "error",
+                                "reason": "unknown path %s" % self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._respond(400, {"status": "error",
+                                "reason": "bad Content-Length"})
+            return
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError):
+            self._respond(400, {"status": "error",
+                                "reason": "body is not valid JSON"})
+            return
+        try:
+            request = parse_request(
+                body,
+                known_systems=system_names(),
+                default_deadline_s=self.service.config.default_deadline_s,
+            )
+        except BadRequest as exc:
+            self._respond(400, {"status": "error", "reason": str(exc)})
+            return
+        try:
+            pending, coalesced = self.service.submit(request)
+        except ServiceRejected as exc:
+            headers = {}
+            if exc.retry_after_s is not None:
+                headers["Retry-After"] = str(exc.retry_after_s)
+            self._respond(exc.status, {
+                "status": "rejected",
+                "reason": exc.reason,
+                "request_id": request.request_id,
+            }, headers)
+            return
+        if not pending.wait(request.deadline_s + self.WAIT_GRACE_S):
+            self._respond(504, {
+                "status": "error",
+                "reason": "deadline_exceeded",
+                "request_id": request.request_id,
+            })
+            return
+        body = dict(pending.body)
+        if coalesced:
+            body["coalesced"] = True
+        self._respond(pending.status, body, pending.headers)
+
+    def _respond(self, status: int, body: Dict[str, Any],
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up; the service result still counted
+
+
+def run_server(
+    host: str,
+    port: int,
+    config: Optional[ServiceConfig] = None,
+    resume_path: Optional[str] = None,
+    install_signals: bool = True,
+    quiet: bool = False,
+    ready_callback=None,
+) -> int:
+    """Run the service until a drain is requested; returns the exit code.
+
+    This is the body of ``repro serve``: start workers, optionally
+    resume a drain checkpoint, serve HTTP, block until SIGTERM/SIGINT
+    (or a programmatic ``drain_controller.request_drain``), then drain
+    gracefully and exit 0.
+    """
+    service = CoEstimationService(config)
+    service.start()
+    if resume_path is not None:
+        import os
+
+        if os.path.exists(resume_path):
+            resumed = service.resume_from_checkpoint(resume_path)
+            if not quiet and resumed:
+                print("resumed %d checkpointed request(s) from %s"
+                      % (resumed, resume_path))
+    httpd = ServiceHTTPServer((host, port), service, quiet=True)
+    restore = None
+    if install_signals:
+        restore = install_drain_signals(service.drain_controller)
+    serve_thread = threading.Thread(
+        target=httpd.serve_forever, name="coest-http", daemon=True
+    )
+    serve_thread.start()
+    if not quiet:
+        print("co-estimation service listening on http://%s:%d "
+              "(workers=%d queue=%d) — SIGTERM drains gracefully"
+              % (host, httpd.server_address[1], service.config.workers,
+                 service.config.queue_depth), flush=True)
+    if ready_callback is not None:
+        ready_callback(service, httpd)
+    try:
+        # Short-timeout polling keeps the main thread responsive to
+        # signal handlers on every platform.
+        while not service.drain_controller.wait(0.2):
+            pass
+    finally:
+        # Drain BEFORE shutting the HTTP layer down: the drain resolves
+        # every pending request (finished, checkpointed, or shed) and
+        # the handler threads need a live server to deliver those final
+        # responses to their clients.  New submissions are already
+        # refused with 503 the instant the drain flag is set.
+        report = service.drain()
+        httpd.shutdown()
+        httpd.server_close()
+        if restore is not None:
+            restore()
+        if not quiet:
+            print(report.summary(), flush=True)
+    return 0

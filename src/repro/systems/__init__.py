@@ -22,8 +22,53 @@ from repro.systems import producer_consumer, tcpip, automotive, workloads
 
 __all__ = [
     "SystemBundle",
+    "BUILDERS",
+    "build_bundle",
+    "builder_spec",
+    "system_names",
     "producer_consumer",
     "tcpip",
     "automotive",
     "workloads",
 ]
+
+#: The bundled example systems as picklable builder specs
+#: (``"module:callable"``, kwargs).  One registry feeds the CLI, the
+#: parallel pool's worker-side reconstruction, and the co-estimation
+#: service, so a system name means the same design everywhere.
+BUILDERS = {
+    "fig1": ("repro.systems.producer_consumer:build_system",
+             {"num_packets": 4}),
+    "tcpip": ("repro.systems.tcpip:build_system", {"dma_block_words": 16}),
+    "tcpip-out": ("repro.systems.tcpip:build_system",
+                  {"dma_block_words": 16, "include_outgoing": True,
+                   "num_outgoing": 2}),
+    "automotive": ("repro.systems.automotive:build_system", {}),
+}
+
+
+def system_names():
+    """The bundled system names, sorted."""
+    return sorted(BUILDERS)
+
+
+def builder_spec(name):
+    """The ``(builder, kwargs)`` spec of a bundled system.
+
+    Raises ``KeyError`` with the valid choices for unknown names.
+    """
+    try:
+        return BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown system %r (choose from %s)"
+            % (name, ", ".join(system_names()))
+        ) from None
+
+
+def build_bundle(name) -> SystemBundle:
+    """Build a bundled system by name (see :data:`BUILDERS`)."""
+    from repro.parallel.jobs import resolve_callable
+
+    builder, kwargs = builder_spec(name)
+    return resolve_callable(builder)(**dict(kwargs))

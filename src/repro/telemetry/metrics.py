@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -184,11 +185,21 @@ class _NullHistogram(Histogram):
 
 
 class MetricsRegistry:
-    """Named instruments plus dict/JSON snapshots."""
+    """Named instruments plus dict/JSON snapshots.
+
+    Instrument *creation* is thread-safe (the co-estimation service's
+    worker threads share one registry): a lock guards the first-use
+    registration so two threads racing on a new name get the same
+    instrument.  Updates (``inc``/``set``/``observe``) stay lock-free —
+    they are single-field float mutations on hot paths, and the GIL
+    already keeps them from corrupting; at worst a concurrent snapshot
+    reads a value one update stale.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
+        self._creation_lock = threading.Lock()
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -198,23 +209,32 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            self._check_free(name, self._gauges, self._histograms)
-            instrument = self._counters[name] = Counter(name)
+            with self._creation_lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    self._check_free(name, self._gauges, self._histograms)
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            self._check_free(name, self._counters, self._histograms)
-            instrument = self._gauges[name] = Gauge(name)
+            with self._creation_lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    self._check_free(name, self._counters, self._histograms)
+                    instrument = self._gauges[name] = Gauge(name)
         return instrument
 
     def histogram(self, name: str,
                   buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            self._check_free(name, self._counters, self._gauges)
-            instrument = self._histograms[name] = Histogram(name, buckets)
+            with self._creation_lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    self._check_free(name, self._counters, self._gauges)
+                    instrument = self._histograms[name] = Histogram(name, buckets)
         return instrument
 
     @staticmethod

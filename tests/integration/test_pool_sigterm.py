@@ -1,0 +1,124 @@
+"""SIGTERM handling of the parallel pool, observed from the outside.
+
+Killing a sweep mid-flight must leave a loadable checkpoint and no
+orphaned worker processes: ``raise_on_signals`` converts the signal
+into ``SystemExit(143)`` on the main thread so ``pool.shutdown()``
+still runs in the ``finally`` block, and a later ``--resume`` picks
+the sweep up where it stopped — unless the resilience configuration
+changed, in which case the checkpoint is refused outright.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+def _spawn_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")])
+    )
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    return env
+
+
+def _sweep_args(checkpoint, jobs):
+    return [sys.executable, "-m", "repro", "explore",
+            "--jobs", str(jobs), "--checkpoint", checkpoint,
+            "--dma", "2", "4", "8", "16", "32", "64",
+            "--packets", "16", "--strategy", "full"]
+
+
+def _python_processes_mentioning(needle):
+    """PIDs of live python processes whose cmdline contains ``needle``.
+
+    Pool workers are forked from the CLI process and inherit its
+    cmdline, so the (unique, tmp-path) checkpoint argument identifies
+    them; non-python matches (the test's own shell) are irrelevant.
+    """
+    found = []
+    for pid in os.listdir("/proc"):
+        if not pid.isdigit() or int(pid) == os.getpid():
+            continue
+        try:
+            with open("/proc/%s/cmdline" % pid, "rb") as handle:
+                cmdline = handle.read().decode(errors="replace")
+        except OSError:
+            continue  # raced with process exit
+        if needle in cmdline and "python" in cmdline.split("\0")[0]:
+            found.append((int(pid), cmdline.replace("\0", " ")))
+    return found
+
+
+def test_sigterm_checkpoints_and_leaves_no_orphans(tmp_path):
+    checkpoint = str(tmp_path / "sweep.ckpt")
+    process = subprocess.Popen(
+        _sweep_args(checkpoint, jobs=2),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=_spawn_env(), text=True, cwd=os.getcwd(),
+    )
+    try:
+        # Wait for proof the sweep is mid-flight: at least one design
+        # point landed in the checkpoint, with more still to run.
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if os.path.exists(checkpoint):
+                with open(checkpoint) as handle:
+                    try:
+                        completed = json.load(handle).get("completed", {})
+                    except json.JSONDecodeError:
+                        completed = {}  # raced with the atomic rewrite
+                if completed:
+                    break
+            time.sleep(0.05)
+        else:
+            pytest.fail("sweep never recorded a completed point")
+
+        process.send_signal(signal.SIGTERM)
+        _, stderr = process.communicate(timeout=120)
+
+        # SystemExit(128 + SIGTERM): the conventional "killed by TERM"
+        # code, reached through the pool's finally-shutdown (not a
+        # traceback crash).
+        assert process.returncode == 143, stderr
+        assert "Traceback" not in stderr
+
+        # The forked workers must be gone with their parent.
+        time.sleep(0.5)
+        orphans = _python_processes_mentioning(checkpoint)
+        assert not orphans, "orphaned workers survived: %r" % (orphans,)
+
+        # The checkpoint it left is loadable — not torn mid-write.
+        with open(checkpoint) as handle:
+            data = json.load(handle)
+        assert data["completed"]
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+    # A matching --resume restores the completed points and finishes.
+    resumed = subprocess.run(
+        _sweep_args(checkpoint, jobs=1) + ["--resume", checkpoint],
+        env=_spawn_env(), capture_output=True, text=True, timeout=240,
+        cwd=os.getcwd(),
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "restored from" in resumed.stdout
+
+    # A resume under a different fault plan is refused instead of
+    # silently mixing provenances (the checkpoint-signature satellite,
+    # observed end to end at the CLI).
+    mismatched = subprocess.run(
+        _sweep_args(checkpoint, jobs=1)
+        + ["--resume", checkpoint, "--fault-rate", "0.5"],
+        env=_spawn_env(), capture_output=True, text=True, timeout=120,
+        cwd=os.getcwd(),
+    )
+    assert mismatched.returncode != 0
+    assert "different sweep" in mismatched.stderr

@@ -2,17 +2,20 @@
 
 import json
 import os
+import stat
 
 import pytest
 
 from repro.errors import ReproError
-from repro.ioutil import atomic_write_json, atomic_write_text
+from repro.ioutil import atomic_write_json, atomic_write_text, fsync_directory
 from repro.resilience.checkpoint import (
     CheckpointError,
     CheckpointWriter,
     load_checkpoint,
+    resilience_signature,
     sweep_signature,
 )
+from repro.resilience.faults import FaultPlan
 
 
 class TestAtomicWrite:
@@ -50,6 +53,129 @@ class TestAtomicWrite:
         assert text.endswith("\n")
         assert text.index('"a"') < text.index('"b"')
         assert json.loads(text) == {"a": 1, "b": 2}
+
+
+class TestDirectoryFsync:
+    """The rename itself must be durable, not just the file contents."""
+
+    def _record_fsyncs(self, monkeypatch):
+        """Route ``os.fsync`` through a recorder noting dir-vs-file."""
+        calls = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            calls.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        return calls
+
+    def test_atomic_write_fsyncs_file_then_directory(self, tmp_path,
+                                                     monkeypatch):
+        calls = self._record_fsyncs(monkeypatch)
+        atomic_write_text(str(tmp_path / "out.txt"), "data")
+        # One data-file fsync before the rename, one directory fsync
+        # after it — in that order.
+        assert calls == [False, True]
+
+    def test_atomic_write_json_inherits_directory_fsync(self, tmp_path,
+                                                        monkeypatch):
+        calls = self._record_fsyncs(monkeypatch)
+        atomic_write_json(str(tmp_path / "out.json"), {"a": 1})
+        assert calls == [False, True]
+
+    def test_fsync_directory_targets_the_directory(self, tmp_path,
+                                                   monkeypatch):
+        calls = self._record_fsyncs(monkeypatch)
+        fsync_directory(str(tmp_path))
+        assert calls == [True]
+
+    def test_fsync_failure_tolerated(self, tmp_path, monkeypatch):
+        """EINVAL from a directory fsync (network mounts) is not fatal."""
+
+        def failing_fsync(fd):
+            raise OSError("fsync not supported here")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        fsync_directory(str(tmp_path))  # must not raise
+
+    def test_missing_directory_tolerated(self, tmp_path):
+        fsync_directory(str(tmp_path / "does-not-exist"))  # must not raise
+
+    def test_empty_directory_means_cwd(self, monkeypatch, tmp_path):
+        monkeypatch.chdir(str(tmp_path))
+        fsync_directory("")  # must not raise
+
+
+class TestResilienceSignature:
+    """Resume must be refused across differing fault configurations."""
+
+    def test_plain_dict_shape(self):
+        signature = resilience_signature()
+        assert signature == {
+            "fault_plan": None,
+            "fault_retries": None,
+            "timeout_s": None,
+            "degradation": True,
+        }
+
+    def test_fault_plan_serializes_deterministically(self):
+        plan = FaultPlan.uniform(["hw", "iss"], 0.25, seed=7)
+        a = resilience_signature(fault_plan=plan, fault_retries=1)
+        b = resilience_signature(fault_plan=FaultPlan.uniform(
+            ["hw", "iss"], 0.25, seed=7), fault_retries=1)
+        assert a == b
+        assert sweep_signature(resilience=a) == sweep_signature(resilience=b)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            dict(fault_plan=FaultPlan.uniform(["hw"], 0.25, seed=7),
+                 fault_retries=1),
+            dict(fault_plan=FaultPlan.uniform(["hw", "iss"], 0.5, seed=7),
+                 fault_retries=1),
+            dict(fault_plan=FaultPlan.uniform(["hw", "iss"], 0.25, seed=8),
+                 fault_retries=1),
+            dict(fault_plan=FaultPlan.uniform(["hw", "iss"], 0.25, seed=7),
+                 fault_retries=3),
+            dict(fault_plan=None, fault_retries=None),
+            dict(fault_plan=FaultPlan.uniform(["hw", "iss"], 0.25, seed=7),
+                 fault_retries=1, timeout_s=5.0),
+        ],
+    )
+    def test_differing_fault_config_changes_signature(self, other):
+        base = resilience_signature(
+            fault_plan=FaultPlan.uniform(["hw", "iss"], 0.25, seed=7),
+            fault_retries=1,
+        )
+        assert sweep_signature(resilience=base) != sweep_signature(
+            resilience=resilience_signature(**other)
+        )
+
+    def test_checkpoint_written_under_other_fault_plan_refused(self,
+                                                               tmp_path):
+        """The end-to-end satellite guarantee: ``--resume`` under a
+        different fault plan or retry budget is rejected instead of
+        silently mixing provenances."""
+        path = str(tmp_path / "sweep.ckpt")
+        faulted = sweep_signature(
+            strategy="caching",
+            resilience=resilience_signature(
+                fault_plan=FaultPlan.uniform(["hw"], 0.1, seed=1),
+                fault_retries=1,
+            ),
+        )
+        CheckpointWriter(path, faulted).record_and_flush("dma4", 1.0)
+
+        clean = sweep_signature(
+            strategy="caching",
+            resilience=resilience_signature(),
+        )
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path, clean)
+        assert "different sweep" in str(excinfo.value)
+        # The matching configuration still resumes.
+        assert load_checkpoint(path, faulted) == {"dma4": 1.0}
 
 
 class TestSweepSignature:

@@ -1,0 +1,163 @@
+"""Circuit breaker state machine: closed -> open -> half-open -> ..."""
+
+import pytest
+
+from repro.service.breaker import (
+    BREAKER_STATES,
+    BreakerRegistry,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, recovery_s=30.0):
+    clock = FakeClock()
+    return CircuitBreaker("hw", failure_threshold=threshold,
+                          recovery_s=recovery_s, clock=clock), clock
+
+
+class TestClosedToOpen:
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.snapshot()["opens"] == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two *consecutive*
+
+    def test_short_circuits_counted(self):
+        breaker, _ = make_breaker(threshold=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.snapshot()["short_circuits"] == 2
+
+
+class TestHalfOpen:
+    def test_probe_admitted_after_recovery(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert breaker.snapshot()["probes"] == 1
+
+    def test_single_probe_at_a_time(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # concurrent caller short-circuits
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        # ... and recovery starts over from the re-open time.
+        clock.advance(9.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_reopen_needs_single_failure_not_threshold(self):
+        breaker, clock = make_breaker(threshold=3, recovery_s=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one probe failure suffices
+        assert breaker.state == "open"
+
+
+class TestValidationAndStates:
+    def test_states_are_the_documented_set(self):
+        assert set(BREAKER_STATES) == {"closed", "half_open", "open"}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("hw", failure_threshold=0)
+
+    def test_invalid_recovery(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("hw", recovery_s=-1.0)
+
+
+class TestRegistry:
+    def test_get_is_idempotent(self):
+        registry = BreakerRegistry()
+        assert registry.get("hw") is registry.get("hw")
+        assert registry.get("hw") is not registry.get("iss")
+
+    def test_peek_does_not_create(self):
+        registry = BreakerRegistry()
+        assert registry.peek("hw") is None
+        registry.get("hw")
+        assert registry.peek("hw") is not None
+
+    def test_scoped_view_prefixes_site_names(self):
+        registry = BreakerRegistry(failure_threshold=1)
+        scoped = registry.scoped("tcpip")
+        breaker = scoped.get("hw")
+        assert breaker is registry.get("tcpip:hw")
+        # A different system's view never touches this breaker.
+        assert scoped.get("hw") is not registry.scoped("fig1").get("hw")
+
+    def test_snapshot_and_open_count(self):
+        clock = FakeClock()
+        registry = BreakerRegistry(failure_threshold=1, clock=clock)
+        registry.get("a:hw").record_failure()
+        registry.get("b:iss")
+        snap = registry.snapshot()
+        assert snap["a:hw"]["state"] == "open"
+        assert snap["b:iss"]["state"] == "closed"
+        assert registry.open_count() == 1
+
+    def test_registry_settings_reach_breakers(self):
+        clock = FakeClock()
+        registry = BreakerRegistry(failure_threshold=1, recovery_s=7.0,
+                                   clock=clock)
+        breaker = registry.get("hw")
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(6.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()

@@ -1,0 +1,50 @@
+"""In-flight request coalescing (idempotent dedup)."""
+
+from repro.service.dedup import InflightTable
+
+
+class TestInflightTable:
+    def test_first_submission_is_primary(self):
+        table = InflightTable()
+        assert table.admit("fp", "entry-a") == "entry-a"
+        assert table.depth == 1
+
+    def test_identical_inflight_coalesces(self):
+        table = InflightTable()
+        table.admit("fp", "primary")
+        assert table.admit("fp", "follower") == "primary"
+        assert table.snapshot() == {
+            "inflight": 1, "primaries": 1, "coalesced": 1,
+        }
+
+    def test_different_fingerprints_do_not_coalesce(self):
+        table = InflightTable()
+        table.admit("fp-a", "a")
+        assert table.admit("fp-b", "b") == "b"
+        assert table.depth == 2
+
+    def test_complete_reports_follower_count(self):
+        table = InflightTable()
+        table.admit("fp", "primary")
+        table.admit("fp", "f1")
+        table.admit("fp", "f2")
+        assert table.complete("fp") == 2
+        assert table.depth == 0
+
+    def test_completed_fingerprint_computes_afresh(self):
+        """Coalescing is not a response cache: release means re-run."""
+        table = InflightTable()
+        table.admit("fp", "first")
+        table.complete("fp")
+        assert table.admit("fp", "second") == "second"
+        assert table.snapshot()["primaries"] == 2
+
+    def test_complete_unknown_is_harmless(self):
+        table = InflightTable()
+        assert table.complete("never-admitted") == 0
+
+    def test_get(self):
+        table = InflightTable()
+        assert table.get("fp") is None
+        table.admit("fp", "primary")
+        assert table.get("fp") == "primary"

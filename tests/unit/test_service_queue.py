@@ -1,0 +1,125 @@
+"""Bounded admission queue: backpressure, priorities, load shedding."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.queue import AdmissionQueue, QueueClosed, QueueFull
+
+
+class TestOrdering:
+    def test_fifo_within_priority(self):
+        q = AdmissionQueue(max_depth=4)
+        for name in ("a", "b", "c"):
+            q.submit(name, priority=1)
+        assert [q.take(0), q.take(0), q.take(0)] == ["a", "b", "c"]
+
+    def test_priority_major(self):
+        q = AdmissionQueue(max_depth=4)
+        q.submit("low", priority=0)
+        q.submit("high", priority=2)
+        q.submit("normal", priority=1)
+        assert [q.take(0), q.take(0), q.take(0)] == ["high", "normal", "low"]
+
+    def test_take_empty_times_out(self):
+        q = AdmissionQueue(max_depth=2)
+        assert q.take(timeout=0.01) is None
+
+
+class TestBackpressure:
+    def test_full_rejects_equal_priority(self):
+        q = AdmissionQueue(max_depth=2)
+        q.submit("a", priority=1)
+        q.submit("b", priority=1)
+        with pytest.raises(QueueFull):
+            q.submit("c", priority=1)
+        assert q.snapshot()["rejected"] == 1
+        assert q.depth == 2  # never grew past the bound
+
+    def test_full_rejects_lower_priority(self):
+        q = AdmissionQueue(max_depth=1)
+        q.submit("queued", priority=1)
+        with pytest.raises(QueueFull):
+            q.submit("newcomer", priority=0)
+
+    def test_queue_full_is_repro_error(self):
+        q = AdmissionQueue(max_depth=1)
+        q.submit("a", priority=1)
+        with pytest.raises(ReproError):
+            q.submit("b", priority=1)
+
+    def test_depth_never_exceeds_bound(self):
+        q = AdmissionQueue(max_depth=3)
+        for index in range(10):
+            try:
+                q.submit("item-%d" % index, priority=index % 3)
+            except QueueFull:
+                pass
+        assert q.depth <= 3
+        assert q.snapshot()["peak_depth"] <= 3
+
+
+class TestLoadShedding:
+    def test_higher_priority_sheds_lowest(self):
+        q = AdmissionQueue(max_depth=2)
+        q.submit("low", priority=0)
+        q.submit("normal", priority=1)
+        victim = q.submit("high", priority=2)
+        assert victim == "low"
+        assert q.snapshot()["shed"] == 1
+        assert [q.take(0), q.take(0)] == ["high", "normal"]
+
+    def test_sheds_newest_among_equals(self):
+        q = AdmissionQueue(max_depth=2)
+        q.submit("old-low", priority=0)
+        q.submit("new-low", priority=0)
+        victim = q.submit("high", priority=2)
+        assert victim == "new-low"
+
+    def test_not_full_never_sheds(self):
+        q = AdmissionQueue(max_depth=3)
+        q.submit("low", priority=0)
+        assert q.submit("high", priority=2) is None
+
+
+class TestLifecycle:
+    def test_closed_refuses_submissions(self):
+        q = AdmissionQueue(max_depth=2)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.submit("late", priority=1)
+
+    def test_close_wakes_blocked_take(self):
+        q = AdmissionQueue(max_depth=2)
+        seen = []
+
+        def consumer():
+            seen.append(q.take(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        q.close()
+        thread.join(2.0)
+        assert not thread.is_alive()
+        assert seen == [None]
+
+    def test_take_drains_backlog_after_close(self):
+        q = AdmissionQueue(max_depth=2)
+        q.submit("pending", priority=1)
+        q.close()
+        assert q.take(0) == "pending"
+        assert q.take(0) is None
+
+    def test_drain_remaining_best_first(self):
+        q = AdmissionQueue(max_depth=4)
+        q.submit("low", priority=0)
+        q.submit("high", priority=2)
+        q.submit("normal", priority=1)
+        q.close()
+        assert q.drain_remaining() == ["high", "normal", "low"]
+        assert q.depth == 0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)

@@ -1,0 +1,327 @@
+"""Service core semantics with a controllable fake executor.
+
+These tests exercise admission, backpressure, shedding, coalescing,
+deadlines, and drain deterministically: the real co-estimation run is
+replaced by a fake ``execute_spec`` the test releases explicitly, so
+"the worker is busy" and "the queue is saturated" are facts the test
+establishes, not races it hopes for.  The real execution path is
+covered by the integration tests.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.report import EnergyReport
+from repro.service import (
+    CoEstimationService,
+    ServiceConfig,
+    ServiceRejected,
+    load_drain_checkpoint,
+)
+from repro.service.api import parse_request
+from repro.systems import system_names
+
+KNOWN = system_names()
+
+
+def make_report(provenance=None):
+    return EnergyReport(
+        label="fake",
+        total_energy_j=1.25e-6,
+        by_component={"proc": 1.25e-6},
+        by_category={"hw": 1.25e-6},
+        end_time_ns=1000.0,
+        wall_seconds=0.01,
+        low_level_seconds=0.0,
+        transitions={"proc": 4},
+        iss_invocations=0,
+        hw_invocations=4,
+        strategy_name="full",
+        strategy_stats={},
+        provenance=dict(provenance or {"exact": 4}),
+        by_provenance={"exact": 1.25e-6},
+    )
+
+
+class FakeExecutor:
+    """Stands in for ``repro.parallel.pool.execute_spec``.
+
+    Every call blocks until the test sets ``release`` (pre-set for
+    tests that don't care), then returns a canned report.
+    """
+
+    def __init__(self, provenance=None, hold=False):
+        self.release = threading.Event()
+        if not hold:
+            self.release.set()
+        self.calls = []
+        self.provenance = provenance
+
+    def __call__(self, spec):
+        self.calls.append(spec)
+        assert self.release.wait(10.0), "test never released the executor"
+        return make_report(self.provenance), 0.01, None, None
+
+    def wait_for_calls(self, count, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.calls) >= count:
+                return True
+            time.sleep(0.005)
+        return False
+
+
+@pytest.fixture
+def service_factory(monkeypatch):
+    services = []
+    fakes = []
+
+    def factory(config=None, provenance=None, hold=False):
+        fake = FakeExecutor(provenance=provenance, hold=hold)
+        monkeypatch.setattr("repro.parallel.pool.execute_spec", fake)
+        service = CoEstimationService(
+            config or ServiceConfig(workers=1, queue_depth=2,
+                                    default_deadline_s=10.0,
+                                    drain_timeout_s=2.0)
+        )
+        service.start()
+        services.append(service)
+        fakes.append(fake)
+        return service, fake
+
+    yield factory
+    for fake in fakes:
+        fake.release.set()
+    for service in services:
+        service.drain(timeout_s=2.0)
+
+
+def req(body, **overrides):
+    payload = dict(body)
+    payload.update(overrides)
+    return parse_request(payload, known_systems=KNOWN)
+
+
+class TestHappyPath:
+    def test_submit_execute_resolve(self, service_factory):
+        service, fake = service_factory()
+        pending, coalesced = service.submit(req({"system": "fig1"}))
+        assert not coalesced
+        assert pending.wait(5.0)
+        assert pending.status == 200
+        body = pending.body
+        assert body["status"] == "ok"
+        assert body["system"] == "fig1"
+        assert body["degraded"] is False
+        assert body["provenance"] == {"exact": 4}
+        assert body["total_energy_j"] == pytest.approx(1.25e-6)
+        assert body["report"]["strategy_name"] == "full"
+
+    def test_spec_carries_deadline_and_breakers(self, service_factory):
+        service, fake = service_factory()
+        pending, _ = service.submit(req({"system": "fig1",
+                                         "deadline_s": 8.0}))
+        assert pending.wait(5.0)
+        (spec,) = fake.calls
+        resilience = spec.payload["resilience"]
+        assert resilience.watchdog_s is not None
+        assert resilience.watchdog_s <= 8.0
+        assert resilience.breaker_registry is not None
+        assert resilience.breaker_registry.prefix == "fig1"
+
+    def test_degraded_flag_follows_provenance(self, service_factory):
+        service, _ = service_factory(
+            provenance={"exact": 2, "macromodel": 7}
+        )
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        assert pending.body["degraded"] is True
+        snap = service.stats_snapshot()
+        assert snap["service"]["degraded_responses"] == 1
+        assert snap["provenance"]["macromodel"] == 7
+
+
+class TestBackpressure:
+    def test_saturated_queue_rejects_429(self, service_factory):
+        service, fake = service_factory(
+            ServiceConfig(workers=1, queue_depth=1,
+                          default_deadline_s=10.0), hold=True
+        )
+        service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)  # worker busy
+        service.submit(req({"system": "tcpip"}))  # fills the queue
+        with pytest.raises(ServiceRejected) as excinfo:
+            service.submit(req({"system": "automotive"}))
+        assert excinfo.value.status == 429
+        assert excinfo.value.reason == "queue_full"
+        assert excinfo.value.retry_after_s >= 1
+        fake.release.set()
+
+    def test_high_priority_sheds_queued_low(self, service_factory):
+        service, fake = service_factory(
+            ServiceConfig(workers=1, queue_depth=1,
+                          default_deadline_s=10.0), hold=True
+        )
+        service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)
+        victim_pending, _ = service.submit(
+            req({"system": "tcpip", "priority": "low"})
+        )
+        survivor_pending, _ = service.submit(
+            req({"system": "automotive", "priority": "high"})
+        )
+        # The victim is answered immediately with an explicit 503.
+        assert victim_pending.wait(2.0)
+        assert victim_pending.status == 503
+        assert victim_pending.body["reason"] == "load_shed"
+        assert "Retry-After" in victim_pending.headers
+        fake.release.set()
+        assert survivor_pending.wait(5.0)
+        assert survivor_pending.status == 200
+        assert service.stats_snapshot()["service"]["shed"] == 1
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_run(self, service_factory):
+        service, fake = service_factory(hold=True)
+        first, coalesced_a = service.submit(req({"system": "fig1"}))
+        second, coalesced_b = service.submit(
+            req({"system": "fig1", "request_id": "another-client"})
+        )
+        assert (coalesced_a, coalesced_b) == (False, True)
+        assert second is first  # same pending handle, no queue slot
+        fake.release.set()
+        assert first.wait(5.0)
+        assert len(fake.calls) == 1
+        assert service.stats_snapshot()["dedup"]["coalesced"] == 1
+
+    def test_different_fault_seeds_do_not_coalesce(self, service_factory):
+        service, fake = service_factory(hold=True)
+        a, _ = service.submit(req(
+            {"system": "fig1",
+             "fault": {"rate": 0.5, "sites": ["hw"], "seed": 1}}
+        ))
+        b, _ = service.submit(req(
+            {"system": "fig1",
+             "fault": {"rate": 0.5, "sites": ["hw"], "seed": 2}}
+        ))
+        assert b is not a
+        fake.release.set()
+        assert a.wait(5.0) and b.wait(5.0)
+        assert len(fake.calls) == 2
+
+    def test_fingerprint_released_after_completion(self, service_factory):
+        service, fake = service_factory()
+        first, _ = service.submit(req({"system": "fig1"}))
+        assert first.wait(5.0)
+        second, coalesced = service.submit(req({"system": "fig1"}))
+        assert not coalesced  # completed runs don't serve as a cache
+        assert second.wait(5.0)
+        assert len(fake.calls) == 2
+
+
+class TestDeadlines:
+    def test_deadline_expired_in_queue_is_504(self, service_factory):
+        service, fake = service_factory(hold=True)
+        service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)
+        late, _ = service.submit(req({"system": "tcpip",
+                                      "deadline_s": 0.02}))
+        time.sleep(0.1)  # deadline passes while queued behind the hold
+        fake.release.set()
+        assert late.wait(5.0)
+        assert late.status == 504
+        assert late.body["reason"] == "deadline_exceeded"
+        assert service.stats_snapshot()["service"]["deadline_expired"] == 1
+
+
+class TestDrain:
+    def test_drain_finishes_backlog_when_it_can(self, service_factory):
+        service, _ = service_factory()
+        pendings = [service.submit(req({"system": name}))[0]
+                    for name in ("fig1", "tcpip")]
+        report = service.drain()
+        assert report.drained_clean
+        assert all(p.wait(1.0) and p.status == 200 for p in pendings)
+        assert report.completed == 2
+
+    def test_drain_checkpoints_unstarted_requests(self, service_factory,
+                                                  tmp_path):
+        path = str(tmp_path / "drain.ckpt")
+        service, fake = service_factory(
+            ServiceConfig(workers=1, queue_depth=4,
+                          default_deadline_s=10.0, drain_timeout_s=0.0,
+                          checkpoint_path=path),
+            hold=True,
+        )
+        service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)
+        queued = [
+            service.submit(req({"system": "tcpip"}))[0],
+            service.submit(req({"system": "automotive"}))[0],
+        ]
+        report = service.drain(reason="test")
+        assert report.checkpointed == 2
+        assert not report.drained_clean
+        for pending in queued:
+            assert pending.wait(1.0)
+            assert pending.status == 503
+            assert pending.body["checkpointed"] is True
+        payloads = load_drain_checkpoint(path)
+        assert sorted(p["system"] for p in payloads) == [
+            "automotive", "tcpip",
+        ]
+        fake.release.set()
+
+    def test_resume_re_enqueues_checkpointed_requests(self, service_factory,
+                                                      tmp_path):
+        path = str(tmp_path / "drain.ckpt")
+        service, fake = service_factory(
+            ServiceConfig(workers=1, queue_depth=4,
+                          default_deadline_s=10.0, drain_timeout_s=0.0,
+                          checkpoint_path=path),
+            hold=True,
+        )
+        service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)
+        service.submit(req({"system": "tcpip"}))
+        service.drain()
+        fake.release.set()
+
+        fresh, fake2 = service_factory()
+        assert fresh.resume_from_checkpoint(path) == 1
+        assert fake2.wait_for_calls(1)
+        assert fake2.calls[0].payload["builder"].startswith(
+            "repro.systems.tcpip"
+        )
+
+    def test_submissions_refused_while_draining(self, service_factory):
+        service, _ = service_factory()
+        service.drain()
+        with pytest.raises(ServiceRejected) as excinfo:
+            service.submit(req({"system": "fig1"}))
+        assert excinfo.value.status == 503
+        assert excinfo.value.reason == "draining"
+
+    def test_readyz_flips_on_drain(self, service_factory):
+        service, _ = service_factory()
+        assert service.ready
+        service.drain_controller.request_drain("test")
+        assert not service.ready
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"queue_depth": 0},
+            {"default_deadline_s": 0.0},
+            {"drain_timeout_s": -1.0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
