@@ -5,16 +5,21 @@ Starts the server as a subprocess, then drives the acceptance scenario
 from the outside, exactly as a deployment would see it:
 
 1. concurrent estimates for two bundled systems answer 200 with exact
-   provenance;
+   provenance (and carry X-Trace-Id correlation headers);
 2. a chaos request (100% hw faults) answers 200 *degraded*, with the
    breaker for that site open in /stats;
-3. a burst beyond workers+queue sees explicit 429 backpressure with a
+3. /metrics is valid Prometheus text exposition and its provenance-tier
+   and breaker-state samples agree with what the fault load did;
+4. a burst beyond workers+queue sees explicit 429 backpressure with a
    Retry-After header;
-4. SIGTERM drains gracefully: exit code 0 and a drain report.
+5. SIGTERM drains gracefully: exit code 0, a drain report, structured
+   JSON log lines (--log-json), and a flight-recorder dump on disk
+   (uploaded as a CI artifact).
 
 Exits non-zero (with a message) on the first violated expectation.
 """
 
+import glob
 import http.client
 import json
 import os
@@ -22,6 +27,12 @@ import signal
 import subprocess
 import sys
 import threading
+
+from repro.obs.prometheus import validate_exposition
+
+#: Where the server dumps its flight recorder; CI uploads this
+#: directory as an artifact.
+FLIGHT_DIR = os.environ.get("SMOKE_FLIGHT_DIR", "smoke-flight")
 
 
 def post(port, body, timeout=120):
@@ -47,6 +58,17 @@ def get(port, path):
         connection.close()
 
 
+def get_text(port, path):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        headers = dict(response.getheaders())
+        return response.status, headers, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
 def fail(message):
     print("service smoke FAILED: %s" % message, file=sys.stderr)
     sys.exit(1)
@@ -56,15 +78,27 @@ def main():
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--workers", "2", "--queue-depth", "4", "--deadline-s", "60",
-         "--breaker-threshold", "2"],
+         "--breaker-threshold", "2", "--log-json",
+         "--flight-dump-dir", FLIGHT_DIR],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         env=dict(os.environ, PYTHONUNBUFFERED="1"), text=True,
     )
+    # --log-json streams one JSON line per request step; drain the pipe
+    # continuously so a chatty run can never fill the pipe buffer and
+    # deadlock the server against its own stderr.
+    captured = []
+
+    def read_output():
+        for line in process.stdout:
+            captured.append(line)
+
     try:
         banner = process.stdout.readline()
         if "listening on http://" not in banner:
             fail("no startup banner: %r" % banner)
         port = int(banner.split("http://127.0.0.1:")[1].split(" ")[0])
+        reader = threading.Thread(target=read_output, daemon=True)
+        reader.start()
 
         status, body = get(port, "/readyz")
         if (status, body.get("status")) != (200, "ready"):
@@ -83,7 +117,7 @@ def main():
             thread.start()
         for thread in threads:
             thread.join(120)
-        for system, (status, _, body) in outcomes.items():
+        for system, (status, headers, body) in outcomes.items():
             if status != 200:
                 fail("%s answered %s: %s" % (system, status, body))
             if body["degraded"]:
@@ -91,7 +125,10 @@ def main():
             if set(body["provenance"]) != {"exact"}:
                 fail("clean %s run not fully exact: %s"
                      % (system, body["provenance"]))
-        print("clean estimates OK: fig1 + tcpip, all-exact provenance")
+            if not headers.get("X-Trace-Id"):
+                fail("%s response missing X-Trace-Id header" % system)
+        print("clean estimates OK: fig1 + tcpip, all-exact provenance, "
+              "trace-correlated")
 
         # 2. Chaos request: 100% hw faults must trip the breaker and
         #    still be answered from the degradation ladder.
@@ -114,7 +151,42 @@ def main():
         print("breaker OK: fig1:hw open, %d short-circuits, provenance %s"
               % (breaker["short_circuits"], body["provenance"]))
 
-        # 3. Saturation: a burst beyond workers+queue must see 429s
+        # 3. /metrics: valid Prometheus exposition whose samples agree
+        #    with what the fault load just did.
+        status, headers, exposition = get_text(port, "/metrics")
+        if status != 200:
+            fail("/metrics answered %s" % status)
+        if not headers.get("Content-Type", "").startswith(
+            "text/plain; version=0.0.4"
+        ):
+            fail("/metrics content type %r" % headers.get("Content-Type"))
+        errors = validate_exposition(exposition)
+        if errors:
+            fail("/metrics is not valid exposition format: %s" % errors)
+        answer_lines = [
+            line for line in exposition.splitlines()
+            if line.startswith("repro_service_energy_answers_total{")
+        ]
+        if not any('provenance="exact"' in line for line in answer_lines):
+            fail("no exact-provenance answer counter: %s" % answer_lines)
+        degraded_tiers = [line for line in answer_lines
+                          if 'provenance="exact"' not in line
+                          and 'system="fig1"' in line]
+        if not degraded_tiers:
+            fail("chaos load produced no non-exact provenance counters: %s"
+                 % answer_lines)
+        if 'repro_service_breaker_state{site="fig1:hw"} 2' not in exposition:
+            fail("fig1:hw breaker-state gauge is not open(2)")
+        for family in ("repro_slo_latency_burn_rate",
+                       "repro_slo_error_burn_rate",
+                       "repro_http_requests_total",
+                       "repro_service_request_latency_seconds_count"):
+            if family not in exposition:
+                fail("/metrics lacks %s" % family)
+        print("metrics OK: valid exposition, %d provenance tier(s) "
+              "degraded, breaker gauge open" % len(degraded_tiers))
+
+        # 4. Saturation: a burst beyond workers+queue must see 429s
         #    (and every accepted request must still complete).
         burst = []
         start_together = threading.Barrier(24)
@@ -153,17 +225,52 @@ def main():
               % dict((status, statuses.count(status))
                      for status in sorted(set(statuses))))
 
-        # 4. Graceful drain on SIGTERM.
+        # 5. Graceful drain on SIGTERM.
         process.send_signal(signal.SIGTERM)
         process.wait(timeout=120)
-        output = process.stdout.read()
+        reader.join(30)
+        output = "".join(captured)
         if process.returncode != 0:
             fail("serve exited %s after SIGTERM:\n%s"
                  % (process.returncode, output))
         if "drain" not in output:
             fail("no drain report in output:\n%s" % output)
-        print("drain OK: exit 0 — %s"
-              % output.strip().splitlines()[-1])
+
+        # Structured logs: --log-json must have produced parseable,
+        # trace-correlated event lines on stderr.
+        events = []
+        for line in output.splitlines():
+            if not line.startswith("{"):
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                fail("unparseable --log-json line: %r" % line)
+            if "event" not in record or "trace_id" not in record:
+                fail("log line lacks event/trace_id: %r" % line)
+            events.append(record["event"])
+        for expected in ("request.admitted", "request.completed",
+                         "breaker.transition", "drain.step"):
+            if expected not in events:
+                fail("no %s event in the JSON log (saw %s)"
+                     % (expected, sorted(set(events))))
+        print("structured logs OK: %d JSON lines, %d distinct events"
+              % (len(events), len(set(events))))
+
+        # Flight recorder: the drain must have dumped the event ring
+        # (CI uploads the directory as a postmortem artifact).
+        dumps = sorted(glob.glob(
+            os.path.join(FLIGHT_DIR, "flightrecorder-*.json")
+        ))
+        if not dumps:
+            fail("no flight-recorder dump in %s after drain" % FLIGHT_DIR)
+        with open(dumps[-1]) as handle:
+            document = json.load(handle)
+        if not document.get("events"):
+            fail("flight-recorder dump %s holds no events" % dumps[-1])
+        print("flight recorder OK: %d dump(s), last holds %d events"
+              % (len(dumps), len(document["events"])))
+        print("drain OK: exit 0")
         print("service smoke PASSED")
     finally:
         if process.poll() is None:

@@ -411,6 +411,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve`` — the long-running co-estimation service."""
+    from repro.obs.slo import SLOConfig
     from repro.service import ServiceConfig, run_server
 
     config = ServiceConfig(
@@ -421,6 +422,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_recovery_s=args.breaker_recovery_s,
         checkpoint_path=args.checkpoint,
+        slo=SLOConfig(
+            latency_threshold_s=args.slo_latency_s,
+            latency_objective=args.slo_latency_objective,
+            availability_objective=args.slo_error_objective,
+            window_s=args.slo_window_s,
+        ),
+        log_json=args.log_json,
+        flight_recorder_capacity=args.flight_recorder_capacity,
+        flight_dump_dir=args.flight_dump_dir,
     )
     return run_server(
         args.host,
@@ -596,6 +606,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 30)")
     serve.add_argument("--checkpoint", metavar="FILE",
                        help="write unfinished requests here on drain")
+    obs_group = serve.add_argument_group("observability")
+    obs_group.add_argument("--log-json", action="store_true",
+                           help="emit one JSON log line per request "
+                                "lifecycle event (trace-correlated)")
+    obs_group.add_argument("--slo-latency-s", type=float, default=5.0,
+                           metavar="S",
+                           help="latency SLO threshold: a request slower "
+                                "than this burns latency budget "
+                                "(default %(default)s)")
+    obs_group.add_argument("--slo-latency-objective", type=float,
+                           default=0.95, metavar="F",
+                           help="fraction of requests that must meet the "
+                                "latency threshold (default %(default)s)")
+    obs_group.add_argument("--slo-error-objective", type=float,
+                           default=0.99, metavar="F",
+                           help="fraction of requests that must not end "
+                                "in a 5xx (default %(default)s)")
+    obs_group.add_argument("--slo-window-s", type=float, default=300.0,
+                           metavar="S",
+                           help="sliding window of the SLO burn rates "
+                                "(default %(default)s)")
+    obs_group.add_argument("--flight-recorder-capacity", type=int,
+                           default=256, metavar="N",
+                           help="events kept in the in-memory flight "
+                                "recorder ring (default %(default)s)")
+    obs_group.add_argument("--flight-dump-dir", metavar="DIR",
+                           help="directory for flight-recorder dumps on "
+                                "500/504/drain (omit to disable dumps)")
     serve.add_argument("--resume", metavar="FILE",
                        help="re-enqueue the requests of a drain checkpoint "
                             "at startup")

@@ -1,0 +1,82 @@
+"""Structured JSON logging: one event, one line, one trace id.
+
+The service's log is a stream of facts, not prose: every admission,
+dispatch, breaker transition, and drain step is one JSON object per
+line, every line carrying the request's ``trace_id`` (pulled from the
+bound :class:`~repro.obs.context.RequestContext` automatically).  That
+makes ``grep trace_id`` the whole log-correlation story, and keeps the
+format trivially consumable by ``jq`` and log pipelines.
+
+The logger is synchronous and lock-guarded — co-estimation runs are
+seconds long, so one short line per request *step* is nowhere near the
+write rates that justify buffering, and a crash never loses buffered
+events.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Callable, Optional, TextIO
+
+from repro.obs.context import current_context
+
+__all__ = ["JsonLogger", "NullLogger", "NULL_LOGGER"]
+
+
+class JsonLogger:
+    """Writes one JSON event per line to a text stream."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.time,
+        component: str = "service",
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self.component = component
+        self._lock = threading.Lock()
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit one event line.
+
+        ``trace_id``/``span_id``/``request_id`` are filled in from the
+        current request context unless the caller supplies them.
+        """
+        record: dict = {
+            "ts": round(self._clock(), 6),
+            "event": name,
+            "component": self.component,
+        }
+        context = current_context()
+        if context is not None:
+            for key, value in context.trace_args().items():
+                record.setdefault(key, value)
+        record.setdefault("trace_id", "")
+        for key, value in fields.items():
+            record[key] = value
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+
+class NullLogger(JsonLogger):
+    """Disabled logger: every event is a no-op (the default path)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(stream=None)
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+
+#: Process-wide disabled logger; safe to share (it keeps no state).
+NULL_LOGGER = NullLogger()

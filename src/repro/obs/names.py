@@ -1,0 +1,127 @@
+"""Canonical metric and log-event names of the observability layer.
+
+Every metric the service exports and every structured-log event it
+emits is named here, once.  Dashboards, alerts, and the smoke tests
+key on these strings, so they are part of the service's compatibility
+surface: renaming one is a breaking change and belongs in a release
+note, not a refactor.
+
+Metric names are dotted (`service.queue_wait_seconds`); the Prometheus
+exporter (:mod:`repro.obs.prometheus`) rewrites dots to underscores
+and prefixes ``repro_`` at render time, so the dotted form stays the
+single internal spelling.  Labeled instruments encode their labels
+into the registry name via :func:`repro.obs.prometheus.labeled`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "METRIC_HTTP_REQUESTS",
+    "METRIC_ENERGY_ANSWERS",
+    "METRIC_BREAKER_STATE",
+    "METRIC_BREAKER_TRANSITIONS",
+    "METRIC_QUEUE_DEPTH",
+    "METRIC_QUEUE_WAIT_SECONDS",
+    "METRIC_RUN_SECONDS",
+    "METRIC_REQUEST_LATENCY_SECONDS",
+    "METRIC_SLO_LATENCY_BURN",
+    "METRIC_SLO_ERROR_BURN",
+    "METRIC_FLIGHT_RECORDED",
+    "METRIC_FLIGHT_DUMPS",
+    "EVENT_ADMITTED",
+    "EVENT_COALESCED",
+    "EVENT_REJECTED",
+    "EVENT_SHED",
+    "EVENT_DISPATCHED",
+    "EVENT_COMPLETED",
+    "EVENT_FAILED",
+    "EVENT_DEADLINE_EXPIRED",
+    "EVENT_BREAKER_TRANSITION",
+    "EVENT_ESTIMATOR_FALLBACK",
+    "EVENT_ESTIMATOR_FAILURE",
+    "EVENT_ESTIMATOR_SHORT_CIRCUIT",
+    "EVENT_ESTIMATOR_TIMEOUT",
+    "EVENT_DRAIN_STEP",
+    "EVENT_FLIGHT_DUMP",
+    "SERVICE_EVENTS",
+]
+
+# -- metrics (registry names; Prometheus spelling derived at render) ----
+
+#: HTTP requests by handler outcome.  Labels: ``path``, ``status``.
+METRIC_HTTP_REQUESTS = "http.requests"
+
+#: Energy answers by quality tier.  Labels: ``system``, ``provenance``.
+#: This is the quantitative face of the degradation ladder: the ratio
+#: of non-``exact`` tiers is the measured degradation rate.
+METRIC_ENERGY_ANSWERS = "service.energy_answers"
+
+#: Current breaker state as a number (0 closed, 1 half-open, 2 open).
+#: Labels: ``site`` (``"<system>:<estimator>"``).
+METRIC_BREAKER_STATE = "service.breaker_state"
+
+#: Breaker state transitions.  Labels: ``site``, ``to``.
+METRIC_BREAKER_TRANSITIONS = "service.breaker_transitions"
+
+#: Instantaneous admission-queue depth (gauge).
+METRIC_QUEUE_DEPTH = "service.queue_depth"
+
+#: Time a request spent queued before a worker took it (histogram).
+METRIC_QUEUE_WAIT_SECONDS = "service.queue_wait_seconds"
+
+#: Wall-clock of the co-estimation run itself (histogram).
+METRIC_RUN_SECONDS = "service.run_seconds"
+
+#: End-to-end latency, admission to terminal response (histogram).
+METRIC_REQUEST_LATENCY_SECONDS = "service.request_latency_seconds"
+
+#: SLO burn rates (gauge): observed bad fraction over the window,
+#: divided by the objective's error budget.  1.0 = burning exactly the
+#: budget; above 1.0 the objective will be missed if sustained.
+METRIC_SLO_LATENCY_BURN = "slo.latency_burn_rate"
+METRIC_SLO_ERROR_BURN = "slo.error_burn_rate"
+
+#: Flight-recorder bookkeeping (published as gauges set to the
+#: recorder's absolute totals on each export).
+METRIC_FLIGHT_RECORDED = "flightrecorder.recorded"
+METRIC_FLIGHT_DUMPS = "flightrecorder.dumps"
+
+# -- structured-log / flight-recorder event names -----------------------
+
+EVENT_ADMITTED = "request.admitted"
+EVENT_COALESCED = "request.coalesced"
+EVENT_REJECTED = "request.rejected"
+EVENT_SHED = "request.shed"
+EVENT_DISPATCHED = "request.dispatched"
+EVENT_COMPLETED = "request.completed"
+EVENT_FAILED = "request.failed"
+EVENT_DEADLINE_EXPIRED = "request.deadline_expired"
+EVENT_BREAKER_TRANSITION = "breaker.transition"
+EVENT_ESTIMATOR_FALLBACK = "estimator.fallback"
+EVENT_ESTIMATOR_FAILURE = "estimator.persistent_failure"
+EVENT_ESTIMATOR_SHORT_CIRCUIT = "estimator.short_circuit"
+EVENT_ESTIMATOR_TIMEOUT = "estimator.watchdog_timeout"
+EVENT_DRAIN_STEP = "drain.step"
+EVENT_FLIGHT_DUMP = "flightrecorder.dump"
+
+#: Every event name the service can emit — the schema contract the
+#: docs and the lint-adjacent tests check against.
+SERVICE_EVENTS: Tuple[str, ...] = (
+    EVENT_ADMITTED,
+    EVENT_COALESCED,
+    EVENT_REJECTED,
+    EVENT_SHED,
+    EVENT_DISPATCHED,
+    EVENT_COMPLETED,
+    EVENT_FAILED,
+    EVENT_DEADLINE_EXPIRED,
+    EVENT_BREAKER_TRANSITION,
+    EVENT_ESTIMATOR_FALLBACK,
+    EVENT_ESTIMATOR_FAILURE,
+    EVENT_ESTIMATOR_SHORT_CIRCUIT,
+    EVENT_ESTIMATOR_TIMEOUT,
+    EVENT_DRAIN_STEP,
+    EVENT_FLIGHT_DUMP,
+)

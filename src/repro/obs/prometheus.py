@@ -1,0 +1,273 @@
+"""Prometheus text exposition (version 0.0.4) over the metrics registry.
+
+The :class:`~repro.telemetry.metrics.MetricsRegistry` stays the single
+store of numeric truth; this module is a *renderer* plus a naming
+convention:
+
+* **Labels ride inside registry names.**  The registry identifies
+  instruments by one string; :func:`labeled` encodes a label set into
+  that string (``service.energy_answers{provenance="exact",…}``) in a
+  canonical (sorted) spelling, so the same label set always maps to
+  the same instrument.  :func:`parse_labeled` inverts the encoding at
+  render time.  Code that never renders to Prometheus can keep using
+  plain names — unlabeled instruments render as label-less samples.
+* **Dotted names become Prometheus names at the edge.**  Internal
+  names keep their dotted spelling (``service.queue_wait_seconds``);
+  the renderer rewrites ``[^a-zA-Z0-9_:]`` to ``_`` and prefixes
+  ``repro_``.  Counters additionally get the conventional ``_total``
+  suffix.
+
+Histograms render with cumulative ``_bucket`` samples (including the
+mandatory ``+Inf``), ``_sum`` and ``_count`` — the registry's
+fixed-bucket histograms carry exactly the data Prometheus wants.
+
+:func:`validate_exposition` is a small line-grammar checker used by the
+unit tests and the CI smoke script to assert the endpoint emits what a
+Prometheus scraper will accept.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "labeled",
+    "parse_labeled",
+    "prometheus_name",
+    "render_prometheus",
+    "validate_exposition",
+]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix of every exported metric (the exposition namespace).
+PROMETHEUS_PREFIX = "repro_"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def labeled(name: str, **labels: str) -> str:
+    """Encode ``labels`` into a registry instrument name.
+
+    Canonical: labels sorted by key, values escaped, one spelling per
+    label set — ``labeled("a", x="1", y="2")`` and
+    ``labeled("a", y="2", x="1")`` return the same string, so they hit
+    the same registry instrument.
+    """
+    if not labels:
+        return name
+    if "{" in name:
+        raise ValueError("metric name %r already carries labels" % name)
+    body = ",".join(
+        '%s="%s"' % (key, _escape_label_value(str(value)))
+        for key, value in sorted(labels.items())
+    )
+    return "%s{%s}" % (name, body)
+
+
+_LABEL_PART = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_labeled(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split an encoded name back into ``(base, labels)``."""
+    brace = name.find("{")
+    if brace < 0:
+        return name, {}
+    if not name.endswith("}"):
+        raise ValueError("malformed labeled metric name %r" % name)
+    base = name[:brace]
+    body = name[brace + 1:-1]
+    labels: Dict[str, str] = {}
+    for key, raw in _LABEL_PART.findall(body):
+        labels[key] = (
+            raw.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+        )
+    return base, labels
+
+
+def prometheus_name(name: str, prefix: str = PROMETHEUS_PREFIX) -> str:
+    """The exposition spelling of an internal (dotted) metric name."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_body(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (key, _escape_label_value(value))
+        for key, value in sorted(labels.items())
+    )
+
+
+def _family_rows(
+    values: Mapping[str, float],
+) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Group ``encoded-name -> value`` by base family, labels decoded."""
+    families: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for encoded, value in values.items():
+        base, labels = parse_labeled(encoded)
+        families.setdefault(base, []).append((labels, value))
+    return families
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    help_text: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render every instrument of ``registry`` as exposition text.
+
+    ``help_text`` optionally maps internal base names to ``# HELP``
+    strings; families without one get a generated placeholder.
+    """
+    lines: List[str] = []
+    helps = dict(help_text or {})
+
+    def emit_header(base: str, kind: str, exposition: str) -> None:
+        text = helps.get(base, "repro metric %s" % base)
+        lines.append("# HELP %s %s" % (exposition, text.replace("\n", " ")))
+        lines.append("# TYPE %s %s" % (exposition, kind))
+
+    snapshot = registry.snapshot()
+
+    for base, rows in sorted(_family_rows(snapshot["counters"]).items()):
+        exposition = prometheus_name(base)
+        if not exposition.endswith("_total"):
+            exposition += "_total"
+        emit_header(base, "counter", exposition)
+        for labels, value in sorted(rows, key=lambda row: sorted(row[0].items())):
+            lines.append(
+                "%s%s %s" % (exposition, _label_body(labels), _format_value(value))
+            )
+
+    for base, rows in sorted(_family_rows(snapshot["gauges"]).items()):
+        exposition = prometheus_name(base)
+        emit_header(base, "gauge", exposition)
+        for labels, value in sorted(rows, key=lambda row: sorted(row[0].items())):
+            lines.append(
+                "%s%s %s" % (exposition, _label_body(labels), _format_value(value))
+            )
+
+    histogram_families: Dict[str, List[Tuple[Dict[str, str], Histogram]]] = {}
+    for encoded, instrument in sorted(registry.histogram_instruments().items()):
+        base, labels = parse_labeled(encoded)
+        histogram_families.setdefault(base, []).append((labels, instrument))
+    for base, entries in sorted(histogram_families.items()):
+        exposition = prometheus_name(base)
+        emit_header(base, "histogram", exposition)
+        for labels, histogram in sorted(
+            entries, key=lambda entry: sorted(entry[0].items())
+        ):
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                cumulative += count
+                bucket_labels = dict(labels, le=_format_value(bound))
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (exposition, _label_body(bucket_labels), cumulative)
+                )
+            bucket_labels = dict(labels, le="+Inf")
+            lines.append(
+                "%s_bucket%s %d"
+                % (exposition, _label_body(bucket_labels), histogram.count)
+            )
+            lines.append(
+                "%s_sum%s %s"
+                % (exposition, _label_body(labels), _format_value(histogram.sum))
+            )
+            lines.append(
+                "%s_count%s %d"
+                % (exposition, _label_body(labels), histogram.count)
+            )
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Exposition-format validation (tests, CI smoke)
+# ----------------------------------------------------------------------
+
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"            # metric name
+    r"(\{\w+=\"(?:[^\"\\]|\\.)*\"(,\w+=\"(?:[^\"\\]|\\.)*\")*\})?"  # labels
+    r" -?(\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)"  # value
+    r"( -?\d+)?$"                            # optional timestamp
+)
+_HELP_LINE = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+_TYPE_LINE = re.compile(
+    r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+    r"(counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Check ``text`` against the exposition line grammar.
+
+    Returns a list of human-readable violations (empty = valid).
+    Checks: every line parses; every sample's family has a ``# TYPE``;
+    counter families end in ``_total``; histogram families emit
+    ``_bucket``/``_sum``/``_count`` with a ``+Inf`` bucket.
+    """
+    errors: List[str] = []
+    typed: Dict[str, str] = {}
+    sampled: Dict[str, List[str]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP"):
+            if not _HELP_LINE.match(line):
+                errors.append("line %d: malformed HELP: %r" % (number, line))
+            continue
+        if line.startswith("# TYPE"):
+            if not _TYPE_LINE.match(line):
+                errors.append("line %d: malformed TYPE: %r" % (number, line))
+            else:
+                _, _, name, kind = line.split(" ", 3)
+                typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        if not _SAMPLE_LINE.match(line):
+            errors.append("line %d: malformed sample: %r" % (number, line))
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        sampled.setdefault(
+            family if family in typed else name, []
+        ).append(name)
+    for family, names in sorted(sampled.items()):
+        if family not in typed:
+            errors.append("family %r sampled without a # TYPE line" % family)
+            continue
+        kind = typed[family]
+        if kind == "counter" and not family.endswith("_total"):
+            errors.append("counter family %r lacks the _total suffix" % family)
+        if kind == "histogram":
+            suffixes = {name[len(family):] for name in names}
+            for required in ("_bucket", "_sum", "_count"):
+                if required not in suffixes:
+                    errors.append(
+                        "histogram family %r lacks %s samples"
+                        % (family, required)
+                    )
+    return errors

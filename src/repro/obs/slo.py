@@ -1,0 +1,146 @@
+"""Service-level objectives with burn-rate tracking.
+
+An SLO here is the standard pair of objectives over a sliding window:
+
+* **latency** — at least ``latency_objective`` of requests finish
+  within ``latency_threshold_s`` (end to end, queue wait included);
+* **availability** — at most ``1 - availability_objective`` of
+  requests end in a server-side error (HTTP 5xx; 4xx is the client's
+  budget, not ours).
+
+The exported signal is the *burn rate*: the observed bad fraction
+divided by the objective's error budget.  Burn 1.0 means the budget is
+being consumed exactly as fast as it accrues; sustained burn above 1.0
+means the objective will be missed — the number alerting rules
+threshold on, per the SRE-workbook convention.  Both burn rates are
+published as gauges (:data:`~repro.obs.names.METRIC_SLO_LATENCY_BURN`,
+:data:`~repro.obs.names.METRIC_SLO_ERROR_BURN`) and surfaced in
+``/stats`` and ``/metrics``.
+
+The tracker is a deque of per-request outcomes pruned to the window —
+exact (not decayed) math, O(1) amortized per request, bounded memory
+via ``max_samples``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Tuple
+
+from repro.obs.names import METRIC_SLO_ERROR_BURN, METRIC_SLO_LATENCY_BURN
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["SLOConfig", "SLOTracker"]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives of one service instance (see docs/observability.md)."""
+
+    #: A request slower than this (seconds, end to end) burns latency
+    #: budget.
+    latency_threshold_s: float = 5.0
+    #: Fraction of requests that must meet the latency threshold.
+    latency_objective: float = 0.95
+    #: Fraction of requests that must not end in a 5xx.
+    availability_objective: float = 0.99
+    #: Sliding window the burn rates are computed over.
+    window_s: float = 300.0
+    #: Hard cap on retained samples (memory bound under request storms).
+    max_samples: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.latency_threshold_s <= 0:
+            raise ValueError("latency_threshold_s must be positive")
+        for name in ("latency_objective", "availability_objective"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError("%s must be in (0, 1)" % name)
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+
+
+class SLOTracker:
+    """Sliding-window burn rates over terminal request outcomes."""
+
+    def __init__(
+        self,
+        config: SLOConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (ts, slow, error) — booleans as ints for cheap sums.
+        self._samples: Deque[Tuple[float, int, int]] = deque(
+            maxlen=config.max_samples
+        )
+        self.total_recorded = 0
+
+    def record(self, status: int, latency_s: float) -> None:
+        """Account one terminal response (any HTTP status)."""
+        slow = 1 if latency_s > self.config.latency_threshold_s else 0
+        error = 1 if status >= 500 else 0
+        with self._lock:
+            self._samples.append((self._clock(), slow, error))
+            self.total_recorded += 1
+            self._prune_locked()
+
+    def _prune_locked(self) -> None:
+        horizon = self._clock() - self.config.window_s
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+
+    def _window_locked(self) -> Tuple[int, int, int]:
+        self._prune_locked()
+        total = len(self._samples)
+        slow = sum(sample[1] for sample in self._samples)
+        errors = sum(sample[2] for sample in self._samples)
+        return total, slow, errors
+
+    def burn_rates(self) -> Tuple[float, float]:
+        """``(latency_burn, error_burn)`` over the current window.
+
+        With no samples in the window both burns are 0.0 — an idle
+        service is not burning budget.
+        """
+        with self._lock:
+            total, slow, errors = self._window_locked()
+        if total == 0:
+            return 0.0, 0.0
+        latency_budget = 1.0 - self.config.latency_objective
+        error_budget = 1.0 - self.config.availability_objective
+        return (
+            (slow / total) / latency_budget,
+            (errors / total) / error_budget,
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        """The ``/stats`` document's ``slo`` section."""
+        with self._lock:
+            total, slow, errors = self._window_locked()
+        latency_burn, error_burn = self.burn_rates()
+        return {
+            "window_s": self.config.window_s,
+            "latency_threshold_s": self.config.latency_threshold_s,
+            "latency_objective": self.config.latency_objective,
+            "availability_objective": self.config.availability_objective,
+            "window_requests": float(total),
+            "window_slow": float(slow),
+            "window_errors": float(errors),
+            "latency_burn_rate": latency_burn,
+            "error_burn_rate": error_burn,
+            "total_recorded": float(self.total_recorded),
+        }
+
+    def publish(self, metrics: MetricsRegistry) -> None:
+        """Refresh the burn-rate gauges in ``metrics``."""
+        latency_burn, error_burn = self.burn_rates()
+        metrics.gauge(METRIC_SLO_LATENCY_BURN).set(latency_burn)
+        metrics.gauge(METRIC_SLO_ERROR_BURN).set(error_burn)

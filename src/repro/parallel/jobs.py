@@ -73,6 +73,13 @@ class JobSpec:
             :class:`~repro.telemetry.Telemetry` bundle, passes it as a
             ``telemetry=`` keyword, and ships the span records and
             metrics snapshot back with the result.
+        trace: optional serialized
+            :class:`~repro.obs.context.RequestContext` payload
+            (``RequestContext.to_payload()``).  The worker binds it
+            before running the job so spans and events recorded inside
+            the job carry the originating request's ``trace_id`` —
+            this is how request correlation survives the process-pool
+            boundary.
     """
 
     fn: Union[str, Callable]
@@ -82,6 +89,7 @@ class JobSpec:
     timeout_s: Optional[float] = None
     max_retries: int = 1
     collect_telemetry: bool = False
+    trace: Optional[Dict[str, str]] = None
 
 
 @dataclass

@@ -30,6 +30,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.context import RequestContext, use_context
 from repro.parallel.jobs import JobResult, JobSpec, resolve_callable
 from repro.resilience.supervisor import WatchdogTimeout, call_with_watchdog
 from repro.telemetry import Telemetry
@@ -86,15 +87,26 @@ def execute_spec(
     if spec.collect_telemetry:
         telemetry = Telemetry()
         kwargs.setdefault("telemetry", telemetry)
+    # Rehydrate the originating request's trace context (if the spec
+    # carries one) as a *child* span of the dispatcher's span: spans and
+    # events recorded inside the job — even in a forked pool worker —
+    # then correlate back to the request that caused them.
+    context = (
+        RequestContext.from_payload(spec.trace).child()
+        if spec.trace else None
+    )
     started = time.perf_counter()
-    value = fn(**kwargs)
+    with use_context(context):
+        value = fn(**kwargs)
     seconds = time.perf_counter() - started
     metrics = None
     spans = None
     if telemetry is not None:
         metrics = telemetry.metrics.snapshot()
+        trace_args = context.trace_args() if context is not None else {}
         spans = [
-            (s.name, s.track, s.start_us, s.dur_us, s.depth, s.args)
+            (s.name, s.track, s.start_us, s.dur_us, s.depth,
+             dict(trace_args, **(s.args or {})) if trace_args else s.args)
             for s in telemetry.tracer.spans
         ]
     return value, seconds, metrics, spans

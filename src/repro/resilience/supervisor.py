@@ -37,6 +37,13 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.estimation import Estimate, EstimationJob
+from repro.obs.context import emit_event
+from repro.obs.names import (
+    EVENT_ESTIMATOR_FAILURE,
+    EVENT_ESTIMATOR_FALLBACK,
+    EVENT_ESTIMATOR_SHORT_CIRCUIT,
+    EVENT_ESTIMATOR_TIMEOUT,
+)
 from repro.resilience.faults import FaultInjector, FaultPlan, FaultSpec
 
 __all__ = [
@@ -264,6 +271,9 @@ class ResilientEstimator:
             if breaker is not None and not breaker.allow():
                 self.short_circuits[site] = self.short_circuits.get(site, 0) + 1
                 self._count("resilience.breaker.short_circuit")
+                emit_event(
+                    EVENT_ESTIMATOR_SHORT_CIRCUIT, site=site, component=component
+                )
                 raise EstimatorUnavailable(
                     "circuit breaker for %s is open — short-circuiting to "
                     "the degradation ladder" % site,
@@ -279,6 +289,9 @@ class ResilientEstimator:
                     raise
                 except WatchdogTimeout as exc:
                     self.watchdog_timeouts += 1
+                    emit_event(
+                        EVENT_ESTIMATOR_TIMEOUT, site=site, component=component
+                    )
                     failure = exc
                 except Exception as exc:
                     failure = exc
@@ -295,6 +308,13 @@ class ResilientEstimator:
                         self.failures_by_site.get(site, 0) + 1
                     )
                     self._count("resilience.persistent_failures")
+                    emit_event(
+                        EVENT_ESTIMATOR_FAILURE,
+                        site=site,
+                        component=component,
+                        attempts=attempts,
+                        error=str(failure),
+                    )
                     if breaker is not None:
                         breaker.record_failure()
                     raise EstimatorUnavailable(
@@ -465,6 +485,7 @@ class ResilientEstimator:
         self.fallbacks[level] = self.fallbacks.get(level, 0) + 1
         self._count("resilience.fallback.%s" % level)
         self._count("resilience.fallbacks")
+        emit_event(EVENT_ESTIMATOR_FALLBACK, level=level)
 
     def statistics(self) -> Dict[str, float]:
         """Flat counters for :class:`~repro.core.report.EnergyReport`."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 __all__ = [
     "BREAKER_STATES",
@@ -54,6 +54,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         recovery_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -63,6 +64,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.recovery_s = recovery_s
         self._clock = clock
+        self._on_transition = on_transition
         self._lock = threading.Lock()
         self._state = "closed"
         self._consecutive_failures = 0
@@ -73,6 +75,24 @@ class CircuitBreaker:
         self.short_circuits = 0
         self.probes = 0
 
+    def _set_state(self, new_state: str) -> Optional[Tuple[str, str]]:
+        """Change state under the lock; returns the (old, new) edge.
+
+        Returns None when nothing changed.  The caller is responsible
+        for reporting the edge to ``on_transition`` *after* releasing
+        the lock — observers log and touch metrics, and holding a hot
+        breaker lock across foreign code invites deadlocks.
+        """
+        old_state = self._state
+        if old_state == new_state:
+            return None
+        self._state = new_state
+        return old_state, new_state
+
+    def _notify(self, edge: Optional[Tuple[str, str]]) -> None:
+        if edge is not None and self._on_transition is not None:
+            self._on_transition(self.name, edge[0], edge[1])
+
     # -- protocol consumed by ResilientEstimator -----------------------
 
     def allow(self) -> bool:
@@ -82,52 +102,60 @@ class CircuitBreaker:
         elapsed (transitioning to half-open); every other caller is
         short-circuited until the probe reports back.
         """
-        with self._lock:
-            if self._state == "closed":
-                return True
-            if self._state == "open":
-                if self._clock() - self._opened_at >= self.recovery_s:
-                    self._state = "half_open"
-                    self._probe_in_flight = True
-                    self.probes += 1
+        edge: Optional[Tuple[str, str]] = None
+        try:
+            with self._lock:
+                if self._state == "closed":
                     return True
-                self.short_circuits += 1
-                return False
-            # half-open: exactly one probe at a time.
-            if self._probe_in_flight:
-                self.short_circuits += 1
-                return False
-            self._probe_in_flight = True
-            self.probes += 1
-            return True
+                if self._state == "open":
+                    if self._clock() - self._opened_at >= self.recovery_s:
+                        edge = self._set_state("half_open")
+                        self._probe_in_flight = True
+                        self.probes += 1
+                        return True
+                    self.short_circuits += 1
+                    return False
+                # half-open: exactly one probe at a time.
+                if self._probe_in_flight:
+                    self.short_circuits += 1
+                    return False
+                self._probe_in_flight = True
+                self.probes += 1
+                return True
+        finally:
+            self._notify(edge)
 
     def record_success(self) -> None:
         """A supervised exact call completed: close (or stay closed)."""
         with self._lock:
-            self._state = "closed"
+            edge = self._set_state("closed")
             self._consecutive_failures = 0
             self._probe_in_flight = False
+        self._notify(edge)
 
     def record_failure(self) -> None:
         """A supervised call failed persistently (retries exhausted)."""
+        edge: Optional[Tuple[str, str]] = None
         with self._lock:
             if self._state == "half_open":
                 # The probe failed: straight back to open.
-                self._trip()
-                return
-            self._consecutive_failures += 1
-            if (
-                self._state == "closed"
-                and self._consecutive_failures >= self.failure_threshold
-            ):
-                self._trip()
+                edge = self._trip()
+            else:
+                self._consecutive_failures += 1
+                if (
+                    self._state == "closed"
+                    and self._consecutive_failures >= self.failure_threshold
+                ):
+                    edge = self._trip()
+        self._notify(edge)
 
-    def _trip(self) -> None:
-        self._state = "open"
+    def _trip(self) -> Optional[Tuple[str, str]]:
+        edge = self._set_state("open")
         self._opened_at = self._clock()
         self._probe_in_flight = False
         self._consecutive_failures = 0
         self.opens += 1
+        return edge
 
     # -- introspection --------------------------------------------------
 
@@ -160,12 +188,22 @@ class BreakerRegistry:
         failure_threshold: int = 3,
         recovery_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str, str], None]] = None,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.recovery_s = recovery_s
         self._clock = clock
+        #: Called as ``(site, old_state, new_state)`` on every breaker
+        #: state change, outside the breaker's lock.  Assignable after
+        #: construction (the service wires its observability bundle in).
+        self.on_transition = on_transition
         self._lock = threading.Lock()
         self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def _dispatch_transition(self, site: str, old: str, new: str) -> None:
+        callback = self.on_transition
+        if callback is not None:
+            callback(site, old, new)
 
     def get(self, name: str) -> CircuitBreaker:
         with self._lock:
@@ -176,8 +214,15 @@ class BreakerRegistry:
                     failure_threshold=self.failure_threshold,
                     recovery_s=self.recovery_s,
                     clock=self._clock,
+                    on_transition=self._dispatch_transition,
                 )
             return breaker
+
+    def states(self) -> Dict[str, str]:
+        """Current state of every known breaker, keyed by site."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: breaker.state for name, breaker in sorted(breakers.items())}
 
     def peek(self, name: str) -> Optional[CircuitBreaker]:
         """The breaker for ``name`` if it exists (no creation)."""

@@ -24,11 +24,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.errors import ReproError
 
 __all__ = ["QueueFull", "QueueClosed", "AdmissionQueue"]
+
+#: How many (timestamp, depth) points the depth history retains.
+DEPTH_HISTORY_LEN = 64
 
 
 class QueueFull(ReproError):
@@ -42,10 +46,15 @@ class QueueClosed(ReproError):
 class AdmissionQueue:
     """Bounded, priority-ordered, thread-safe admission queue."""
 
-    def __init__(self, max_depth: int) -> None:
+    def __init__(
+        self,
+        max_depth: int,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
         self.max_depth = max_depth
+        self._clock = clock
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._items: List[Tuple[int, int, Any]] = []  # (priority, seq, item)
@@ -56,6 +65,15 @@ class AdmissionQueue:
         self.rejected = 0
         self.shed = 0
         self.peak_depth = 0
+        # Recent (timestamp, depth) points, one per depth change —
+        # the /stats sparkline that shows *how* the queue filled, not
+        # just where it stands now.  Bounded; O(1) per transition.
+        self._depth_history: Deque[Tuple[float, int]] = deque(
+            maxlen=DEPTH_HISTORY_LEN
+        )
+
+    def _record_depth_locked(self) -> None:
+        self._depth_history.append((self._clock(), len(self._items)))
 
     # -- producer side --------------------------------------------------
 
@@ -85,6 +103,7 @@ class AdmissionQueue:
             self.admitted += 1
             if len(self._items) > self.peak_depth:
                 self.peak_depth = len(self._items)
+            self._record_depth_locked()
             self._not_empty.notify()
             return victim
 
@@ -123,7 +142,9 @@ class AdmissionQueue:
                 if (-priority, seq) < (-self._items[best][0],
                                        self._items[best][1]):
                     best = index
-            return self._items.pop(best)[2]
+            item = self._items.pop(best)[2]
+            self._record_depth_locked()
+            return item
 
     # -- lifecycle ------------------------------------------------------
 
@@ -145,12 +166,18 @@ class AdmissionQueue:
                 self._items, key=lambda entry: (-entry[0], entry[1])
             )]
             self._items.clear()
+            self._record_depth_locked()
             return items
 
     @property
     def depth(self) -> int:
         with self._lock:
             return len(self._items)
+
+    def depth_history(self) -> List[Tuple[float, int]]:
+        """Recent ``(timestamp, depth)`` points, oldest first."""
+        with self._lock:
+            return list(self._depth_history)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -162,4 +189,8 @@ class AdmissionQueue:
                 "rejected": self.rejected,
                 "shed": self.shed,
                 "closed": self._closed,
+                "depth_history": [
+                    [round(ts, 6), depth]
+                    for ts, depth in self._depth_history
+                ],
             }

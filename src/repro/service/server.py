@@ -50,11 +50,27 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs import Observability
+from repro.obs.context import RequestContext, use_context, use_event_sink
+from repro.obs.logging import JsonLogger, NULL_LOGGER
+from repro.obs.names import (
+    EVENT_ADMITTED,
+    EVENT_COALESCED,
+    EVENT_COMPLETED,
+    EVENT_DEADLINE_EXPIRED,
+    EVENT_DISPATCHED,
+    EVENT_DRAIN_STEP,
+    EVENT_FAILED,
+    EVENT_REJECTED,
+    EVENT_SHED,
+)
+from repro.obs.slo import SLOConfig
 from repro.parallel.jobs import JobSpec, job_seed
 from repro.resilience.supervisor import (
     ResilienceConfig,
@@ -115,6 +131,18 @@ class ServiceConfig:
     #: ``min(call_watchdog_s, request's remaining deadline)``.
     call_watchdog_s: Optional[float] = None
     checkpoint_path: Optional[str] = None
+    #: Latency/availability objectives tracked by the obs layer.
+    slo: SLOConfig = field(default_factory=SLOConfig)
+    #: When True, one JSON log line per request lifecycle event
+    #: (admission, dispatch, completion, breaker transitions, drain).
+    log_json: bool = False
+    #: Flight-recorder ring size (recent events kept for postmortems).
+    flight_recorder_capacity: int = 256
+    #: Directory for flight-recorder dumps on 5xx/drain; None disables
+    #: dumping (the in-memory ring and /debug endpoint still work).
+    flight_dump_dir: Optional[str] = None
+    #: Newest dumps kept on disk (older ones are pruned).
+    flight_dump_keep: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -125,6 +153,8 @@ class ServiceConfig:
             raise ValueError("default_deadline_s must be positive")
         if self.drain_timeout_s < 0:
             raise ValueError("drain_timeout_s must be non-negative")
+        if self.flight_recorder_capacity < 1:
+            raise ValueError("flight_recorder_capacity must be >= 1")
 
 
 class PendingResult:
@@ -135,6 +165,9 @@ class PendingResult:
         self.status: int = 0
         self.body: Dict[str, Any] = {}
         self.headers: Dict[str, str] = {}
+        #: Correlation id of the request tree this result belongs to
+        #: (set at admission; the HTTP layer echoes it as X-Trace-Id).
+        self.trace_id: str = ""
 
     def resolve(self, status: int, body: Dict[str, Any],
                 headers: Optional[Dict[str, str]] = None) -> None:
@@ -161,6 +194,7 @@ class _Entry:
     fingerprint: str
     pending: PendingResult
     admitted_at: float
+    context: Optional[RequestContext] = None
 
 
 @dataclass
@@ -197,17 +231,34 @@ class CoEstimationService:
 
     def __init__(self, config: Optional[ServiceConfig] = None,
                  telemetry: Optional[Telemetry] = None,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 logger: Optional[JsonLogger] = None) -> None:
         self.config = config or ServiceConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.clock = clock
+        if logger is None:
+            logger = JsonLogger() if self.config.log_json else NULL_LOGGER
+        self.obs = Observability(
+            metrics=self.telemetry.metrics,
+            logger=logger,
+            slo=self.config.slo,
+            flight_capacity=self.config.flight_recorder_capacity,
+            flight_dump_dir=self.config.flight_dump_dir,
+            flight_keep=self.config.flight_dump_keep,
+        )
         self.queue = AdmissionQueue(self.config.queue_depth)
         self.breakers = BreakerRegistry(
             failure_threshold=self.config.breaker_threshold,
             recovery_s=self.config.breaker_recovery_s,
             clock=clock,
+            on_transition=self.obs.breaker_transition,
         )
         self.dedup = InflightTable()
+        # Last few requests' worker-side span records, keyed by
+        # trace_id — the /debug/trace/<id> postmortem view.  Bounded:
+        # oldest evicted first.
+        self._recent_traces: "OrderedDict[str, List[Tuple]]" = OrderedDict()
+        self._recent_traces_cap = 32
         self.drain_controller = DrainController()
         self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
@@ -276,6 +327,7 @@ class CoEstimationService:
         if self.drain_controller.draining or self._stopped:
             self._count("service.rejected.draining")
             raise ServiceRejected("service is draining", 503, "draining")
+        context = RequestContext.new(request.request_id)
         bundle = build_bundle(request.system)
         fingerprint = request_fingerprint(bundle, request)
         entry = _Entry(
@@ -283,30 +335,53 @@ class CoEstimationService:
             fingerprint=fingerprint,
             pending=PendingResult(),
             admitted_at=self.clock(),
+            context=context,
         )
-        primary = self.dedup.admit(fingerprint, entry)
-        if primary is not entry:
-            self._count("service.coalesced")
-            return primary.pending, True
-        try:
-            victim = self.queue.submit(entry, request.priority)
-        except QueueFull:
-            self.dedup.complete(fingerprint)
-            self._count("service.rejected.queue_full")
-            raise ServiceRejected(
-                "admission queue full", 429, "queue_full",
-                retry_after_s=self._retry_after_s(),
-            ) from None
-        except QueueClosed:
-            self.dedup.complete(fingerprint)
-            self._count("service.rejected.draining")
-            raise ServiceRejected(
-                "service is draining", 503, "draining"
-            ) from None
-        self._count("service.admitted")
-        self._gauge("service.queue_depth", self.queue.depth)
-        if victim is not None:
-            self._finish_shed(victim)
+        entry.pending.trace_id = context.trace_id
+        with use_context(context):
+            primary = self.dedup.admit(fingerprint, entry)
+            if primary is not entry:
+                self._count("service.coalesced")
+                self.obs.event(
+                    EVENT_COALESCED,
+                    fingerprint=fingerprint,
+                    primary_trace_id=(
+                        primary.context.trace_id if primary.context else ""
+                    ),
+                )
+                return primary.pending, True
+            try:
+                victim = self.queue.submit(entry, request.priority)
+            except QueueFull:
+                self.dedup.complete(fingerprint)
+                self._count("service.rejected.queue_full")
+                self.obs.event(
+                    EVENT_REJECTED, reason="queue_full",
+                    system=request.system, depth=self.queue.depth,
+                )
+                raise ServiceRejected(
+                    "admission queue full", 429, "queue_full",
+                    retry_after_s=self._retry_after_s(),
+                ) from None
+            except QueueClosed:
+                self.dedup.complete(fingerprint)
+                self._count("service.rejected.draining")
+                self.obs.event(EVENT_REJECTED, reason="draining",
+                               system=request.system)
+                raise ServiceRejected(
+                    "service is draining", 503, "draining"
+                ) from None
+            self._count("service.admitted")
+            self._gauge("service.queue_depth", self.queue.depth)
+            self.obs.event(
+                EVENT_ADMITTED,
+                system=request.system,
+                strategy=request.strategy,
+                priority=request.priority,
+                depth=self.queue.depth,
+            )
+            if victim is not None:
+                self._finish_shed(victim)
         return entry.pending, False
 
     def _retry_after_s(self) -> int:
@@ -321,7 +396,8 @@ class CoEstimationService:
             self._shed += 1
         self._count("service.shed")
         self.dedup.complete(victim.fingerprint)
-        victim.pending.resolve(
+        self._resolve(
+            victim,
             503,
             {
                 "status": "rejected",
@@ -331,7 +407,36 @@ class CoEstimationService:
                           "queue pressure",
             },
             headers={"Retry-After": str(self._retry_after_s())},
+            event=EVENT_SHED,
         )
+
+    def _resolve(self, entry: _Entry, status: int, body: Dict[str, Any],
+                 headers: Optional[Dict[str, str]] = None,
+                 event: Optional[str] = None, **event_fields: Any) -> None:
+        """Terminal-outcome funnel: every response goes through here.
+
+        One call site per outcome keeps the observability contract
+        honest — the trace id lands on the response, the SLO tracker
+        and latency histogram see every terminal status, the lifecycle
+        event is recorded under the request's context, and any
+        server-side failure (5xx) triggers a flight-recorder dump.
+        """
+        headers = dict(headers or {})
+        if entry.context is not None:
+            headers.setdefault("X-Trace-Id", entry.context.trace_id)
+        entry.pending.resolve(status, body, headers)
+        latency_s = self.clock() - entry.admitted_at
+        self.obs.record_outcome(status, latency_s)
+        with use_context(entry.context):
+            if event is not None:
+                self.obs.event(
+                    event, status=status,
+                    latency_s=round(latency_s, 6), **event_fields
+                )
+            # 503 is routine backpressure (shed / draining) — not a
+            # postmortem; the drain path writes its own single dump.
+            if status >= 500 and status != 503:
+                self.obs.dump_flight(str(body.get("reason") or status))
 
     # -- execution ------------------------------------------------------
 
@@ -353,6 +458,13 @@ class CoEstimationService:
                 self._gauge("service.queue_depth", self.queue.depth)
 
     def _execute(self, entry: _Entry) -> None:
+        # The whole execution runs under the request's trace context and
+        # with the obs bundle as the event sink, so spans, log lines and
+        # supervisor events (fallbacks, breaker trips) all correlate.
+        with use_context(entry.context), use_event_sink(self.obs.sink):
+            self._execute_in_context(entry)
+
+    def _execute_in_context(self, entry: _Entry) -> None:
         request = entry.request
         queue_wait = self.clock() - entry.admitted_at
         self._observe("service.queue_wait_seconds", queue_wait)
@@ -361,7 +473,8 @@ class CoEstimationService:
             with self._lock:
                 self._expired += 1
             self._count("service.deadline_expired")
-            entry.pending.resolve(
+            self._resolve(
+                entry,
                 504,
                 {
                     "status": "error",
@@ -370,6 +483,8 @@ class CoEstimationService:
                     "detail": "deadline of %.3fs expired after %.3fs in "
                               "the queue" % (request.deadline_s, queue_wait),
                 },
+                event=EVENT_DEADLINE_EXPIRED,
+                queue_seconds=round(queue_wait, 6),
             )
             return
         watchdog_s = remaining
@@ -393,22 +508,43 @@ class CoEstimationService:
             },
             label=request.request_id,
             seed=job_seed(0, request.system),
+            collect_telemetry=self.telemetry.enabled,
+            trace=(
+                entry.context.to_payload()
+                if entry.context is not None else None
+            ),
         )
         from repro.parallel.pool import execute_spec
 
+        self.obs.event(
+            EVENT_DISPATCHED,
+            system=request.system,
+            strategy=request.strategy,
+            queue_seconds=round(queue_wait, 6),
+            deadline_remaining_s=round(remaining, 6),
+        )
         started = self.clock()
+        run_span = self.telemetry.tracer.span(
+            "service.execute",
+            track="service",
+            args=dict(
+                entry.context.trace_args() if entry.context else {},
+                system=request.system,
+            ),
+        )
         try:
             # Outer backstop only: the in-run watchdog already bounds
             # every low-level call at `watchdog_s` and degrades instead
             # of hanging, so this fires only if the master itself wedges.
-            report, run_seconds, _, _ = call_with_watchdog(
+            report, run_seconds, _, job_spans = call_with_watchdog(
                 lambda: execute_spec(spec), remaining + 1.0
             )
         except WatchdogTimeout:
             with self._lock:
                 self._expired += 1
             self._count("service.deadline_expired")
-            entry.pending.resolve(
+            self._resolve(
+                entry,
                 504,
                 {
                     "status": "error",
@@ -417,13 +553,16 @@ class CoEstimationService:
                     "detail": "run exceeded the %.3fs remaining deadline"
                               % remaining,
                 },
+                event=EVENT_DEADLINE_EXPIRED,
+                detail="watchdog",
             )
             return
         except Exception as exc:
             with self._lock:
                 self._failed += 1
             self._count("service.failed")
-            entry.pending.resolve(
+            self._resolve(
+                entry,
                 500,
                 {
                     "status": "error",
@@ -431,10 +570,28 @@ class CoEstimationService:
                     "request_id": request.request_id,
                     "detail": "%s: %s" % (type(exc).__name__, exc),
                 },
+                event=EVENT_FAILED,
+                error="%s: %s" % (type(exc).__name__, exc),
             )
             return
+        finally:
+            run_span.close()
+        if entry.context is not None and job_spans:
+            self._remember_trace(entry.context.trace_id, job_spans)
         self._finish_ok(entry, report, queue_wait,
                         self.clock() - started, run_seconds)
+
+    def _remember_trace(self, trace_id: str, spans: List[Tuple]) -> None:
+        with self._lock:
+            self._recent_traces[trace_id] = list(spans)
+            while len(self._recent_traces) > self._recent_traces_cap:
+                self._recent_traces.popitem(last=False)
+
+    def trace_spans(self, trace_id: str) -> Optional[List[Tuple]]:
+        """Worker-side span records of a recent request (None if gone)."""
+        with self._lock:
+            spans = self._recent_traces.get(trace_id)
+            return list(spans) if spans is not None else None
 
     def _finish_ok(self, entry: _Entry, report, queue_wait: float,
                    wall_s: float, run_seconds: float) -> None:
@@ -461,7 +618,11 @@ class CoEstimationService:
         if degraded:
             self._count("service.degraded_responses")
         self._observe("service.run_seconds", wall_s)
-        entry.pending.resolve(
+        for level, count in sorted(report.provenance.items()):
+            if count > 0:
+                self.obs.record_answer(entry.request.system, level, count)
+        self._resolve(
+            entry,
             200,
             {
                 "status": "ok",
@@ -482,6 +643,10 @@ class CoEstimationService:
                 "run_seconds": run_seconds,
                 "report": dataclasses.asdict(report),
             },
+            event=EVENT_COMPLETED,
+            system=entry.request.system,
+            degraded=degraded,
+            run_seconds=round(run_seconds, 6),
         )
 
     # -- drain ----------------------------------------------------------
@@ -494,6 +659,7 @@ class CoEstimationService:
         :class:`DrainReport` the CLI prints before exiting 0.
         """
         self.drain_controller.request_drain(reason)
+        self.obs.event(EVENT_DRAIN_STEP, step="requested", reason=reason)
         timeout = (self.config.drain_timeout_s
                    if timeout_s is None else timeout_s)
         deadline = self.clock() + timeout
@@ -504,6 +670,8 @@ class CoEstimationService:
                 break
             time.sleep(0.02)
         self.queue.close()
+        self.obs.event(EVENT_DRAIN_STEP, step="queue_closed",
+                       depth=self.queue.depth)
         leftovers: List[_Entry] = self.queue.drain_remaining()
         join_deadline = max(0.0, deadline - self.clock()) + 1.0
         for thread in self._threads:
@@ -532,7 +700,8 @@ class CoEstimationService:
             )
         for entry in leftovers:
             self.dedup.complete(entry.fingerprint)
-            entry.pending.resolve(
+            self._resolve(
+                entry,
                 503,
                 {
                     "status": "rejected",
@@ -541,8 +710,19 @@ class CoEstimationService:
                     "checkpointed": self.config.checkpoint_path is not None,
                 },
                 headers={"Retry-After": "30"},
+                event=EVENT_REJECTED,
+                reason="draining",
             )
         self._gauge("service.queue_depth", 0)
+        self.obs.event(
+            EVENT_DRAIN_STEP,
+            step="finished",
+            clean=report.drained_clean,
+            completed=report.completed,
+            checkpointed=report.checkpointed,
+            abandoned=report.abandoned_in_flight,
+        )
+        self.obs.dump_flight("drain")
         return report
 
     # -- observability --------------------------------------------------
@@ -565,14 +745,33 @@ class CoEstimationService:
             provenance = dict(self._provenance)
         self._gauge("service.queue_depth", self.queue.depth)
         self._gauge("service.breakers_open", self.breakers.open_count())
+        self.obs.sync_breaker_states(self.breakers.states())
+        self.obs.publish()
+        recorder = self.obs.recorder
         return {
             "service": service,
             "queue": self.queue.snapshot(),
             "dedup": self.dedup.snapshot(),
             "breakers": self.breakers.snapshot(),
+            "breaker_states": self.breakers.states(),
             "provenance": provenance,
+            "slo": self.obs.slo.snapshot(),
+            "flight_recorder": {
+                "capacity": recorder.capacity,
+                "recorded": recorder.recorded,
+                "dropped": recorder.dropped,
+                "dumps": recorder.dumps,
+                "dump_dir": self.config.flight_dump_dir,
+            },
             "metrics": self.telemetry.metrics.snapshot(),
         }
+
+    def metrics_exposition(self) -> str:
+        """The Prometheus ``/metrics`` body (refreshes derived gauges)."""
+        self._gauge("service.queue_depth", self.queue.depth)
+        self._gauge("service.breakers_open", self.breakers.open_count())
+        self.obs.sync_breaker_states(self.breakers.states())
+        return self.obs.render_metrics()
 
     def _count(self, name: str) -> None:
         if self.telemetry.enabled:
@@ -638,6 +837,23 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(503, {"status": reason})
         elif self.path == "/stats":
             self._respond(200, self.service.stats_snapshot())
+        elif self.path == "/metrics":
+            self._respond_text(200, self.service.metrics_exposition())
+        elif self.path == "/debug/flightrecorder":
+            self._respond(200, self.service.obs.recorder.snapshot())
+        elif self.path.startswith("/debug/trace/"):
+            trace_id = self.path[len("/debug/trace/"):]
+            spans = self.service.trace_spans(trace_id)
+            if spans is None:
+                self._respond(404, {
+                    "status": "error",
+                    "reason": "no recent trace %s" % trace_id,
+                })
+            else:
+                self._respond(200, {
+                    "trace_id": trace_id,
+                    "spans": [list(span) for span in spans],
+                })
         else:
             self._respond(404, {"status": "error",
                                 "reason": "unknown path %s" % self.path})
@@ -693,11 +909,37 @@ class _Handler(BaseHTTPRequestHandler):
             body["coalesced"] = True
         self._respond(pending.status, body, pending.headers)
 
+    #: Paths counted under their own label; everything else is pooled
+    #: as "other" so probing garbage paths cannot explode cardinality.
+    _KNOWN_PATHS = (
+        "/estimate", "/healthz", "/readyz", "/stats", "/metrics",
+        "/debug/flightrecorder", "/debug/trace",
+    )
+
+    def _http_label(self) -> str:
+        path = self.path.split("?", 1)[0]
+        for known in self._KNOWN_PATHS:
+            if path == known or path.startswith(known + "/"):
+                return known
+        return "other"
+
     def _respond(self, status: int, body: Dict[str, Any],
                  headers: Optional[Dict[str, str]] = None) -> None:
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        self._send_payload(status, payload, "application/json", headers)
+
+    def _respond_text(self, status: int, text: str) -> None:
+        self._send_payload(
+            status, text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8", None,
+        )
+
+    def _send_payload(self, status: int, payload: bytes,
+                      content_type: str,
+                      headers: Optional[Dict[str, str]]) -> None:
+        self.service.obs.record_http(self._http_label(), status)
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)

@@ -101,6 +101,10 @@ class Histogram:
         self.max = -math.inf
 
     def observe(self, value: float) -> None:
+        if math.isnan(value):
+            # A NaN would silently poison sum/mean/min/max and every
+            # percentile derived from them; refuse it loudly instead.
+            raise ValueError("histogram %r cannot observe NaN" % self.name)
         self.count += 1
         self.sum += value
         if value < self.min:
@@ -247,6 +251,12 @@ class MetricsRegistry:
 
     # -- export --------------------------------------------------------------
 
+    def histogram_instruments(self) -> Dict[str, Histogram]:
+        """Live histogram instruments by name (Prometheus export reads
+        bucket counts, which the summary snapshot deliberately omits)."""
+        with self._creation_lock:
+            return dict(self._histograms)
+
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict view of every instrument (JSON-serializable)."""
         return {
@@ -291,6 +301,9 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def snapshot(self) -> Dict[str, Dict]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def histogram_instruments(self) -> Dict[str, Histogram]:
+        return {}
 
 
 #: Process-wide disabled registry; safe to share (it keeps no state).

@@ -1,0 +1,96 @@
+"""Flight recorder: ring bounds, trace correlation, atomic dumps."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.context import RequestContext, use_context
+from repro.obs.flightrecorder import DUMP_PREFIX, FlightRecorder
+
+
+class TestRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_events_keep_order_and_fields(self):
+        recorder = FlightRecorder(capacity=8, clock=lambda: 42.0)
+        recorder.record("request.admitted", system="fig1")
+        recorder.record("request.completed", status=200)
+        events = recorder.events()
+        assert [event["event"] for event in events] == [
+            "request.admitted", "request.completed",
+        ]
+        assert events[0]["system"] == "fig1"
+        assert events[0]["ts"] == 42.0
+        assert events[0]["seq"] == 1
+        assert events[1]["seq"] == 2
+
+    def test_ring_drops_oldest_and_counts(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(5):
+            recorder.record("e%d" % index)
+        events = recorder.events()
+        assert [event["event"] for event in events] == ["e2", "e3", "e4"]
+        assert recorder.recorded == 5
+        assert recorder.dropped == 2
+
+    def test_bound_context_correlates_events(self):
+        recorder = FlightRecorder()
+        context = RequestContext.new("req-7")
+        with use_context(context):
+            recorder.record("request.failed", error="boom")
+        (event,) = recorder.events()
+        assert event["trace_id"] == context.trace_id
+        assert event["request_id"] == "req-7"
+        assert event["error"] == "boom"
+
+    def test_snapshot_counts(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record("a")
+        snapshot = recorder.snapshot()
+        assert snapshot["capacity"] == 2
+        assert snapshot["recorded"] == 1
+        assert snapshot["dropped"] == 0
+        assert snapshot["dumps"] == 0
+        assert len(snapshot["events"]) == 1
+
+
+class TestDump:
+    def test_dump_writes_self_describing_json(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("request.deadline_expired", detail="queue")
+        path = recorder.dump(str(tmp_path), "504", keep=8)
+        assert os.path.basename(path) == DUMP_PREFIX + "504-000001.json"
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["reason"] == "504"
+        assert document["recorded"] == 1
+        assert document["events"][0]["event"] == "request.deadline_expired"
+        assert recorder.dumps == 1
+
+    def test_reason_is_sanitized_in_filename(self, tmp_path):
+        recorder = FlightRecorder()
+        path = recorder.dump(str(tmp_path), "bad/../reason !", keep=8)
+        name = os.path.basename(path)
+        assert name == DUMP_PREFIX + "bad____reason__-000001.json"
+
+    def test_keep_prunes_oldest_dumps(self, tmp_path):
+        recorder = FlightRecorder()
+        for _ in range(5):
+            recorder.dump(str(tmp_path), "drain", keep=2)
+        names = sorted(
+            name for name in os.listdir(str(tmp_path))
+            if name.startswith(DUMP_PREFIX)
+        )
+        assert names == [
+            DUMP_PREFIX + "drain-000004.json",
+            DUMP_PREFIX + "drain-000005.json",
+        ]
+
+    def test_dump_creates_directory(self, tmp_path):
+        target = os.path.join(str(tmp_path), "dumps", "nested")
+        recorder = FlightRecorder()
+        path = recorder.dump(target, "drain")
+        assert os.path.exists(path)

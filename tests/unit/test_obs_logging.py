@@ -1,0 +1,68 @@
+"""Structured JSON logging: line shape and trace correlation."""
+
+import io
+import json
+
+from repro.obs.context import RequestContext, use_context
+from repro.obs.logging import NULL_LOGGER, JsonLogger, NullLogger
+
+
+def logged_lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream, clock=lambda: 1000.0)
+        logger.event("request.admitted", system="fig1", depth=1)
+        logger.event("request.completed", status=200)
+        first, second = logged_lines(stream)
+        assert first["event"] == "request.admitted"
+        assert first["system"] == "fig1"
+        assert first["depth"] == 1
+        assert first["ts"] == 1000.0
+        assert first["component"] == "service"
+        assert second["status"] == 200
+
+    def test_trace_fields_from_bound_context(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        context = RequestContext.new("req-5")
+        with use_context(context):
+            logger.event("request.dispatched")
+        (record,) = logged_lines(stream)
+        assert record["trace_id"] == context.trace_id
+        assert record["span_id"] == context.span_id
+        assert record["request_id"] == "req-5"
+
+    def test_unbound_events_carry_empty_trace_id(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        logger.event("drain.step", step="requested")
+        (record,) = logged_lines(stream)
+        assert record["trace_id"] == ""
+
+    def test_explicit_fields_beat_context(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        with use_context(RequestContext.new("ctx")):
+            logger.event("x", request_id="explicit")
+        (record,) = logged_lines(stream)
+        assert record["request_id"] == "explicit"
+
+    def test_non_serializable_fields_stringified(self):
+        stream = io.StringIO()
+        logger = JsonLogger(stream=stream)
+        logger.event("x", error=ValueError("boom"))
+        (record,) = logged_lines(stream)
+        assert record["error"] == "boom"
+
+    def test_enabled_flag(self):
+        assert JsonLogger(stream=io.StringIO()).enabled is True
+        assert NullLogger().enabled is False
+
+
+class TestNullLogger:
+    def test_event_is_a_noop(self):
+        NULL_LOGGER.event("anything", detail=1)  # must not raise or write

@@ -1,0 +1,154 @@
+"""Prometheus exposition: label encoding, rendering, validation."""
+
+import pytest
+
+from repro.obs.prometheus import (
+    labeled,
+    parse_labeled,
+    prometheus_name,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class TestLabeled:
+    def test_no_labels_is_identity(self):
+        assert labeled("service.queue_depth") == "service.queue_depth"
+
+    def test_canonical_ordering(self):
+        a = labeled("m", provenance="exact", system="fig1")
+        b = labeled("m", system="fig1", provenance="exact")
+        assert a == b == 'm{provenance="exact",system="fig1"}'
+
+    def test_values_are_escaped(self):
+        encoded = labeled("m", path='a"b\\c\nd')
+        base, labels = parse_labeled(encoded)
+        assert base == "m"
+        assert labels == {"path": 'a"b\\c\nd'}
+
+    def test_round_trip(self):
+        encoded = labeled("service.breaker_state", site="iss", state="open")
+        assert parse_labeled(encoded) == (
+            "service.breaker_state",
+            {"site": "iss", "state": "open"},
+        )
+
+    def test_double_labeling_rejected(self):
+        with pytest.raises(ValueError):
+            labeled(labeled("m", a="1"), b="2")
+
+    def test_malformed_name_rejected(self):
+        with pytest.raises(ValueError):
+            parse_labeled('m{a="1"')
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert prometheus_name("service.queue_depth") == "repro_service_queue_depth"
+
+    def test_leading_digit_guarded(self):
+        assert prometheus_name("9lives") == "repro__9lives"
+
+    def test_hostile_chars_sanitized(self):
+        name = prometheus_name("a-b c/d")
+        assert name == "repro_a_b_c_d"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("http.requests").inc(3)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_http_requests_total 3" in text
+        assert validate_exposition(text) == []
+
+    def test_labeled_counter_rows(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            labeled("service.energy_answers", provenance="exact", system="fig1")
+        ).inc(5)
+        registry.counter(
+            labeled("service.energy_answers", provenance="cached", system="fig1")
+        ).inc(2)
+        text = render_prometheus(registry)
+        assert (
+            'repro_service_energy_answers_total'
+            '{provenance="cached",system="fig1"} 2' in text
+        )
+        assert (
+            'repro_service_energy_answers_total'
+            '{provenance="exact",system="fig1"} 5' in text
+        )
+        # One family header, two sample rows.
+        assert text.count("# TYPE repro_service_energy_answers_total") == 1
+        assert validate_exposition(text) == []
+
+    def test_gauge_renders_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("service.queue_depth").set(4)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_depth 4" in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("run.seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # overflow
+        text = render_prometheus(registry)
+        assert 'repro_run_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_run_seconds_bucket{le="1"} 2' in text
+        assert 'repro_run_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_run_seconds_count 3" in text
+        assert "repro_run_seconds_sum 5.55" in text
+        assert validate_exposition(text) == []
+
+    def test_help_text_is_used(self):
+        registry = MetricsRegistry()
+        registry.counter("http.requests").inc()
+        text = render_prometheus(
+            registry, {"http.requests": "HTTP requests by path/status."}
+        )
+        assert (
+            "# HELP repro_http_requests_total HTTP requests by path/status."
+            in text
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestValidateExposition:
+    def test_flags_sample_without_type(self):
+        errors = validate_exposition("repro_x_total 1\n")
+        assert any("without a # TYPE" in error for error in errors)
+
+    def test_flags_counter_without_total_suffix(self):
+        text = "# TYPE repro_x counter\nrepro_x 1\n"
+        errors = validate_exposition(text)
+        assert any("_total suffix" in error for error in errors)
+
+    def test_flags_malformed_sample(self):
+        text = "# TYPE repro_x gauge\nrepro_x one\n"
+        errors = validate_exposition(text)
+        assert any("malformed sample" in error for error in errors)
+
+    def test_flags_incomplete_histogram(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 1\n'
+            "repro_h_count 1\n"
+        )
+        errors = validate_exposition(text)
+        assert any("lacks _sum" in error for error in errors)
+
+    def test_accepts_special_values_and_timestamps(self):
+        text = (
+            "# TYPE repro_g gauge\n"
+            "repro_g +Inf\n"
+            "repro_g NaN 1700000000\n"
+        )
+        assert validate_exposition(text) == []

@@ -1,0 +1,127 @@
+"""SLO burn-rate math over a controllable clock."""
+
+import pytest
+
+from repro.obs.names import METRIC_SLO_ERROR_BURN, METRIC_SLO_LATENCY_BURN
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_tracker(**overrides):
+    clock = FakeClock()
+    defaults = dict(
+        latency_threshold_s=1.0,
+        latency_objective=0.9,       # 10% latency budget
+        availability_objective=0.95,  # 5% error budget
+        window_s=100.0,
+    )
+    defaults.update(overrides)
+    return SLOTracker(SLOConfig(**defaults), clock=clock), clock
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("latency_threshold_s", 0.0),
+            ("latency_objective", 1.0),
+            ("latency_objective", 0.0),
+            ("availability_objective", 1.5),
+            ("window_s", -1.0),
+            ("max_samples", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SLOConfig(**{field: value})
+
+
+class TestBurnRates:
+    def test_idle_window_burns_nothing(self):
+        tracker, _ = make_tracker()
+        assert tracker.burn_rates() == (0.0, 0.0)
+
+    def test_all_good_requests_burn_nothing(self):
+        tracker, _ = make_tracker()
+        for _ in range(10):
+            tracker.record(200, 0.1)
+        assert tracker.burn_rates() == (0.0, 0.0)
+
+    def test_latency_burn_is_bad_fraction_over_budget(self):
+        tracker, _ = make_tracker()
+        # 2 slow of 10 = 20% bad over a 10% budget -> burn 2.0.
+        for _ in range(8):
+            tracker.record(200, 0.1)
+        for _ in range(2):
+            tracker.record(200, 5.0)
+        latency_burn, error_burn = tracker.burn_rates()
+        assert latency_burn == pytest.approx(2.0)
+        assert error_burn == 0.0
+
+    def test_error_burn_counts_only_5xx(self):
+        tracker, _ = make_tracker()
+        # 1 error of 20 = 5% bad over a 5% budget -> burn 1.0.
+        for _ in range(18):
+            tracker.record(200, 0.1)
+        tracker.record(404, 0.1)  # client error: not our budget
+        tracker.record(500, 0.1)
+        latency_burn, error_burn = tracker.burn_rates()
+        assert latency_burn == 0.0
+        assert error_burn == pytest.approx(1.0)
+
+    def test_latency_exactly_at_threshold_is_good(self):
+        tracker, _ = make_tracker()
+        tracker.record(200, 1.0)
+        assert tracker.burn_rates() == (0.0, 0.0)
+
+    def test_window_pruning_forgets_old_badness(self):
+        tracker, clock = make_tracker(window_s=100.0)
+        tracker.record(500, 9.0)
+        assert tracker.burn_rates()[1] > 0
+        clock.advance(101.0)
+        assert tracker.burn_rates() == (0.0, 0.0)
+        # A new good request after the bad one aged out: still clean.
+        tracker.record(200, 0.1)
+        assert tracker.burn_rates() == (0.0, 0.0)
+
+    def test_max_samples_bounds_memory(self):
+        tracker, _ = make_tracker(max_samples=4)
+        for _ in range(10):
+            tracker.record(500, 0.1)
+        assert len(tracker._samples) == 4
+        assert tracker.total_recorded == 10
+
+
+class TestSnapshotAndPublish:
+    def test_snapshot_shape(self):
+        tracker, _ = make_tracker()
+        tracker.record(200, 0.1)
+        tracker.record(504, 9.0)
+        snapshot = tracker.snapshot()
+        assert snapshot["window_requests"] == 2.0
+        assert snapshot["window_slow"] == 1.0
+        assert snapshot["window_errors"] == 1.0
+        assert snapshot["latency_burn_rate"] == pytest.approx(5.0)
+        assert snapshot["error_burn_rate"] == pytest.approx(10.0)
+        assert snapshot["total_recorded"] == 2.0
+        assert snapshot["window_s"] == 100.0
+
+    def test_publish_sets_gauges(self):
+        tracker, _ = make_tracker()
+        tracker.record(500, 9.0)
+        metrics = MetricsRegistry()
+        tracker.publish(metrics)
+        flat = metrics.flat()
+        assert flat[METRIC_SLO_LATENCY_BURN] == pytest.approx(10.0)
+        assert flat[METRIC_SLO_ERROR_BURN] == pytest.approx(20.0)

@@ -1,0 +1,323 @@
+"""Observability semantics of the service core, with a fake executor.
+
+Covers the per-request correlation contract (every terminal response
+carries ``X-Trace-Id``), the SLO tracker and flight recorder wiring,
+the new ``/stats`` sections, the Prometheus exposition, structured log
+lines, and the flight-recorder dump on a queue-expired deadline.
+"""
+
+import io
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.report import EnergyReport
+from repro.obs import BREAKER_STATE_VALUES
+from repro.obs.flightrecorder import DUMP_PREFIX
+from repro.obs.logging import JsonLogger
+from repro.obs.names import (
+    EVENT_ADMITTED,
+    EVENT_BREAKER_TRANSITION,
+    EVENT_COALESCED,
+    EVENT_COMPLETED,
+    EVENT_DEADLINE_EXPIRED,
+    EVENT_DISPATCHED,
+    EVENT_DRAIN_STEP,
+)
+from repro.obs.prometheus import validate_exposition
+from repro.obs.slo import SLOConfig
+from repro.service import CoEstimationService, ServiceConfig
+from repro.service.api import parse_request
+from repro.systems import system_names
+
+KNOWN = system_names()
+
+
+def make_report(provenance=None):
+    return EnergyReport(
+        label="fake",
+        total_energy_j=1.25e-6,
+        by_component={"proc": 1.25e-6},
+        by_category={"hw": 1.25e-6},
+        end_time_ns=1000.0,
+        wall_seconds=0.01,
+        low_level_seconds=0.0,
+        transitions={"proc": 4},
+        iss_invocations=0,
+        hw_invocations=4,
+        strategy_name="full",
+        strategy_stats={},
+        provenance=dict(provenance or {"exact": 4}),
+        by_provenance={"exact": 1.25e-6},
+    )
+
+
+class FakeExecutor:
+    def __init__(self, provenance=None, hold=False):
+        self.release = threading.Event()
+        if not hold:
+            self.release.set()
+        self.calls = []
+        self.provenance = provenance
+
+    def __call__(self, spec):
+        self.calls.append(spec)
+        assert self.release.wait(10.0), "test never released the executor"
+        return make_report(self.provenance), 0.01, None, None
+
+    def wait_for_calls(self, count, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.calls) >= count:
+                return True
+            time.sleep(0.005)
+        return False
+
+
+@pytest.fixture
+def service_factory(monkeypatch):
+    services = []
+    fakes = []
+
+    def factory(config=None, provenance=None, hold=False, logger=None):
+        fake = FakeExecutor(provenance=provenance, hold=hold)
+        monkeypatch.setattr("repro.parallel.pool.execute_spec", fake)
+        service = CoEstimationService(
+            config or ServiceConfig(workers=1, queue_depth=2,
+                                    default_deadline_s=10.0,
+                                    drain_timeout_s=2.0),
+            logger=logger,
+        )
+        service.start()
+        services.append(service)
+        fakes.append(fake)
+        return service, fake
+
+    yield factory
+    for fake in fakes:
+        fake.release.set()
+    for service in services:
+        service.drain(timeout_s=2.0)
+
+
+def req(body, **overrides):
+    payload = dict(body)
+    payload.update(overrides)
+    return parse_request(payload, known_systems=KNOWN)
+
+
+def recorded_events(service, name):
+    return [event for event in service.obs.recorder.events()
+            if event["event"] == name]
+
+
+class TestTraceCorrelation:
+    def test_response_carries_trace_id_header(self, service_factory):
+        service, _ = service_factory()
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        assert pending.trace_id
+        assert pending.headers["X-Trace-Id"] == pending.trace_id
+
+    def test_job_spec_carries_the_trace_payload(self, service_factory):
+        service, fake = service_factory()
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        (spec,) = fake.calls
+        assert spec.trace is not None
+        assert spec.trace["trace_id"] == pending.trace_id
+        assert spec.trace["span_id"]
+
+    def test_lifecycle_events_share_the_trace_id(self, service_factory):
+        service, _ = service_factory()
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        for name in (EVENT_ADMITTED, EVENT_DISPATCHED, EVENT_COMPLETED):
+            events = recorded_events(service, name)
+            assert events, "missing %s in flight recorder" % name
+            assert events[-1]["trace_id"] == pending.trace_id
+        completed = recorded_events(service, EVENT_COMPLETED)[-1]
+        assert completed["status"] == 200
+        assert completed["system"] == "fig1"
+
+    def test_coalesced_request_records_primary_trace(self, service_factory):
+        service, fake = service_factory(hold=True)
+        primary, coalesced_a = service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)
+        follower, coalesced_b = service.submit(req({"system": "fig1"}))
+        assert not coalesced_a and coalesced_b
+        fake.release.set()
+        assert follower.wait(5.0)
+        (event,) = recorded_events(service, EVENT_COALESCED)
+        assert event["primary_trace_id"] == primary.trace_id
+        # The follower's own trace id differs from the primary's.
+        assert event["trace_id"] != primary.trace_id
+
+
+class TestSLOAndStats:
+    def test_outcomes_feed_the_slo_tracker(self, service_factory):
+        service, _ = service_factory()
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        snapshot = service.obs.slo.snapshot()
+        assert snapshot["total_recorded"] == 1.0
+        assert snapshot["window_errors"] == 0.0
+
+    def test_stats_document_gains_obs_sections(self, service_factory):
+        service, _ = service_factory()
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        stats = service.stats_snapshot()
+        assert stats["slo"]["window_requests"] == 1.0
+        assert stats["breaker_states"] == {}
+        flight = stats["flight_recorder"]
+        assert flight["recorded"] > 0
+        assert flight["dropped"] == 0
+        history = stats["queue"]["depth_history"]
+        assert history, "queue depth history must not be empty"
+        assert all(len(point) == 2 for point in history)
+
+    def test_breaker_transition_reaches_obs(self, service_factory):
+        service, _ = service_factory()
+        breaker = service.breakers.get("fig1:hw")
+        for _ in range(service.config.breaker_threshold):
+            breaker.record_failure()
+        assert service.stats_snapshot()["breaker_states"] == {
+            "fig1:hw": "open"
+        }
+        (event,) = recorded_events(service, EVENT_BREAKER_TRANSITION)
+        assert event["site"] == "fig1:hw"
+        assert event["old"] == "closed"
+        assert event["new"] == "open"
+        exposition = service.metrics_exposition()
+        assert (
+            'repro_service_breaker_state{site="fig1:hw"} %d'
+            % int(BREAKER_STATE_VALUES["open"]) in exposition
+        )
+        assert (
+            'repro_service_breaker_transitions_total'
+            '{site="fig1:hw",to="open"} 1' in exposition
+        )
+
+
+class TestMetricsExposition:
+    def test_exposition_is_valid_and_covers_the_request(
+        self, service_factory
+    ):
+        service, _ = service_factory(
+            provenance={"exact": 3, "macromodel": 2}
+        )
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        text = service.metrics_exposition()
+        assert validate_exposition(text) == []
+        assert (
+            'repro_service_energy_answers_total'
+            '{provenance="exact",system="fig1"} 3' in text
+        )
+        assert (
+            'repro_service_energy_answers_total'
+            '{provenance="macromodel",system="fig1"} 2' in text
+        )
+        assert "repro_service_queue_depth 0" in text
+        assert "repro_slo_latency_burn_rate" in text
+        assert "repro_slo_error_burn_rate" in text
+        assert "repro_flightrecorder_recorded" in text
+        assert "# TYPE repro_service_request_latency_seconds histogram" in text
+        assert "repro_service_request_latency_seconds_count 1" in text
+
+
+class TestStructuredLogs:
+    def test_log_lines_are_json_with_trace_ids(self, service_factory):
+        stream = io.StringIO()
+        service, _ = service_factory(logger=JsonLogger(stream=stream))
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        records = [json.loads(line)
+                   for line in stream.getvalue().splitlines()]
+        assert records, "no structured log lines emitted"
+        by_event = {record["event"] for record in records}
+        assert EVENT_ADMITTED in by_event
+        assert EVENT_COMPLETED in by_event
+        for record in records:
+            assert "trace_id" in record
+            assert "ts" in record
+        completed = [record for record in records
+                     if record["event"] == EVENT_COMPLETED]
+        assert completed[-1]["trace_id"] == pending.trace_id
+
+
+class TestFlightDumps:
+    def test_queue_expired_deadline_dumps_the_ring(
+        self, service_factory, tmp_path
+    ):
+        config = ServiceConfig(
+            workers=1, queue_depth=2, default_deadline_s=10.0,
+            drain_timeout_s=2.0, flight_dump_dir=str(tmp_path),
+        )
+        service, fake = service_factory(config, hold=True)
+        blocker, _ = service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)  # worker busy
+        doomed, _ = service.submit(req({"system": "tcpip",
+                                        "deadline_s": 0.05}))
+        time.sleep(0.1)  # let the queued deadline lapse
+        fake.release.set()
+        assert doomed.wait(5.0)
+        assert doomed.status == 504
+        assert doomed.headers["X-Trace-Id"] == doomed.trace_id
+        (event,) = recorded_events(service, EVENT_DEADLINE_EXPIRED)
+        assert event["trace_id"] == doomed.trace_id
+        dumps = [name for name in os.listdir(str(tmp_path))
+                 if name.startswith(DUMP_PREFIX)]
+        assert len(dumps) == 1
+        with open(os.path.join(str(tmp_path), dumps[0])) as handle:
+            document = json.load(handle)
+        assert any(
+            entry["event"] == EVENT_DEADLINE_EXPIRED
+            and entry["trace_id"] == doomed.trace_id
+            for entry in document["events"]
+        )
+        assert blocker.wait(5.0)
+
+    def test_drain_writes_one_dump(self, service_factory, tmp_path):
+        config = ServiceConfig(
+            workers=1, queue_depth=2, default_deadline_s=10.0,
+            drain_timeout_s=2.0, flight_dump_dir=str(tmp_path),
+        )
+        service, _ = service_factory(config)
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert pending.wait(5.0)
+        service.drain(timeout_s=2.0)
+        dumps = [name for name in os.listdir(str(tmp_path))
+                 if name.startswith(DUMP_PREFIX)]
+        assert dumps == [DUMP_PREFIX + "drain-000001.json"]
+        steps = [event["step"] for event
+                 in recorded_events(service, EVENT_DRAIN_STEP)]
+        assert "requested" in steps
+        assert "finished" in steps
+
+    def test_no_dump_dir_means_no_dump(self, service_factory):
+        service, _ = service_factory()
+        assert service.obs.dump_flight("whatever") is None
+
+
+class TestSLOConfigPlumbing:
+    def test_custom_slo_reaches_the_tracker(self, service_factory):
+        config = ServiceConfig(
+            workers=1, queue_depth=2, default_deadline_s=10.0,
+            drain_timeout_s=2.0,
+            slo=SLOConfig(latency_threshold_s=0.001),
+        )
+        service, fake = service_factory(config, hold=True)
+        pending, _ = service.submit(req({"system": "fig1"}))
+        assert fake.wait_for_calls(1)
+        time.sleep(0.01)  # exceed the 1ms threshold before releasing
+        fake.release.set()
+        assert pending.wait(5.0)
+        snapshot = service.obs.slo.snapshot()
+        assert snapshot["latency_threshold_s"] == 0.001
+        assert snapshot["window_slow"] == 1.0
+        assert snapshot["latency_burn_rate"] > 0

@@ -1,9 +1,11 @@
 """Unit tests: the metrics registry and its instruments."""
 
 import json
+import threading
 
 import pytest
 
+from repro.obs.prometheus import labeled, parse_labeled
 from repro.telemetry import (
     DEFAULT_TIME_BUCKETS,
     Histogram,
@@ -67,6 +69,37 @@ class TestHistogramPercentiles:
         histogram = Histogram("h", buckets=(1.0,))
         assert histogram.percentile(50) == 0.0
         assert histogram.mean == 0.0
+
+    def test_empty_histogram_every_percentile_and_snapshot(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        for p in (0, 50, 99, 100):
+            assert histogram.percentile(p) == 0.0
+        snapshot = histogram.snapshot()
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == 0.0
+        assert snapshot["p50"] == 0.0
+
+    def test_nan_observation_rejected(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.observe(float("nan"))
+        # The refused observation must not have mutated anything.
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.counts == [0]
+        assert histogram.overflow == 0
+
+    def test_single_sample_in_first_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.25)
+        for p in (0, 50, 100):
+            assert histogram.percentile(p) == pytest.approx(0.25)
+
+    def test_single_sample_in_overflow(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(99.0)
+        assert histogram.percentile(50) == pytest.approx(99.0)
+        assert histogram.percentile(99) == pytest.approx(99.0)
 
     def test_rejects_out_of_range_percentile(self):
         histogram = Histogram("h", buckets=(1.0,))
@@ -149,6 +182,83 @@ class TestRegistry:
         registry.counter("a").inc()
         registry.gauge("b").set(2)
         assert registry.flat() == {"a": 1.0, "b": 2.0}
+
+
+class TestLabeledNames:
+    """Labels ride inside registry names (see repro.obs.prometheus)."""
+
+    def test_label_sets_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        exact = registry.counter(
+            labeled("service.energy_answers", provenance="exact")
+        )
+        cached = registry.counter(
+            labeled("service.energy_answers", provenance="cached")
+        )
+        assert exact is not cached
+        exact.inc(3)
+        cached.inc(1)
+        snapshot = registry.snapshot()["counters"]
+        assert snapshot['service.energy_answers{provenance="exact"}'] == 3.0
+        assert snapshot['service.energy_answers{provenance="cached"}'] == 1.0
+
+    def test_label_order_maps_to_one_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter(labeled("m", x="1", y="2"))
+        b = registry.counter(labeled("m", y="2", x="1"))
+        assert a is b
+
+    def test_snapshot_names_parse_back(self):
+        registry = MetricsRegistry()
+        registry.gauge(labeled("service.breaker_state", site="iss")).set(2)
+        (encoded,) = registry.snapshot()["gauges"]
+        assert parse_labeled(encoded) == (
+            "service.breaker_state", {"site": "iss"}
+        )
+
+    def test_labeled_histograms_are_exported_live(self):
+        registry = MetricsRegistry()
+        name = labeled("run.seconds", system="fig1")
+        registry.histogram(name, buckets=(1.0,)).observe(0.5)
+        instruments = registry.histogram_instruments()
+        assert list(instruments) == [name]
+        assert instruments[name].count == 1
+
+
+class TestConcurrency:
+    def test_concurrent_increments_on_one_counter(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 2500
+        barrier = threading.Barrier(threads_n)
+
+        def work():
+            counter = registry.counter("stress")
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("stress").value == threads_n * per_thread
+
+    def test_concurrent_first_use_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            results.append(registry.counter("racy"))
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instrument is results[0] for instrument in results)
 
 
 class TestNullRegistry:
