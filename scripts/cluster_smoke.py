@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the distributed cluster — the CI cluster gate.
+
+Drives the full failure story from outside the processes, exactly as a
+deployment would experience it:
+
+1. a single-node ``repro explore`` produces the baseline sweep summary;
+2. a coordinator plus three worker processes come up; readiness is
+   gated on polling /readyz until all three workers are live;
+3. a fig.7 sweep is submitted; once /stats shows points completing,
+   one worker is SIGKILLed mid-sweep — no drain, no goodbye;
+4. the sweep must still finish: the dead worker's jobs re-dispatch to
+   the survivors and the summary rows are **byte-identical** to the
+   single-node baseline (deterministic per-job seeds make a re-run an
+   exact reproduction);
+5. /readyz must show the killed worker dead and the survivors live,
+   and /stats must count at least one re-dispatch;
+6. a fresh worker started with ``--limp-s`` (it sleeps before every
+   job and heartbeat) must be quarantined by the limplock detector —
+   visible in /readyz — while the cluster keeps answering estimates.
+
+Coordinator JSON logs are captured to CLUSTER_LOG_DIR (CI uploads the
+directory as an artifact).  Exits non-zero on the first violation.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+LOG_DIR = os.environ.get("CLUSTER_LOG_DIR", "cluster-logs")
+PYTHON = sys.executable
+
+
+def post(port, path, body, timeout=300):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=timeout)
+    try:
+        connection.request("POST", path, body=json.dumps(body),
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def get(port, path):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def fail(message):
+    print("cluster smoke FAILED: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_readyz(port, predicate, what, deadline_s=30.0):
+    """Poll /readyz until ``predicate(document)`` holds (no fixed sleeps)."""
+    deadline = time.time() + deadline_s
+    last = None
+    while time.time() < deadline:
+        try:
+            status, body = get(port, "/readyz")
+            last = (status, body.get("status"), body.get("states"))
+            if predicate(body):
+                return body
+        except (OSError, ValueError):
+            last = ("unreachable", None, None)
+        time.sleep(0.2)
+    fail("/readyz never showed %s within %.0fs (last: %s)"
+         % (what, deadline_s, last))
+
+
+def spawn_worker(port, worker_id, limp_s=0.0):
+    command = [PYTHON, "-m", "repro", "worker",
+               "--coordinator", "http://127.0.0.1:%d" % port,
+               "--worker-id", worker_id]
+    if limp_s > 0:
+        command += ["--limp-s", str(limp_s)]
+    return subprocess.Popen(
+        command, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+        env=dict(os.environ, PYTHONUNBUFFERED="1"),
+    )
+
+
+def main():
+    os.makedirs(LOG_DIR, exist_ok=True)
+
+    # 1. Single-node baseline (the byte-identity reference).
+    baseline_path = os.path.join(LOG_DIR, "baseline.json")
+    result = subprocess.run(
+        [PYTHON, "-m", "repro", "explore", "--dma", "2", "8",
+         "--packets", "1", "--out", baseline_path, "--no-preflight"],
+        capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        fail("single-node baseline failed:\n%s%s"
+             % (result.stdout, result.stderr))
+    with open(baseline_path) as handle:
+        baseline = handle.read()
+    print("baseline OK: single-node sweep summary at %s" % baseline_path)
+
+    # 2. Coordinator (JSON logs to the artifact dir) + three workers.
+    #    A SIGKILLed worker is detected by the failed socket, not the
+    #    heartbeat age, so the liveness thresholds can stay lax enough
+    #    for the limping worker's slowed heartbeats (limp_s delays
+    #    those too).  limp_min_samples=1 lets one observed 2s job
+    #    convict the limper; the healthy workers sit near each other's
+    #    median, far under the 6x factor.
+    log_path = os.path.join(LOG_DIR, "coordinator.jsonl")
+    log_handle = open(log_path, "w")
+    coordinator = subprocess.Popen(
+        [PYTHON, "-c",
+         "import sys; sys.path.insert(0, 'src');"
+         "from repro.cluster import ClusterConfig, run_coordinator;"
+         "from repro.cluster.membership import MembershipConfig;"
+         "cfg = ClusterConfig(membership=MembershipConfig("
+         "suspect_after_s=4.0, dead_after_s=8.0, limp_factor=6.0,"
+         "limp_min_samples=1), log_json=True);"
+         "sys.exit(run_coordinator('127.0.0.1', 0, config=cfg))"],
+        stdout=subprocess.PIPE, stderr=log_handle,
+        env=dict(os.environ, PYTHONUNBUFFERED="1"), text=True,
+    )
+    workers = {}
+    try:
+        banner = coordinator.stdout.readline()
+        if "coordinator listening on http://" not in banner:
+            fail("no coordinator banner: %r" % banner)
+        port = int(banner.split("http://127.0.0.1:")[1].split(" ")[0])
+
+        for worker_id in ("w0", "w1", "w2"):
+            workers[worker_id] = spawn_worker(port, worker_id)
+        wait_readyz(
+            port,
+            lambda body: sorted(body.get("routable", [])) ==
+            ["w0", "w1", "w2"],
+            "three live workers",
+        )
+        print("membership OK: w0 w1 w2 live and routable")
+
+        # 3. Sweep in a background thread; SIGKILL one worker once
+        #    /stats proves points are completing (mid-sweep, not
+        #    before it started and not after it finished).
+        sweep_result = {}
+
+        def run_sweep():
+            sweep_result["reply"] = post(
+                port, "/sweep", {"dma": [2, 8], "packets": 1}, timeout=600
+            )
+
+        sweep_thread = threading.Thread(target=run_sweep, daemon=True)
+        sweep_thread.start()
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            _, stats = get(port, "/stats")
+            done = stats["cluster"]["sweep_points_completed"]
+            if done >= 2:
+                break
+            if "reply" in sweep_result:
+                fail("sweep finished before the kill could land "
+                     "(completed too fast to observe)")
+            time.sleep(0.1)
+        else:
+            fail("no sweep points completed within 120s")
+
+        victim = "w1"
+        workers[victim].send_signal(signal.SIGKILL)
+        workers[victim].wait()
+        print("killed %s mid-sweep (%d point(s) were done)"
+              % (victim, done))
+
+        sweep_thread.join(600)
+        if "reply" not in sweep_result:
+            fail("sweep never returned after the kill")
+        status, body = sweep_result["reply"]
+        if status != 200 or body.get("status") != "ok":
+            fail("sweep did not complete after the kill: %s %s"
+                 % (status, {k: body.get(k) for k in
+                             ("status", "completed", "total_points",
+                              "pending_labels", "errors")}))
+        rows = json.dumps(body["rows"], indent=1, sort_keys=True) + "\n"
+        if rows != baseline:
+            fail("cluster rows differ from the single-node baseline "
+                 "(%d vs %d bytes)" % (len(rows), len(baseline)))
+        print("failure re-dispatch OK: %d/%d points, rows byte-identical "
+              "to single node, worker split %s"
+              % (body["completed"], body["total_points"], body["workers"]))
+
+        # 4. The membership view must reflect reality.
+        ready = wait_readyz(
+            port,
+            lambda doc: doc.get("workers", {}).get(victim, {}).get("state")
+            == "dead",
+            "%s dead" % victim,
+        )
+        for survivor in ("w0", "w2"):
+            if survivor not in ready["routable"]:
+                fail("survivor %s not routable after the kill: %s"
+                     % (survivor, ready["routable"]))
+        _, stats = get(port, "/stats")
+        if stats["cluster"]["redispatches"] < 1:
+            fail("no re-dispatch counted after a SIGKILL mid-sweep")
+        print("membership OK: %s dead, survivors routable, "
+              "%d redispatch(es)" % (victim, stats["cluster"]["redispatches"]))
+
+        # 5. Limplock: a worker that sleeps 2s around every job and
+        #    heartbeat must be quarantined, not trusted.  A second
+        #    sweep spreads dispatches over every routable worker, so
+        #    the coordinator observes the limper's latency directly.
+        #    Quarantine is asserted on the monotonic counter: a
+        #    quarantined worker re-registers on its next heartbeat
+        #    (parole with a clean latency record), so the limplocked
+        #    *state* is legitimately transient.
+        workers["limpy"] = spawn_worker(port, "limpy", limp_s=2.0)
+        wait_readyz(
+            port,
+            lambda doc: "limpy" in doc.get("routable", []),
+            "limpy registered",
+        )
+        limp_sweep = {}
+
+        def run_limp_sweep():
+            limp_sweep["reply"] = post(
+                port, "/sweep", {"dma": [2, 8], "packets": 1}, timeout=600
+            )
+
+        limp_thread = threading.Thread(target=run_limp_sweep, daemon=True)
+        limp_thread.start()
+        deadline = time.time() + 90
+        while time.time() < deadline:
+            _, stats = get(port, "/stats")
+            if stats["cluster"]["quarantines"] >= 1:
+                break
+            time.sleep(0.2)
+        else:
+            fail("limplock detector never quarantined the limping worker")
+        limp_thread.join(600)
+        if "reply" not in limp_sweep:
+            fail("limplock-phase sweep never returned")
+        status, body = limp_sweep["reply"]
+        if status != 200 or body.get("status") != "ok":
+            fail("limplock-phase sweep failed: %s %s" % (status, body))
+        status, body = post(port, "/estimate",
+                            {"system": "fig1", "strategy": "caching"})
+        if status != 200:
+            fail("estimate after quarantine answered %s: %s"
+                 % (status, body))
+        print("limplock OK: limpy quarantined (%d quarantine(s)), "
+              "sweep and estimates kept completing"
+              % stats["cluster"]["quarantines"])
+
+        print("cluster smoke PASSED")
+    finally:
+        for process in workers.values():
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        for process in workers.values():
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        if coordinator.poll() is None:
+            coordinator.send_signal(signal.SIGTERM)
+            try:
+                coordinator.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                coordinator.kill()
+                coordinator.wait()
+        log_handle.close()
+
+
+if __name__ == "__main__":
+    main()

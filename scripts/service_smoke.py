@@ -4,6 +4,8 @@
 Starts the server as a subprocess, then drives the acceptance scenario
 from the outside, exactly as a deployment would see it:
 
+0. startup is gated on polling /readyz (no fixed sleeps), the same
+   readiness contract a deployment's health checks would use;
 1. concurrent estimates for two bundled systems answer 200 with exact
    provenance (and carry X-Trace-Id correlation headers);
 2. a chaos request (100% hw faults) answers 200 *degraded*, with the
@@ -27,6 +29,7 @@ import signal
 import subprocess
 import sys
 import threading
+import time
 
 from repro.obs.prometheus import validate_exposition
 
@@ -74,6 +77,30 @@ def fail(message):
     sys.exit(1)
 
 
+def wait_ready(port, deadline_s=30.0, expect=None):
+    """Poll /readyz until it answers 200 ready (no fixed sleeps).
+
+    ``expect`` optionally asserts on the readiness document once ready —
+    the cluster smoke uses it to wait for a specific worker-set shape.
+    Returns the final document; fails the smoke on deadline.
+    """
+    deadline = time.time() + deadline_s
+    last = None
+    while time.time() < deadline:
+        try:
+            status, body = get(port, "/readyz")
+            last = (status, body)
+            if status == 200 and body.get("status") == "ready" and (
+                expect is None or expect(body)
+            ):
+                return body
+        except (OSError, ValueError):
+            last = ("unreachable", None)
+        time.sleep(0.2)
+    fail("/readyz never became ready within %.0fs (last: %s)"
+         % (deadline_s, last))
+
+
 def main():
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
@@ -100,9 +127,7 @@ def main():
         reader = threading.Thread(target=read_output, daemon=True)
         reader.start()
 
-        status, body = get(port, "/readyz")
-        if (status, body.get("status")) != (200, "ready"):
-            fail("/readyz not ready: %s %s" % (status, body))
+        wait_ready(port)
 
         # 1. Concurrent clean estimates for two bundled systems.
         outcomes = {}

@@ -17,6 +17,11 @@ Commands operate on the built-in example systems:
   long-lived co-estimation service (JSON over HTTP, bounded admission
   queue, circuit breakers, graceful SIGTERM drain; see
   docs/service.md).
+* ``cluster [--workers N]`` — run the distributed coordinator plus N
+  worker processes (consistent-hash sharding, heartbeat failure
+  detection, re-dispatch, limplock quarantine; see docs/cluster.md).
+* ``worker --coordinator URL`` — run one standalone cluster worker
+  against an existing coordinator.
 
 ``estimate`` and ``explore`` run the fast lint subset as a pre-flight
 gate (``--no-preflight`` opts out).
@@ -333,28 +338,18 @@ def _write_sweep_summary(path: str, points) -> None:
 
     Timing fields (``wall_seconds``, ``low_level_seconds``) are
     excluded, so an interrupted-and-resumed sweep produces a summary
-    byte-identical to an uninterrupted one.
+    byte-identical to an uninterrupted one.  The cluster coordinator
+    emits the same rows (:func:`repro.core.explorer.sweep_summary_rows`),
+    which is what the cluster smoke test diffs against this file.
     """
-    import dataclasses
     import json as _json
 
-    rows = []
-    for point in points:
-        report = {
-            key: value
-            for key, value in dataclasses.asdict(point.report).items()
-            if not key.endswith("_seconds")
-        }
-        rows.append(
-            {
-                "dma_block_words": point.dma_block_words,
-                "priority_label": point.priority_label,
-                "total_energy_j": point.total_energy_j,
-                "report": report,
-            }
-        )
+    from repro.core.explorer import sweep_summary_rows
+
     atomic_write_text(
-        path, _json.dumps(rows, indent=1, sort_keys=True) + "\n"
+        path,
+        _json.dumps(sweep_summary_rows(points), indent=1, sort_keys=True)
+        + "\n",
     )
 
 
@@ -438,6 +433,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
         config=config,
         resume_path=args.resume,
     )
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro cluster`` — coordinator + N local worker processes."""
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.cluster.membership import MembershipConfig
+
+    config = ClusterConfig(
+        membership=MembershipConfig(
+            suspect_after_s=args.suspect_after_s,
+            dead_after_s=args.dead_after_s,
+            limp_factor=args.limp_factor,
+        ),
+        heartbeat_interval_s=args.heartbeat_s,
+        redispatch_budget=args.redispatch_budget,
+        log_json=args.log_json,
+    )
+    return run_cluster(
+        args.host,
+        args.port,
+        workers=args.workers,
+        config=config,
+        worker_slots=args.slots,
+    )
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker`` — one standalone cluster worker process."""
+    from repro.cluster import WorkerConfig, run_worker
+
+    config = WorkerConfig(
+        coordinator_url=args.coordinator,
+        worker_id=args.worker_id or "",
+        host=args.host,
+        port=args.port,
+        heartbeat_interval_s=args.heartbeat_s,
+        slots=args.slots,
+        limp_s=args.limp_s,
+    )
+    return run_worker(config)
 
 
 def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -638,6 +673,74 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-enqueue the requests of a drain checkpoint "
                             "at startup")
     serve.set_defaults(func=cmd_serve)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="run the distributed coordinator plus N worker processes",
+    )
+    cluster.add_argument("--host", default="127.0.0.1",
+                         help="coordinator bind address "
+                              "(default: 127.0.0.1)")
+    cluster.add_argument("--port", type=int, default=8095,
+                         help="coordinator TCP port; 0 picks a free one "
+                              "(default: 8095)")
+    cluster.add_argument("--workers", type=int, default=3, metavar="N",
+                         help="worker processes to spawn (default: 3)")
+    cluster.add_argument("--slots", type=int, default=1, metavar="N",
+                         help="concurrent job slots per worker "
+                              "(default: 1)")
+    cluster.add_argument("--heartbeat-s", type=float, default=1.0,
+                         metavar="S",
+                         help="worker heartbeat interval "
+                              "(default %(default)s)")
+    cluster.add_argument("--suspect-after-s", type=float, default=3.0,
+                         metavar="S",
+                         help="heartbeat age that marks a worker suspect "
+                              "(default %(default)s)")
+    cluster.add_argument("--dead-after-s", type=float, default=10.0,
+                         metavar="S",
+                         help="heartbeat age that declares a worker dead "
+                              "and re-dispatches its jobs "
+                              "(default %(default)s)")
+    cluster.add_argument("--limp-factor", type=float, default=4.0,
+                         metavar="X",
+                         help="latency multiple over the peer median that "
+                              "quarantines a limping worker "
+                              "(default %(default)s)")
+    cluster.add_argument("--redispatch-budget", type=int, default=2,
+                         metavar="N",
+                         help="re-dispatches allowed per job after "
+                              "transport failures (default %(default)s)")
+    cluster.add_argument("--log-json", action="store_true",
+                         help="emit one JSON log line per cluster event "
+                              "(registrations, state changes, "
+                              "re-dispatches, quarantines)")
+    cluster.set_defaults(func=cmd_cluster)
+
+    worker = commands.add_parser(
+        "worker", help="run one standalone cluster worker"
+    )
+    worker.add_argument("--coordinator", required=True, metavar="URL",
+                        help="coordinator base URL, e.g. "
+                             "http://127.0.0.1:8095")
+    worker.add_argument("--worker-id", default="", metavar="ID",
+                        help="stable worker identity "
+                             "(default: worker-<pid>)")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="worker bind address (default: 127.0.0.1)")
+    worker.add_argument("--port", type=int, default=0,
+                        help="worker TCP port; 0 picks a free one "
+                             "(default: 0)")
+    worker.add_argument("--heartbeat-s", type=float, default=1.0,
+                        metavar="S",
+                        help="heartbeat interval (default %(default)s)")
+    worker.add_argument("--slots", type=int, default=1, metavar="N",
+                        help="concurrent job slots (default: 1)")
+    worker.add_argument("--limp-s", type=float, default=0.0, metavar="S",
+                        help="fault injection: sleep S seconds before "
+                             "every job and heartbeat — makes this worker "
+                             "limp for quarantine testing (default: 0)")
+    worker.set_defaults(func=cmd_worker)
 
     return parser
 

@@ -1,0 +1,1080 @@
+"""The cluster coordinator (``repro cluster``).
+
+The coordinator fronts the same JSON/HTTP estimate protocol the
+single-node service speaks, but instead of running jobs on local
+threads it routes them to registered worker nodes:
+
+* **consistent-hash sharding** — estimates route by their structural
+  :func:`~repro.service.api.request_fingerprint`, sweep points by job
+  label, so identical requests land on the same worker (cluster-wide
+  in-flight coalescing stays effective) and each worker's
+  process-local §4.2 caches stay hot for its shard;
+* **failure detection and re-dispatch** — HDFS-style heartbeats drive
+  the membership state machine (live/suspect/dead); a transport-level
+  failure mid-job marks the worker dead and re-dispatches the job to
+  the next worker on the ring.  Per-job seeds are deterministic
+  (:func:`~repro.parallel.jobs.job_seed`), so a re-dispatched job
+  reproduces the original result byte for byte.  HTTP-level errors are
+  *never* re-dispatched — the job ran; its answer stands;
+* **limplock quarantine** — a worker that stays alive but runs far
+  slower than its peers (observed-latency EWMA above the peer median
+  by the limp factor) is quarantined out of routing, so one limping
+  node cannot drag cluster latency to its speed;
+* **shard handoff** — sweeps flush a
+  :class:`~repro.resilience.checkpoint.CheckpointWriter` per point
+  under the *same signature* ``repro explore`` uses, so a partially
+  drained shard resumes on any other worker — or on a single node —
+  with byte-identical merged output;
+* **the shared warm-cache tier** — workers push/pull §4.2 warm-start
+  snapshots through the coordinator (fingerprint-guarded, wholesale
+  adoption), transferring cache convergence across nodes.
+
+The coordinator core is HTTP-agnostic with an injectable transport and
+clock, so the failure machinery is unit-testable without sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import Observability, labeled
+from repro.obs.context import RequestContext, use_context
+from repro.obs.logging import JsonLogger, NULL_LOGGER
+from repro.obs.names import (
+    EVENT_COALESCED,
+    EVENT_JOB_REDISPATCHED,
+    EVENT_SHARD_HANDOFF,
+    EVENT_SWEEP_STEP,
+    EVENT_WORKER_QUARANTINED,
+    EVENT_WORKER_REGISTERED,
+    EVENT_WORKER_STATE,
+    METRIC_CLUSTER_HEARTBEAT_AGE,
+    METRIC_CLUSTER_QUARANTINES,
+    METRIC_CLUSTER_REDISPATCHES,
+    METRIC_CLUSTER_WORKER_QUEUE_DEPTH,
+    METRIC_CLUSTER_WORKERS,
+)
+from repro.cluster.hashring import HashRing
+from repro.cluster.membership import (
+    DEAD,
+    DECOMMISSIONED,
+    LIMPLOCKED,
+    LIVE,
+    SUSPECT,
+    MembershipConfig,
+    MembershipTable,
+)
+from repro.cluster.protocol import (
+    JOB_KIND_ESTIMATE,
+    JOB_KIND_SPEC,
+    TransportError,
+    post_json,
+)
+from repro.core.explorer import (
+    design_point_from_payload,
+    priority_label,
+    priority_permutations,
+    sweep_summary_rows,
+)
+from repro.parallel.jobs import JobSpec, job_seed, spec_to_wire
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    load_checkpoint,
+    resilience_signature,
+    sweep_signature,
+)
+from repro.resilience.supervisor import retry_backoff_s
+from repro.service.api import (
+    BadRequest,
+    EstimateRequest,
+    parse_request,
+    request_fingerprint,
+)
+from repro.service.dedup import InflightTable
+from repro.service.httpbase import JsonRequestHandler, QuietHTTPServer
+from repro.service.lifecycle import DrainController, install_drain_signals
+from repro.service.server import PendingResult
+from repro.systems import build_bundle, system_names
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "run_coordinator",
+    "run_cluster",
+]
+
+_ALL_STATES = (LIVE, SUSPECT, DEAD, LIMPLOCKED, DECOMMISSIONED)
+_SWEEP_STRATEGIES = ("full", "caching", "macromodel", "sampling")
+
+#: The fig.7 sweep's builder — the same one ``repro explore`` names.
+_SWEEP_BUILDER = "repro.systems.tcpip:build_system"
+
+
+@dataclass
+class ClusterConfig:
+    """Tuning knobs of one coordinator (see docs/cluster.md)."""
+
+    #: Membership thresholds (suspect/dead ages, limplock factor).
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
+    #: Interval the refresher thread advances the membership state
+    #: machine and republishes the cluster gauges at.
+    refresh_interval_s: float = 0.5
+    #: Heartbeat interval workers are told to use at registration.
+    heartbeat_interval_s: float = 1.0
+    #: How many times one job may be re-dispatched to another worker
+    #: after transport failures before answering 502.
+    redispatch_budget: int = 2
+    #: Deterministic backoff between re-dispatch attempts.
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    #: Socket budget for one dispatched sweep point.
+    request_timeout_s: float = 120.0
+    default_deadline_s: float = 30.0
+    ring_replicas: int = 64
+    log_json: bool = False
+
+    def __post_init__(self) -> None:
+        if self.refresh_interval_s <= 0:
+            raise ValueError("refresh_interval_s must be positive")
+        if self.redispatch_budget < 0:
+            raise ValueError("redispatch_budget must be non-negative")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+
+
+@dataclass
+class _SweepPlan:
+    """Validated parameters of one ``POST /sweep``."""
+
+    dma_sizes: List[int]
+    num_packets: int
+    packet_period_ns: float
+    strategy: str
+    warm_start: bool
+    checkpoint_path: Optional[str]
+    resume: bool
+
+
+@dataclass
+class _EstimateEntry:
+    """One estimate riding through coalescing and dispatch."""
+
+    request: EstimateRequest
+    fingerprint: str
+    pending: PendingResult
+    submitted_at: float
+    context: Optional[RequestContext] = None
+
+
+class ClusterCoordinator:
+    """Membership + routing + re-dispatch + shard handoff, HTTP-agnostic.
+
+    ``transport(url, path, body, timeout_s) -> (status, body)`` is
+    injectable (tests drive the failure machinery with fakes); the
+    default is the stdlib JSON client, which raises
+    :class:`~repro.cluster.protocol.TransportError` on socket failures.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        clock: Callable[[], float] = time.monotonic,
+        transport=None,
+        logger: Optional[JsonLogger] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.clock = clock
+        self.transport = transport if transport is not None else post_json
+        if logger is None:
+            logger = (JsonLogger(component="coordinator")
+                      if self.config.log_json else NULL_LOGGER)
+        self.obs = Observability(
+            metrics=self.telemetry.metrics, logger=logger
+        )
+        self.membership = MembershipTable(
+            self.config.membership, clock=clock,
+            on_transition=self._on_transition,
+        )
+        self._ring_lock = threading.Lock()
+        self.ring = HashRing(self.config.ring_replicas)
+        self.dedup = InflightTable()
+        self.drain_controller = DrainController()
+        self._lock = threading.Lock()
+        self._completed = 0
+        self._failed = 0
+        self._coalesced = 0
+        self._redispatches = 0
+        self._quarantines = 0
+        self._sweeps = 0
+        self._sweep_points = 0
+        self._cache_lock = threading.Lock()
+        self._cache_tier: Dict[str, Dict[str, Any]] = {}
+
+    # -- membership plumbing ---------------------------------------------
+
+    def _on_transition(self, worker_id: str, old: str, new: str,
+                       reason: str) -> None:
+        with self._ring_lock:
+            if new == LIVE:
+                self.ring.add(worker_id)
+            else:
+                self.ring.remove(worker_id)
+        if not old:
+            self.obs.event(EVENT_WORKER_REGISTERED, worker=worker_id)
+        elif new == LIMPLOCKED:
+            with self._lock:
+                self._quarantines += 1
+            self.obs.metrics.counter(METRIC_CLUSTER_QUARANTINES).inc()
+            self.obs.event(EVENT_WORKER_QUARANTINED, worker=worker_id,
+                           reason=reason)
+        else:
+            self.obs.event(EVENT_WORKER_STATE, worker=worker_id,
+                           old=old, new=new, reason=reason)
+
+    def register_worker(self, worker_id: str,
+                        url: str) -> Tuple[int, Dict[str, Any]]:
+        if not worker_id or not url:
+            return 400, {"status": "error",
+                         "reason": "worker_id and url are required"}
+        self.membership.register(worker_id, url)
+        return 200, {
+            "status": "ok",
+            "worker_id": worker_id,
+            "heartbeat_interval_s": self.config.heartbeat_interval_s,
+        }
+
+    def heartbeat(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        worker_id = str(body.get("worker_id") or "")
+        known = self.membership.heartbeat(
+            worker_id,
+            queue_depth=int(body.get("queue_depth") or 0),
+            in_flight=int(body.get("in_flight") or 0),
+            completed=int(body.get("completed") or 0),
+            reported_run_s=float(body.get("mean_run_s") or 0.0),
+        )
+        return 200, {"status": "ok" if known else "unknown"}
+
+    def refresh_membership(self) -> None:
+        """Advance liveness/limplock; transitions fan out via the hook."""
+        self.membership.refresh()
+
+    def decommission_worker(
+        self, worker_id: str, reason: str = "requested"
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Planned removal: unroutable now; its in-progress shard is
+        re-queued by the sweep engine (checkpoint-backed handoff)."""
+        url = self.membership.url_of(worker_id)
+        if not self.membership.decommission(worker_id, reason):
+            return 404, {"status": "error",
+                         "reason": "unknown worker %r" % worker_id}
+        if url is not None:
+            try:
+                self.transport(url, "/decommission", {"reason": reason}, 5.0)
+            except TransportError:
+                pass  # it will be declared dead by heartbeat age instead
+        return 200, {"status": "ok", "worker_id": worker_id,
+                     "state": DECOMMISSIONED}
+
+    # -- ring access (transitions mutate it from several threads) --------
+
+    def _ring_preference(self, key: str) -> List[str]:
+        with self._ring_lock:
+            return self.ring.preference(key)
+
+    def _ring_node_for(self, key: str) -> Optional[str]:
+        with self._ring_lock:
+            return self.ring.node_for(key)
+
+    # -- estimates -------------------------------------------------------
+
+    def submit(self, request: EstimateRequest) -> Tuple[PendingResult, bool]:
+        """Route one estimate; returns ``(pending, coalesced)``.
+
+        The primary dispatches synchronously in the calling thread and
+        resolves the shared :class:`PendingResult`; identical in-flight
+        requests (same fingerprint) coalesce onto it without another
+        dispatch — and because the ring routes by the same fingerprint,
+        replicas of this coordinator behind one worker set would land
+        the duplicates on the same worker too.
+        """
+        if self.drain_controller.draining:
+            raise _Rejected("coordinator is draining", 503, "draining")
+        bundle = build_bundle(request.system)
+        fingerprint = request_fingerprint(bundle, request)
+        context = RequestContext.new(request.request_id)
+        entry = _EstimateEntry(
+            request=request,
+            fingerprint=fingerprint,
+            pending=PendingResult(),
+            submitted_at=self.clock(),
+            context=context,
+        )
+        entry.pending.trace_id = context.trace_id
+        primary = self.dedup.admit(fingerprint, entry)
+        if primary is not entry:
+            with self._lock:
+                self._coalesced += 1
+            with use_context(context):
+                self.obs.event(
+                    EVENT_COALESCED,
+                    fingerprint=fingerprint,
+                    primary_trace_id=(
+                        primary.context.trace_id if primary.context else ""
+                    ),
+                )
+            return primary.pending, True
+        try:
+            with use_context(context):
+                self._dispatch_estimate(entry)
+        finally:
+            self.dedup.complete(fingerprint)
+        return entry.pending, False
+
+    def _dispatch_estimate(self, entry: _EstimateEntry) -> None:
+        request = entry.request
+        wire = {
+            "kind": JOB_KIND_ESTIMATE,
+            "request": request.to_payload(),
+            "trace": (entry.context.to_payload()
+                      if entry.context is not None else None),
+        }
+        timeout_s = request.deadline_s + 5.0
+        redispatches = 0
+        while True:
+            target = None
+            for candidate in self._ring_preference(entry.fingerprint):
+                target = candidate
+                break
+            if target is None:
+                self._resolve(entry, 503, {
+                    "status": "rejected",
+                    "reason": "no_workers",
+                    "request_id": request.request_id,
+                })
+                return
+            url = self.membership.url_of(target)
+            if url is None:
+                self.membership.mark_dead(target, "no url on record")
+                continue
+            started = self.clock()
+            try:
+                status, body = self.transport(url, "/run", wire, timeout_s)
+            except TransportError as exc:
+                # The worker vanished mid-job.  Safe to re-dispatch:
+                # the job's seed is a pure function of its identity, so
+                # a re-run on any worker is byte-identical.
+                self.membership.mark_dead(
+                    target, "estimate dispatch failed: %s" % exc
+                )
+                redispatches += 1
+                self._note_redispatch(target, request.request_id, str(exc))
+                if redispatches > self.config.redispatch_budget:
+                    self._resolve(entry, 502, {
+                        "status": "error",
+                        "reason": "redispatch_budget_exhausted",
+                        "request_id": request.request_id,
+                        "detail": "%d dispatch attempt(s) failed"
+                                  % redispatches,
+                    })
+                    return
+                time.sleep(retry_backoff_s(
+                    "estimate:%s" % entry.fingerprint, redispatches,
+                    self.config.backoff_base_s, self.config.backoff_cap_s,
+                ))
+                continue
+            self.membership.observe_run(target, self.clock() - started)
+            if status == 503 and body.get("reason") == "draining":
+                # The worker is decommissioning; its shard belongs to
+                # its ring successor now.  Not a failure — no penalty
+                # beyond the handoff.
+                self.membership.decommission(target, "worker draining")
+                redispatches += 1
+                self.obs.event(EVENT_SHARD_HANDOFF, worker=target,
+                               job=request.request_id, kind="estimate")
+                if redispatches > self.config.redispatch_budget:
+                    self._resolve(entry, 503, {
+                        "status": "rejected",
+                        "reason": "no_workers",
+                        "request_id": request.request_id,
+                    })
+                    return
+                continue
+            # The job ran — success or worker-side error, the answer
+            # stands; re-dispatching a completed computation would be a
+            # duplicate, not a retry.
+            out = dict(body)
+            out["fingerprint"] = entry.fingerprint
+            out["cluster"] = {
+                "worker": target,
+                "redispatches": redispatches,
+            }
+            with self._lock:
+                if status == 200:
+                    self._completed += 1
+                else:
+                    self._failed += 1
+            self._resolve(entry, status, out)
+            return
+
+    def _resolve(self, entry: _EstimateEntry, status: int,
+                 body: Dict[str, Any]) -> None:
+        headers = {}
+        if entry.context is not None:
+            headers["X-Trace-Id"] = entry.context.trace_id
+        entry.pending.resolve(status, body, headers)
+        self.obs.record_outcome(status, self.clock() - entry.submitted_at)
+
+    def _note_redispatch(self, worker_id: str, job: str,
+                         detail: str) -> None:
+        with self._lock:
+            self._redispatches += 1
+        self.membership.count_redispatch(worker_id)
+        self.obs.metrics.counter(METRIC_CLUSTER_REDISPATCHES).inc()
+        self.obs.event(EVENT_JOB_REDISPATCHED, worker=worker_id, job=job,
+                       detail=detail)
+
+    # -- sweeps ----------------------------------------------------------
+
+    def run_sweep(self, params: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Run one fig.7 sweep sharded over the live workers.
+
+        Jobs are enumerated exactly like
+        :func:`~repro.core.explorer.parallel_sweep` (same labels, same
+        deterministic seeds) and the checkpoint uses the same sweep
+        signature, so a cluster checkpoint resumes on a single node —
+        and vice versa — and the summary rows are byte-identical to
+        ``repro explore --out`` regardless of worker deaths, re-dispatch
+        order, or handoffs along the way.
+        """
+        try:
+            plan = self._parse_sweep(params)
+        except BadRequest as exc:
+            return 400, {"status": "error", "reason": str(exc)}
+        with self._lock:
+            self._sweeps += 1
+        assignments = self._sweep_assignments()
+        specs: List[JobSpec] = []
+        sweep_order: List[Tuple[int, int]] = []
+        warm_key = "%s/%s" % (_SWEEP_BUILDER, plan.strategy)
+        builder_kwargs = {
+            "num_packets": plan.num_packets,
+            "packet_period_ns": plan.packet_period_ns,
+        }
+        for dma_index, dma in enumerate(plan.dma_sizes):
+            for prio_index, priorities in enumerate(assignments):
+                label = "dma=%d,%s" % (dma, priority_label(priorities))
+                specs.append(JobSpec(
+                    fn="repro.parallel.runners:run_explorer_point",
+                    payload={
+                        "builder": _SWEEP_BUILDER,
+                        "strategy": plan.strategy,
+                        "builder_kwargs": dict(builder_kwargs),
+                        "warm_start": plan.warm_start,
+                        "warm_key": warm_key,
+                        "dma_block_words": dma,
+                        "priorities": dict(priorities),
+                    },
+                    label=label,
+                    seed=job_seed(0, label),
+                ))
+                sweep_order.append((prio_index, dma_index))
+        signature = sweep_signature(
+            builder=_SWEEP_BUILDER,
+            strategy=plan.strategy,
+            builder_kwargs=dict(builder_kwargs),
+            warm_start=plan.warm_start,
+            root_seed=0,
+            resilience=resilience_signature(),
+        )
+        completed_payloads: Dict[str, Any] = {}
+        if plan.resume and plan.checkpoint_path is not None:
+            try:
+                completed_payloads = load_checkpoint(
+                    plan.checkpoint_path, signature
+                )
+            except CheckpointError as exc:
+                return 409, {"status": "error",
+                             "reason": "checkpoint_mismatch",
+                             "detail": str(exc)}
+        writer = (
+            CheckpointWriter(plan.checkpoint_path, signature,
+                             completed=completed_payloads)
+            if plan.checkpoint_path is not None else None
+        )
+        results: Dict[int, Dict[str, Any]] = {}
+        errors: Dict[int, str] = {}
+        for index, spec in enumerate(specs):
+            payload = completed_payloads.get(spec.label)
+            if payload is not None:
+                results[index] = payload
+        restored = len(results)
+        pending: List[int] = [i for i in range(len(specs))
+                              if i not in results]
+        lock = threading.Lock()
+        workers_used: Dict[str, int] = {}
+        if writer is not None:
+            writer.flush()
+
+        def run_for(worker_id: str) -> None:
+            url = self.membership.url_of(worker_id)
+            if url is None:
+                return
+            while True:
+                with lock:
+                    if not pending:
+                        return
+                    # Shard affinity first (keeps the worker's local
+                    # warm caches hot), then steal from slower shards.
+                    pick = None
+                    for index in pending:
+                        owner = self._ring_node_for(specs[index].label)
+                        if owner == worker_id:
+                            pick = index
+                            break
+                    if pick is None:
+                        pick = pending[0]
+                    pending.remove(pick)
+                spec = specs[pick]
+                body = {"kind": JOB_KIND_SPEC, "job": spec_to_wire(spec)}
+                started = self.clock()
+                try:
+                    status, reply = self.transport(
+                        url, "/run", body, self.config.request_timeout_s
+                    )
+                except TransportError as exc:
+                    self.membership.mark_dead(
+                        worker_id, "sweep dispatch failed: %s" % exc
+                    )
+                    with lock:
+                        pending.insert(0, pick)
+                    self._note_redispatch(worker_id, spec.label, str(exc))
+                    return
+                self.membership.observe_run(
+                    worker_id, self.clock() - started
+                )
+                if status == 503:
+                    # Draining worker: hand its shard back for the
+                    # ring successors (the checkpoint already holds
+                    # everything it finished).
+                    self.membership.decommission(
+                        worker_id, "worker draining"
+                    )
+                    with lock:
+                        pending.insert(0, pick)
+                    self.obs.event(EVENT_SHARD_HANDOFF, worker=worker_id,
+                                   job=spec.label, kind="sweep")
+                    return
+                if status != 200 or reply.get("status") != "ok":
+                    with lock:
+                        errors[pick] = str(
+                            reply.get("detail") or reply.get("reason")
+                            or "HTTP %d" % status
+                        )
+                    continue
+                result = reply.get("result") or {}
+                payload = (result.get("payload")
+                           if result.get("type") == "design_point"
+                           else None)
+                if not isinstance(payload, dict):
+                    with lock:
+                        errors[pick] = (
+                            "worker %s returned a non-design-point result"
+                            % worker_id
+                        )
+                    continue
+                with lock:
+                    results[pick] = payload
+                    workers_used[worker_id] = (
+                        workers_used.get(worker_id, 0) + 1
+                    )
+                    if writer is not None:
+                        writer.record_and_flush(
+                            spec.label, payload,
+                            meta={"total_points": len(specs)},
+                        )
+                with self._lock:
+                    self._sweep_points += 1
+                self.obs.event(
+                    EVENT_SWEEP_STEP, label=spec.label, worker=worker_id,
+                    run_seconds=round(
+                        float(reply.get("run_seconds") or 0.0), 6
+                    ),
+                )
+
+        # Dispatch rounds: one thread per routable worker; a thread
+        # exits when its worker dies/drains (job re-queued) or no work
+        # is left.  Each round re-reads membership, so workers that
+        # register mid-sweep join and dead ones drop out.
+        while True:
+            with lock:
+                if not pending:
+                    break
+            self.refresh_membership()
+            routable = self.membership.routable()
+            if not routable:
+                break
+            threads = [
+                threading.Thread(target=run_for, args=(worker_id,),
+                                 name="cluster-sweep-%s" % worker_id,
+                                 daemon=True)
+                for worker_id in routable
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        ordered = sorted(range(len(specs)), key=lambda i: sweep_order[i])
+        points = [
+            design_point_from_payload(results[index])
+            for index in ordered if index in results
+        ]
+        complete = len(results) == len(specs) and not errors
+        body: Dict[str, Any] = {
+            "status": "ok" if complete else "partial",
+            "total_points": len(specs),
+            "completed": len(results),
+            "restored": restored,
+            "rows": sweep_summary_rows(points),
+            "workers": dict(sorted(workers_used.items())),
+            "redispatches": self._counters()["redispatches"],
+            "checkpoint": plan.checkpoint_path,
+        }
+        if not complete:
+            body["pending_labels"] = sorted(
+                specs[index].label for index in range(len(specs))
+                if index not in results and index not in errors
+            )
+            body["errors"] = {
+                specs[index].label: message
+                for index, message in sorted(errors.items())
+            }
+        return 200, body
+
+    @staticmethod
+    def _sweep_assignments() -> List[Dict[str, int]]:
+        from repro.systems import tcpip
+
+        return priority_permutations(list(tcpip.BUS_MASTERS))
+
+    @staticmethod
+    def _parse_sweep(params: Dict[str, Any]) -> _SweepPlan:
+        if not isinstance(params, dict):
+            raise BadRequest("sweep body must be a JSON object")
+        dma = params.get("dma", [2, 8, 32, 128])
+        if (not isinstance(dma, list) or not dma
+                or not all(isinstance(v, int) and not isinstance(v, bool)
+                           and v > 0 for v in dma)):
+            raise BadRequest("'dma' must be a non-empty list of positive "
+                             "integers")
+        packets = params.get("packets", 3)
+        if isinstance(packets, bool) or not isinstance(packets, int) \
+                or packets < 1:
+            raise BadRequest("'packets' must be a positive integer")
+        period_ns = params.get("period_ns", 30_000.0)
+        if isinstance(period_ns, bool) \
+                or not isinstance(period_ns, (int, float)) or period_ns <= 0:
+            raise BadRequest("'period_ns' must be a positive number")
+        strategy = params.get("strategy", "caching")
+        if strategy not in _SWEEP_STRATEGIES:
+            raise BadRequest("unknown strategy %r (choose from %s)"
+                             % (strategy, ", ".join(_SWEEP_STRATEGIES)))
+        warm_start = params.get("warm_start", False)
+        if not isinstance(warm_start, bool):
+            raise BadRequest("'warm_start' must be a boolean")
+        checkpoint = params.get("checkpoint")
+        if checkpoint is not None and not isinstance(checkpoint, str):
+            raise BadRequest("'checkpoint' must be a path string")
+        resume = params.get("resume", False)
+        if not isinstance(resume, bool):
+            raise BadRequest("'resume' must be a boolean")
+        if resume and checkpoint is None:
+            raise BadRequest("'resume' needs a 'checkpoint' path")
+        return _SweepPlan(
+            dma_sizes=list(dma),
+            num_packets=packets,
+            packet_period_ns=float(period_ns),
+            strategy=strategy,
+            warm_start=warm_start,
+            checkpoint_path=checkpoint,
+            resume=resume,
+        )
+
+    # -- warm-cache tier -------------------------------------------------
+
+    def cache_get(self, key: str) -> Tuple[int, Dict[str, Any]]:
+        with self._cache_lock:
+            slot = self._cache_tier.get(key)
+            state = dict(slot["state"]) if slot is not None else None
+        return 200, {"status": "ok", "key": key, "state": state}
+
+    def cache_put(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        key = body.get("key")
+        state = body.get("state")
+        worker = str(body.get("worker") or "")
+        if not isinstance(key, str) or not key:
+            return 400, {"status": "error", "reason": "'key' is required"}
+        if (not isinstance(state, dict)
+                or not isinstance(state.get("cache"), dict)
+                or not isinstance(state.get("fingerprints"), dict)):
+            return 400, {"status": "error",
+                         "reason": "malformed cache state"}
+        entries = len(state["cache"].get("entries") or [])
+        with self._cache_lock:
+            slot = self._cache_tier.get(key)
+            # Newer fingerprints win wholesale (the design changed);
+            # same fingerprints keep whichever snapshot converged
+            # further.  Never merged: the §4.2 statistics are means.
+            adopt = (
+                slot is None
+                or slot["state"]["fingerprints"] != state["fingerprints"]
+                or entries >= slot["entries"]
+            )
+            if adopt:
+                self._cache_tier[key] = {
+                    "state": state,
+                    "entries": entries,
+                    "worker": worker,
+                    "updates": (slot["updates"] + 1 if slot else 1),
+                }
+        return 200, {"status": "ok", "adopted": adopt, "entries": entries}
+
+    # -- views -----------------------------------------------------------
+
+    def readyz_snapshot(self) -> Tuple[int, Dict[str, Any]]:
+        """The /readyz document: per-worker membership + routability."""
+        self.refresh_membership()
+        workers = self.membership.snapshot()
+        routable = self.membership.routable()
+        states: Dict[str, List[str]] = {}
+        for worker_id, state in sorted(self.membership.states().items()):
+            states.setdefault(state, []).append(worker_id)
+        body = {
+            "workers": workers,
+            "routable": routable,
+            "states": states,
+        }
+        if self.drain_controller.draining:
+            return 503, dict(body, status="draining")
+        if not routable:
+            return 503, dict(body, status="no_workers")
+        return 200, dict(body, status="ready")
+
+    def _counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "completed": self._completed,
+                "failed": self._failed,
+                "coalesced": self._coalesced,
+                "redispatches": self._redispatches,
+                "quarantines": self._quarantines,
+                "sweeps": self._sweeps,
+                "sweep_points_completed": self._sweep_points,
+            }
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        self.publish_cluster_metrics()
+        counts: Dict[str, int] = {state: 0 for state in _ALL_STATES}
+        for state in self.membership.states().values():
+            counts[state] = counts.get(state, 0) + 1
+        with self._cache_lock:
+            cache_tier = {
+                key: {"entries": slot["entries"],
+                      "worker": slot["worker"],
+                      "updates": slot["updates"]}
+                for key, slot in sorted(self._cache_tier.items())
+            }
+        return {
+            "cluster": dict(
+                self._counters(),
+                state=("draining" if self.drain_controller.draining
+                       else "ready"),
+                workers_by_state=counts,
+            ),
+            "workers": self.membership.snapshot(),
+            "dedup": self.dedup.snapshot(),
+            "cache_tier": cache_tier,
+            "metrics": self.telemetry.metrics.snapshot(),
+        }
+
+    def publish_cluster_metrics(self) -> None:
+        """Refresh the cluster gauge families from membership."""
+        metrics = self.obs.metrics
+        counts: Dict[str, int] = {state: 0 for state in _ALL_STATES}
+        for state in self.membership.states().values():
+            counts[state] = counts.get(state, 0) + 1
+        for state, count in counts.items():
+            metrics.gauge(
+                labeled(METRIC_CLUSTER_WORKERS, state=state)
+            ).set(count)
+        for worker_id, age in sorted(
+                self.membership.heartbeat_ages().items()):
+            metrics.gauge(
+                labeled(METRIC_CLUSTER_HEARTBEAT_AGE, worker=worker_id)
+            ).set(round(age, 3))
+        for worker_id, info in sorted(self.membership.snapshot().items()):
+            metrics.gauge(
+                labeled(METRIC_CLUSTER_WORKER_QUEUE_DEPTH, worker=worker_id)
+            ).set(float(info["queue_depth"]))
+
+    def metrics_exposition(self) -> str:
+        self.publish_cluster_metrics()
+        return self.obs.render_metrics()
+
+
+class _Rejected(Exception):
+    """Internal: a submission was refused before dispatch."""
+
+    def __init__(self, message: str, status: int, reason: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+
+class _CoordinatorHandler(JsonRequestHandler):
+    WAIT_GRACE_S = 5.0
+
+    KNOWN_PATHS = (
+        "/estimate", "/sweep", "/healthz", "/readyz", "/stats", "/metrics",
+        "/cluster/register", "/cluster/heartbeat", "/cluster/cache",
+        "/cluster/decommission",
+    )
+
+    @property
+    def coordinator(self) -> ClusterCoordinator:
+        return self.server.coordinator  # type: ignore[attr-defined]
+
+    def record_http(self, label: str, status: int) -> None:
+        self.coordinator.obs.record_http(label, status)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self.respond_json(200, {
+                "status": "alive",
+                "role": "coordinator",
+                "draining": self.coordinator.drain_controller.draining,
+            })
+        elif self.path == "/readyz":
+            status, body = self.coordinator.readyz_snapshot()
+            self.respond_json(status, body)
+        elif self.path == "/stats":
+            self.respond_json(200, self.coordinator.stats_snapshot())
+        elif self.path == "/metrics":
+            self.respond_text(200, self.coordinator.metrics_exposition())
+        elif self.path.startswith("/cluster/cache"):
+            key = ""
+            if "?" in self.path:
+                from urllib.parse import parse_qs, urlsplit
+
+                query = parse_qs(urlsplit(self.path).query)
+                key = (query.get("key") or [""])[0]
+            if not key:
+                self.respond_json(400, {"status": "error",
+                                        "reason": "'key' is required"})
+                return
+            status, body = self.coordinator.cache_get(key)
+            self.respond_json(status, body)
+        else:
+            self.respond_json(404, {"status": "error",
+                                    "reason": "unknown path %s" % self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        body = self.read_json_body()
+        if body is None:
+            return
+        if self.path == "/estimate":
+            self._post_estimate(body)
+        elif self.path == "/sweep":
+            status, reply = self.coordinator.run_sweep(body)
+            self.respond_json(status, reply)
+        elif self.path == "/cluster/register":
+            status, reply = self.coordinator.register_worker(
+                str(body.get("worker_id") or ""), str(body.get("url") or "")
+            )
+            self.respond_json(status, reply)
+        elif self.path == "/cluster/heartbeat":
+            status, reply = self.coordinator.heartbeat(body)
+            self.respond_json(status, reply)
+        elif self.path == "/cluster/cache":
+            status, reply = self.coordinator.cache_put(body)
+            self.respond_json(status, reply)
+        elif self.path == "/cluster/decommission":
+            status, reply = self.coordinator.decommission_worker(
+                str(body.get("worker") or ""),
+                str(body.get("reason", "requested")),
+            )
+            self.respond_json(status, reply)
+        else:
+            self.respond_json(404, {"status": "error",
+                                    "reason": "unknown path %s" % self.path})
+
+    def _post_estimate(self, body: Dict[str, Any]) -> None:
+        try:
+            request = parse_request(
+                body,
+                known_systems=system_names(),
+                default_deadline_s=(
+                    self.coordinator.config.default_deadline_s
+                ),
+            )
+        except BadRequest as exc:
+            self.respond_json(400, {"status": "error", "reason": str(exc)})
+            return
+        try:
+            pending, coalesced = self.coordinator.submit(request)
+        except _Rejected as exc:
+            self.respond_json(exc.status, {
+                "status": "rejected",
+                "reason": exc.reason,
+                "request_id": request.request_id,
+            })
+            return
+        if not pending.wait(request.deadline_s + self.WAIT_GRACE_S):
+            self.respond_json(504, {
+                "status": "error",
+                "reason": "deadline_exceeded",
+                "request_id": request.request_id,
+            })
+            return
+        reply = dict(pending.body)
+        if coalesced:
+            reply["coalesced"] = True
+        self.respond_json(pending.status, reply, pending.headers)
+
+
+def run_coordinator(
+    host: str,
+    port: int,
+    config: Optional[ClusterConfig] = None,
+    install_signals: bool = True,
+    quiet: bool = False,
+    ready_callback=None,
+) -> int:
+    """The body of ``repro cluster`` (coordinator half).
+
+    Serves HTTP, advances the membership state machine on the refresh
+    interval, and blocks until SIGTERM/SIGINT (or a programmatic drain)
+    — then exits 0.
+    """
+    coordinator = ClusterCoordinator(config)
+    httpd = QuietHTTPServer((host, port), _CoordinatorHandler)
+    httpd.coordinator = coordinator  # type: ignore[attr-defined]
+    restore = None
+    if install_signals:
+        restore = install_drain_signals(coordinator.drain_controller)
+
+    def refresher() -> None:
+        interval = coordinator.config.refresh_interval_s
+        while not coordinator.drain_controller.wait(interval):
+            coordinator.refresh_membership()
+            coordinator.publish_cluster_metrics()
+
+    refresh_thread = threading.Thread(
+        target=refresher, name="cluster-refresh", daemon=True
+    )
+    refresh_thread.start()
+    serve_thread = threading.Thread(
+        target=httpd.serve_forever, name="cluster-http", daemon=True
+    )
+    serve_thread.start()
+    if not quiet:
+        print("cluster coordinator listening on http://%s:%d "
+              "(heartbeat=%.1fs suspect=%.1fs dead=%.1fs limp=%.1fx) — "
+              "SIGTERM drains gracefully"
+              % (host, httpd.server_address[1],
+                 coordinator.config.heartbeat_interval_s,
+                 coordinator.config.membership.suspect_after_s,
+                 coordinator.config.membership.dead_after_s,
+                 coordinator.config.membership.limp_factor), flush=True)
+    if ready_callback is not None:
+        ready_callback(coordinator, httpd)
+    try:
+        while not coordinator.drain_controller.wait(0.2):
+            pass
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        if restore is not None:
+            restore()
+        if not quiet:
+            counters = coordinator._counters()
+            print("coordinator drain (%s): %d estimate(s), %d sweep "
+                  "point(s), %d redispatch(es)"
+                  % (coordinator.drain_controller.reason or "requested",
+                     counters["completed"],
+                     counters["sweep_points_completed"],
+                     counters["redispatches"]), flush=True)
+    return 0
+
+
+def run_cluster(
+    host: str,
+    port: int,
+    workers: int,
+    config: Optional[ClusterConfig] = None,
+    worker_slots: int = 1,
+    quiet: bool = False,
+    install_signals: bool = True,
+) -> int:
+    """The body of ``repro cluster``: coordinator + N worker processes.
+
+    Workers are separate OS processes running ``python -m repro worker``
+    pointed at the coordinator; they register themselves, so the
+    coordinator needs no foreknowledge of them.  On drain the workers
+    get SIGTERM (their own graceful path) and are killed only if they
+    ignore it.
+    """
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    processes: List[subprocess.Popen] = []
+
+    def spawn_workers(coordinator, httpd) -> None:
+        url = "http://%s:%d" % (host, httpd.server_address[1])
+        for index in range(workers):
+            command = [
+                sys.executable, "-m", "repro", "worker",
+                "--coordinator", url,
+                "--worker-id", "worker-%d" % index,
+                "--slots", str(worker_slots),
+            ]
+            processes.append(subprocess.Popen(
+                command, env=dict(os.environ)
+            ))
+        if not quiet:
+            print("spawned %d worker process(es) against %s"
+                  % (workers, url), flush=True)
+
+    try:
+        return run_coordinator(
+            host, port, config=config, install_signals=install_signals,
+            quiet=quiet, ready_callback=spawn_workers,
+        )
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        deadline = time.time() + 5.0
+        for process in processes:
+            remaining = max(0.1, deadline - time.time())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()

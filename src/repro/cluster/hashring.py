@@ -1,0 +1,95 @@
+"""Consistent-hash sharding of request fingerprints onto workers.
+
+The coordinator routes every request by its structural fingerprint
+(:func:`repro.service.api.request_fingerprint` for estimates, the job
+label for sweep points), so identical requests land on the same worker
+— which is what makes in-flight coalescing effective cluster-wide and
+keeps each worker's process-local §4.2 caches hot for its shard.
+
+Classic consistent hashing with virtual nodes: each worker owns
+``replicas`` points on a 64-bit ring, a key routes to the first point
+clockwise from its own hash, and adding/removing one worker moves only
+the keys of the shard it gains/loses (~1/N of the space), never
+reshuffling everyone else's cache locality.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _hash64(key: str) -> int:
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys to node names."""
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []  # sorted (hash, node)
+        self._nodes: Dict[str, bool] = {}
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Add ``node`` (idempotent)."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return
+        self._nodes[node] = True
+        for replica in range(self.replicas):
+            point = (_hash64("%s#%d" % (node, replica)), node)
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        """Remove ``node`` (idempotent); its shard flows to successors."""
+        if node not in self._nodes:
+            return
+        del self._nodes[node]
+        self._points = [p for p in self._points if p[1] != node]
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The node owning ``key`` (``None`` on an empty ring)."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, (_hash64(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def preference(self, key: str, count: Optional[int] = None) -> List[str]:
+        """Distinct nodes in ring order starting at ``key``'s owner.
+
+        The first entry is :meth:`node_for`'s answer; the rest are the
+        re-dispatch order when earlier choices are dead or quarantined.
+        """
+        if not self._points:
+            return []
+        wanted = len(self._nodes) if count is None else min(count,
+                                                           len(self._nodes))
+        start = bisect.bisect(self._points, (_hash64(key), ""))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) >= wanted:
+                    break
+        return seen

@@ -1,0 +1,107 @@
+"""Cluster wire protocol: JSON messages and the stdlib HTTP client.
+
+Everything on the wire is JSON over HTTP (no new dependencies), and
+every job travels as a *description* — the same rule the process pool
+enforces (:mod:`repro.parallel.jobs`), extended across sockets via
+:func:`repro.parallel.jobs.spec_to_wire`.  Two job kinds exist:
+
+* ``estimate`` — one service request, carried as its validated
+  :meth:`~repro.service.api.EstimateRequest.to_payload` snapshot; the
+  worker rebuilds the request, arms the deadline watchdog and its own
+  circuit breakers, and funnels through ``pool.execute_spec``;
+* ``spec`` — a generic serialized :class:`~repro.parallel.jobs.JobSpec`
+  (sweep points use this), executed verbatim by ``execute_spec``.
+
+Transport failures (connection refused, reset, socket timeout) raise
+:class:`TransportError` — the signal that distinguishes "the worker
+died or wedged" (re-dispatch: safe, byte-identical by deterministic
+seeds) from "the job ran and answered an error" (never re-dispatched).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+
+__all__ = [
+    "JOB_KIND_ESTIMATE",
+    "JOB_KIND_SPEC",
+    "TransportError",
+    "ProtocolError",
+    "http_json",
+    "post_json",
+    "get_json",
+]
+
+JOB_KIND_ESTIMATE = "estimate"
+JOB_KIND_SPEC = "spec"
+
+
+class TransportError(ReproError):
+    """The peer could not be reached or vanished mid-exchange."""
+
+
+class ProtocolError(ReproError):
+    """The peer answered something that is not valid cluster JSON."""
+
+
+def _split(url: str) -> Tuple[str, int]:
+    parts = urlsplit(url)
+    if parts.scheme != "http" or parts.hostname is None:
+        raise ProtocolError("cluster URLs must be http://host:port, got %r"
+                            % url)
+    return parts.hostname, parts.port or 80
+
+
+def http_json(method: str, url: str, path: str,
+              body: Optional[Dict[str, Any]] = None,
+              timeout_s: float = 30.0) -> Tuple[int, Dict[str, Any]]:
+    """One JSON request/response exchange; returns ``(status, body)``.
+
+    Raises :class:`TransportError` on any socket-level failure and
+    :class:`ProtocolError` on a non-JSON response body.
+    """
+    host, port = _split(url)
+    connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True)
+            headers["Content-Type"] = "application/json"
+        try:
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, socket.timeout, http.client.HTTPException) as exc:
+            raise TransportError(
+                "%s %s%s failed: %s: %s"
+                % (method, url, path, type(exc).__name__, exc)
+            ) from exc
+        try:
+            decoded = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(
+                "%s%s answered non-JSON (%d bytes)" % (url, path, len(raw))
+            ) from exc
+        if not isinstance(decoded, dict):
+            raise ProtocolError("%s%s answered a JSON %s, expected object"
+                                % (url, path, type(decoded).__name__))
+        return response.status, decoded
+    finally:
+        connection.close()
+
+
+def post_json(url: str, path: str, body: Dict[str, Any],
+              timeout_s: float = 30.0) -> Tuple[int, Dict[str, Any]]:
+    return http_json("POST", url, path, body=body, timeout_s=timeout_s)
+
+
+def get_json(url: str, path: str,
+             timeout_s: float = 30.0) -> Tuple[int, Dict[str, Any]]:
+    return http_json("GET", url, path, timeout_s=timeout_s)

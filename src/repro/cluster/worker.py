@@ -1,0 +1,496 @@
+"""The cluster worker node (``repro worker``).
+
+One worker is a thin HTTP shell around the existing single-process
+execution funnel: every job it accepts — a sweep point or a service
+estimate — runs through :func:`repro.parallel.pool.execute_spec`, the
+same path ``repro explore --jobs N`` and ``repro serve`` use.  The
+worker adds exactly three things:
+
+* **registration + heartbeats** — it announces itself to the
+  coordinator at startup (bounded retries with the resilience layer's
+  deterministic backoff) and then heartbeats on a fixed interval,
+  carrying queue depth, in-flight count, completed count and mean run
+  seconds.  A heartbeat answered ``unknown`` (the coordinator declared
+  this worker dead, quarantined it, or restarted) triggers a
+  re-registration, which resets the coordinator-side statistics;
+* **the warm-cache bridge** — before a cold warm-start job it pulls the
+  coordinator's shared §4.2 cache tier (fingerprint-guarded adoption),
+  and after a warm run it pushes its updated snapshot back, so cache
+  convergence transfers across nodes;
+* **decommission** — ``POST /decommission`` stops admission (503 on
+  subsequent ``/run``), which makes the coordinator re-queue this
+  worker's shard onto its ring successors (the checkpoint-backed shard
+  handoff described in docs/cluster.md).
+
+``--limp-s`` injects an artificial per-job *and* per-heartbeat delay —
+the fault hook the limplock tests and the cluster smoke script use to
+manufacture an alive-but-slow node.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.parallel.jobs import JobError, JobSpec, job_seed, spec_from_wire
+from repro.parallel.pool import execute_spec
+from repro.parallel.runners import seed_warm_cache, warm_cache_state
+from repro.cluster.protocol import (
+    JOB_KIND_ESTIMATE,
+    JOB_KIND_SPEC,
+    TransportError,
+    get_json,
+    post_json,
+)
+from repro.core.explorer import DesignPoint, design_point_payload
+from repro.core.report import EnergyReport
+from repro.resilience.supervisor import ResilienceConfig, retry_backoff_s
+from repro.service.api import BadRequest, parse_request
+from repro.service.breaker import BreakerRegistry
+from repro.service.httpbase import JsonRequestHandler, QuietHTTPServer
+from repro.service.lifecycle import DrainController, install_drain_signals
+from repro.systems import builder_spec, system_names
+
+__all__ = ["WorkerConfig", "ClusterWorker", "run_worker"]
+
+
+@dataclass
+class WorkerConfig:
+    """Tuning knobs of one worker node (see docs/cluster.md)."""
+
+    coordinator_url: str
+    worker_id: str = ""
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Seconds between heartbeats; the coordinator's ``suspect_after_s``
+    #: must exceed this or healthy workers flap to suspect.
+    heartbeat_interval_s: float = 1.0
+    #: Concurrent job slots; arrivals beyond this queue (and the queue
+    #: depth rides the next heartbeat).
+    slots: int = 1
+    #: Fault injection: sleep this long before each run *and* before
+    #: each heartbeat — manufactures an alive-but-slow (limplocked)
+    #: node for tests and the cluster smoke script.
+    limp_s: float = 0.0
+    #: Registration retry budget (deterministic backoff between tries).
+    register_retries: int = 10
+    register_backoff_s: float = 0.1
+    register_backoff_cap_s: float = 2.0
+    breaker_threshold: int = 3
+    breaker_recovery_s: float = 30.0
+    #: Participate in the coordinator's shared warm-cache tier.
+    warm_tier: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            self.worker_id = "worker-%d" % os.getpid()
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.slots < 1:
+            raise ValueError("slots must be >= 1")
+        if self.limp_s < 0:
+            raise ValueError("limp_s must be non-negative")
+
+
+class ClusterWorker:
+    """HTTP-agnostic worker core (the handler is a thin adapter).
+
+    Every job funnels through :func:`execute_spec`, so seeding is
+    identical to the process pool's: re-dispatching a job to a
+    different worker reproduces the original result byte for byte.
+    """
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.url = ""  # set once the HTTP server knows its port
+        self.drain = DrainController()
+        self.breakers = BreakerRegistry(
+            failure_threshold=config.breaker_threshold,
+            recovery_s=config.breaker_recovery_s,
+        )
+        self._lock = threading.Lock()
+        self._slots = threading.Semaphore(config.slots)
+        self._waiting = 0
+        self._in_flight = 0
+        self._completed = 0
+        self._failed = 0
+        self._mean_run_s = 0.0
+
+    # -- load snapshot (heartbeat payload) -------------------------------
+
+    def load_snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "queue_depth": self._waiting,
+                "in_flight": self._in_flight,
+                "completed": self._completed,
+                "failed": self._failed,
+                "mean_run_s": round(self._mean_run_s, 6),
+            }
+
+    # -- registration / heartbeats ---------------------------------------
+
+    def register(self) -> bool:
+        """Announce this worker to the coordinator (bounded retries)."""
+        body = {"worker_id": self.config.worker_id, "url": self.url}
+        for attempt in range(1, self.config.register_retries + 1):
+            try:
+                status, _ = post_json(
+                    self.config.coordinator_url, "/cluster/register", body,
+                    timeout_s=5.0,
+                )
+                if status == 200:
+                    return True
+            except TransportError:
+                pass
+            time.sleep(retry_backoff_s(
+                "register:%s" % self.config.worker_id, attempt,
+                self.config.register_backoff_s,
+                self.config.register_backoff_cap_s,
+            ))
+        return False
+
+    def heartbeat_once(self) -> None:
+        """One heartbeat; re-registers if the coordinator forgot us."""
+        body = dict(self.load_snapshot(),
+                    worker_id=self.config.worker_id)
+        try:
+            status, reply = post_json(
+                self.config.coordinator_url, "/cluster/heartbeat", body,
+                timeout_s=5.0,
+            )
+        except TransportError:
+            return  # coordinator briefly unreachable; next beat retries
+        if status == 200 and reply.get("status") == "unknown":
+            # Declared dead or quarantined (or the coordinator
+            # restarted): re-register, which resets the coordinator's
+            # statistics for this worker — a recovered limper starts
+            # with a clean latency record.
+            self.register()
+
+    def heartbeat_loop(self) -> None:
+        while not self.drain.wait(self.config.heartbeat_interval_s):
+            if self.config.limp_s > 0:
+                time.sleep(self.config.limp_s)
+            self.heartbeat_once()
+
+    # -- job execution ---------------------------------------------------
+
+    def handle_run(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Execute one wire job; returns ``(status, response_body)``."""
+        if self.drain.draining:
+            return 503, {
+                "status": "rejected",
+                "reason": "draining",
+                "worker": self.config.worker_id,
+            }
+        kind = body.get("kind")
+        if kind not in (JOB_KIND_SPEC, JOB_KIND_ESTIMATE):
+            return 400, {
+                "status": "error",
+                "reason": "unknown job kind %r" % kind,
+            }
+        acquired = self._slots.acquire(blocking=False)
+        if not acquired:
+            with self._lock:
+                self._waiting += 1
+            self._slots.acquire()
+            with self._lock:
+                self._waiting -= 1
+        with self._lock:
+            self._in_flight += 1
+        try:
+            if self.config.limp_s > 0:
+                time.sleep(self.config.limp_s)
+            if kind == JOB_KIND_SPEC:
+                status, reply = self._run_spec(body)
+            else:
+                status, reply = self._run_estimate(body)
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+            self._slots.release()
+        with self._lock:
+            if status == 200:
+                self._completed += 1
+                run_s = float(reply.get("run_seconds", 0.0))
+                self._mean_run_s = (
+                    run_s if self._completed == 1
+                    else 0.8 * self._mean_run_s + 0.2 * run_s
+                )
+            else:
+                self._failed += 1
+        reply.setdefault("worker", self.config.worker_id)
+        return status, reply
+
+    def _run_spec(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            spec = spec_from_wire(body.get("job"))
+        except JobError as exc:
+            return 400, {"status": "error", "reason": str(exc)}
+        warm_key = ""
+        if self.config.warm_tier and spec.payload.get("warm_start"):
+            warm_key = str(spec.payload.get("warm_key") or "")
+            if warm_key:
+                self._pull_warm_tier(warm_key)
+        try:
+            value, seconds, _, _ = execute_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - job failure is data
+            return 500, {
+                "status": "error",
+                "reason": "job_failed",
+                "label": spec.label,
+                "detail": "%s: %s" % (type(exc).__name__, exc),
+            }
+        if warm_key:
+            self._push_warm_tier(warm_key)
+        result = self._serialize_value(value)
+        if result is None:
+            return 500, {
+                "status": "error",
+                "reason": "unserializable_result",
+                "label": spec.label,
+                "detail": "job returned %r" % type(value).__name__,
+            }
+        return 200, {
+            "status": "ok",
+            "kind": JOB_KIND_SPEC,
+            "label": spec.label,
+            "run_seconds": seconds,
+            "result": result,
+        }
+
+    @staticmethod
+    def _serialize_value(value: Any) -> Optional[Dict[str, Any]]:
+        import dataclasses
+        import json
+
+        if isinstance(value, DesignPoint):
+            return {"type": "design_point",
+                    "payload": design_point_payload(value)}
+        if isinstance(value, EnergyReport):
+            return {"type": "energy_report",
+                    "payload": dataclasses.asdict(value)}
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            return None
+        return {"type": "json", "payload": value}
+
+    def _run_estimate(
+        self, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            request = parse_request(
+                body.get("request"), known_systems=system_names()
+            )
+        except BadRequest as exc:
+            return 400, {"status": "error", "reason": str(exc)}
+        # Mirror the single-node service's execution contract
+        # (CoEstimationService._execute_in_context): the request's
+        # deadline arms the in-run watchdog, and persistent per-site
+        # failures trip this worker's own breakers.
+        resilience = ResilienceConfig(
+            fault_plan=request.fault_plan,
+            watchdog_s=request.deadline_s,
+            max_retries=request.fault_retries,
+            breaker_registry=self.breakers.scoped(request.system),
+        )
+        builder, builder_kwargs = builder_spec(request.system)
+        spec = JobSpec(
+            fn="repro.parallel.runners:run_estimate",
+            payload={
+                "builder": builder,
+                "builder_kwargs": dict(builder_kwargs),
+                "strategy": request.strategy,
+                "label": "%s/%s" % (request.system, request.strategy),
+                "resilience": resilience,
+            },
+            label=request.request_id,
+            seed=job_seed(0, request.system),
+            trace=body.get("trace"),
+        )
+        try:
+            report, seconds, _, _ = execute_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - job failure is data
+            return 500, {
+                "status": "error",
+                "reason": "estimation_failed",
+                "request_id": request.request_id,
+                "detail": "%s: %s" % (type(exc).__name__, exc),
+            }
+        import dataclasses
+
+        degraded = any(
+            count > 0
+            for level, count in report.provenance.items()
+            if level != "exact"
+        )
+        return 200, {
+            "status": "ok",
+            "kind": JOB_KIND_ESTIMATE,
+            "request_id": request.request_id,
+            "system": request.system,
+            "strategy": request.strategy,
+            "total_energy_j": report.total_energy_j,
+            "provenance": dict(report.provenance),
+            "by_provenance": dict(report.by_provenance),
+            "degraded": degraded,
+            "breakers": {
+                name: snap["state"]
+                for name, snap in self.breakers.snapshot().items()
+                if name.startswith(request.system + ":")
+            },
+            "run_seconds": seconds,
+            "report": dataclasses.asdict(report),
+        }
+
+    # -- warm-cache tier bridge ------------------------------------------
+
+    def _pull_warm_tier(self, warm_key: str) -> None:
+        """Seed a cold local cache from the coordinator's tier."""
+        try:
+            status, reply = get_json(
+                self.config.coordinator_url,
+                "/cluster/cache?key=%s" % warm_key, timeout_s=5.0,
+            )
+        except TransportError:
+            return
+        state = reply.get("state") if status == 200 else None
+        if isinstance(state, dict):
+            seed_warm_cache(warm_key, state)
+
+    def _push_warm_tier(self, warm_key: str) -> None:
+        """Offer the local cache snapshot to the coordinator's tier."""
+        state = warm_cache_state(warm_key)
+        if state is None:
+            return
+        try:
+            post_json(
+                self.config.coordinator_url, "/cluster/cache",
+                {"key": warm_key, "state": state,
+                 "worker": self.config.worker_id},
+                timeout_s=5.0,
+            )
+        except TransportError:
+            pass
+
+    # -- decommission ----------------------------------------------------
+
+    def decommission(self, reason: str = "requested") -> Dict[str, Any]:
+        self.drain.request_drain(reason)
+        return dict(self.load_snapshot(),
+                    status="draining",
+                    worker=self.config.worker_id)
+
+
+class _WorkerHandler(JsonRequestHandler):
+    KNOWN_PATHS = ("/healthz", "/run", "/decommission")
+
+    @property
+    def worker(self) -> ClusterWorker:
+        return self.server.worker  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self.respond_json(200, dict(
+                self.worker.load_snapshot(),
+                status="alive",
+                worker=self.worker.config.worker_id,
+                draining=self.worker.drain.draining,
+            ))
+        else:
+            self.respond_json(404, {"status": "error",
+                                    "reason": "unknown path %s" % self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/run":
+            body = self.read_json_body()
+            if body is None:
+                return
+            status, reply = self.worker.handle_run(body)
+            self.respond_json(status, reply)
+        elif self.path == "/decommission":
+            body = self.read_json_body()
+            if body is None:
+                return
+            self.respond_json(
+                200,
+                self.worker.decommission(
+                    str(body.get("reason", "requested"))
+                ),
+            )
+        else:
+            self.respond_json(404, {"status": "error",
+                                    "reason": "unknown path %s" % self.path})
+
+
+def run_worker(
+    config: WorkerConfig,
+    install_signals: bool = True,
+    quiet: bool = False,
+    ready_callback=None,
+) -> int:
+    """The body of ``repro worker``: serve jobs until drained.
+
+    Binds the HTTP server (``port=0`` picks a free port), registers
+    with the coordinator, heartbeats until a SIGTERM or a
+    ``POST /decommission`` requests a drain, then exits 0.  A failed
+    registration (coordinator unreachable after the retry budget)
+    exits 1.
+    """
+    worker = ClusterWorker(config)
+    httpd = QuietHTTPServer((config.host, config.port), _WorkerHandler)
+    httpd.worker = worker  # type: ignore[attr-defined]
+    worker.url = "http://%s:%d" % (config.host, httpd.server_address[1])
+    restore = None
+    if install_signals:
+        restore = install_drain_signals(worker.drain)
+    serve_thread = threading.Thread(
+        target=httpd.serve_forever, name="cluster-worker-http", daemon=True
+    )
+    serve_thread.start()
+    try:
+        if not worker.register():
+            if not quiet:
+                print("worker %s could not register with %s after %d "
+                      "attempt(s)" % (config.worker_id,
+                                      config.coordinator_url,
+                                      config.register_retries), flush=True)
+            return 1
+        heartbeat_thread = threading.Thread(
+            target=worker.heartbeat_loop, name="cluster-worker-heartbeat",
+            daemon=True,
+        )
+        heartbeat_thread.start()
+        if not quiet:
+            print("cluster worker %s serving on %s (slots=%d) — "
+                  "coordinator %s"
+                  % (config.worker_id, worker.url, config.slots,
+                     config.coordinator_url), flush=True)
+        if ready_callback is not None:
+            ready_callback(worker, httpd)
+        while not worker.drain.wait(0.2):
+            pass
+        # Give in-flight runs a moment to finish before the server goes
+        # away; new /run calls are already refused with 503.
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if worker.load_snapshot()["in_flight"] == 0:
+                break
+            time.sleep(0.05)
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        if restore is not None:
+            restore()
+        if not quiet:
+            snapshot = worker.load_snapshot()
+            print("worker %s drained (%s): %d job(s) completed, %d failed"
+                  % (config.worker_id,
+                     worker.drain.reason or "requested",
+                     snapshot["completed"], snapshot["failed"]), flush=True)
+    return 0

@@ -149,11 +149,14 @@ class EnergyCache:
     # master, not folded into the path energy), a cache warmed in one
     # run can legally seed the next session.
 
-    def to_json(self) -> str:
-        """Serialize the cache contents (and thresholds) to JSON."""
-        import json
+    def to_payload(self) -> Dict:
+        """JSON-able snapshot of the cache contents (and thresholds).
 
-        payload = {
+        This is the unit of cache exchange: the warm-start file format
+        wraps it (:meth:`to_json`) and the cluster coordinator's shared
+        cache tier ships it between nodes verbatim.
+        """
+        return {
             "config": {
                 "thresh_variance": self.config.thresh_variance,
                 "thresh_iss_calls": self.config.thresh_iss_calls,
@@ -172,14 +175,10 @@ class EnergyCache:
                 for key, stats in self.entries.items()
             ],
         }
-        return json.dumps(payload, indent=1)
 
     @classmethod
-    def from_json(cls, text: str) -> "EnergyCache":
-        """Restore a cache serialized with :meth:`to_json`."""
-        import json
-
-        payload = json.loads(text)
+    def from_payload(cls, payload: Dict) -> "EnergyCache":
+        """Restore a cache from its :meth:`to_payload` snapshot."""
         config = EnergyCacheConfig(**payload["config"])
         cache = cls(config)
         for entry in payload["entries"]:
@@ -192,6 +191,19 @@ class EnergyCache:
             )
             cache.entries[_key_from_json(entry["key"])] = stats
         return cache
+
+    def to_json(self) -> str:
+        """Serialize the cache contents (and thresholds) to JSON."""
+        import json
+
+        return json.dumps(self.to_payload(), indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EnergyCache":
+        """Restore a cache serialized with :meth:`to_json`."""
+        import json
+
+        return cls.from_payload(json.loads(text))
 
 
 def _key_to_json(key: Tuple):
@@ -425,3 +437,34 @@ class WarmStartCache:
                 self.adoptions += 1
         self._fingerprints = fingerprints
         return CachingStrategy(cache=self._cache)
+
+    # -- cross-node exchange (the cluster's shared cache tier) ---------
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._cache.entries) if self._cache is not None else 0
+
+    def export_state(self) -> Optional[Dict]:
+        """JSON-able (fingerprints, cache) snapshot; ``None`` when cold.
+
+        The fingerprints travel *with* the entries, so an importing
+        node applies the same per-CFSM validity guard the local path
+        applies: adopted entries whose CFSM changed are evicted on the
+        next :meth:`strategy_for`, never silently reused.
+        """
+        if self._cache is None or not self._cache.entries:
+            return None
+        return {
+            "fingerprints": dict(self._fingerprints),
+            "cache": self._cache.to_payload(),
+        }
+
+    def adopt_state(self, state: Dict) -> int:
+        """Replace this cache with an exported snapshot; returns the
+        adopted entry count.  The §4.2 statistics are means — merging
+        two converged tables would double-count observations, so
+        adoption is wholesale, guarded by the shipped fingerprints."""
+        self._cache = EnergyCache.from_payload(state["cache"])
+        self._fingerprints = dict(state.get("fingerprints") or {})
+        self.adoptions += 1
+        return len(self._cache.entries)

@@ -175,6 +175,35 @@ def design_point_payload(point: DesignPoint) -> Dict[str, Any]:
     }
 
 
+def sweep_summary_rows(points: Sequence[DesignPoint]) -> List[Dict[str, Any]]:
+    """Deterministic summary rows of a sweep (no timing fields).
+
+    Timing (``*_seconds``) is excluded, so a resumed, re-dispatched, or
+    cluster-sharded sweep produces rows byte-identical to an
+    uninterrupted single-process run — the property the kill-mid-sweep
+    tests assert.  ``repro explore --out`` and the cluster coordinator's
+    ``/sweep`` response both emit exactly these rows.
+    """
+    import dataclasses
+
+    rows = []
+    for point in points:
+        report = {
+            key: value
+            for key, value in dataclasses.asdict(point.report).items()
+            if not key.endswith("_seconds")
+        }
+        rows.append(
+            {
+                "dma_block_words": point.dma_block_words,
+                "priority_label": point.priority_label,
+                "total_energy_j": point.total_energy_j,
+                "report": report,
+            }
+        )
+    return rows
+
+
 def design_point_from_payload(payload: Dict[str, Any]) -> DesignPoint:
     """Rebuild a :class:`DesignPoint` from its checkpoint payload.
 

@@ -127,6 +127,16 @@ HELP_TEXT: Dict[str, str] = {
         "Events recorded by the flight recorder",
     names.METRIC_FLIGHT_DUMPS:
         "Flight-recorder dumps written to disk",
+    names.METRIC_CLUSTER_WORKERS:
+        "Cluster workers by membership state",
+    names.METRIC_CLUSTER_HEARTBEAT_AGE:
+        "Seconds since each worker's last heartbeat",
+    names.METRIC_CLUSTER_WORKER_QUEUE_DEPTH:
+        "Worker-reported queue depth from the latest heartbeat",
+    names.METRIC_CLUSTER_REDISPATCHES:
+        "Jobs re-dispatched away from dead or quarantined workers",
+    names.METRIC_CLUSTER_QUARANTINES:
+        "Workers quarantined by the limplock detector",
 }
 
 

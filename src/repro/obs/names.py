@@ -46,6 +46,18 @@ __all__ = [
     "EVENT_DRAIN_STEP",
     "EVENT_FLIGHT_DUMP",
     "SERVICE_EVENTS",
+    "METRIC_CLUSTER_WORKERS",
+    "METRIC_CLUSTER_HEARTBEAT_AGE",
+    "METRIC_CLUSTER_WORKER_QUEUE_DEPTH",
+    "METRIC_CLUSTER_REDISPATCHES",
+    "METRIC_CLUSTER_QUARANTINES",
+    "EVENT_WORKER_REGISTERED",
+    "EVENT_WORKER_STATE",
+    "EVENT_WORKER_QUARANTINED",
+    "EVENT_JOB_REDISPATCHED",
+    "EVENT_SHARD_HANDOFF",
+    "EVENT_SWEEP_STEP",
+    "CLUSTER_EVENTS",
 ]
 
 # -- metrics (registry names; Prometheus spelling derived at render) ----
@@ -106,6 +118,34 @@ EVENT_ESTIMATOR_TIMEOUT = "estimator.watchdog_timeout"
 EVENT_DRAIN_STEP = "drain.step"
 EVENT_FLIGHT_DUMP = "flightrecorder.dump"
 
+# -- cluster metrics (coordinator-exported) -----------------------------
+
+#: Workers per membership state.  Labels: ``state``.
+METRIC_CLUSTER_WORKERS = "cluster.workers"
+
+#: Seconds since each worker's last heartbeat (gauge).  Labels:
+#: ``worker``.
+METRIC_CLUSTER_HEARTBEAT_AGE = "cluster.heartbeat_age_seconds"
+
+#: Worker-reported queue depth from the latest heartbeat (gauge).
+#: Labels: ``worker``.
+METRIC_CLUSTER_WORKER_QUEUE_DEPTH = "cluster.worker_queue_depth"
+
+#: Jobs re-dispatched away from dead/quarantined workers (counter).
+METRIC_CLUSTER_REDISPATCHES = "cluster.redispatches"
+
+#: Workers quarantined by the limplock detector (counter).
+METRIC_CLUSTER_QUARANTINES = "cluster.limplock_quarantines"
+
+# -- cluster structured-log / flight-recorder event names ---------------
+
+EVENT_WORKER_REGISTERED = "worker.registered"
+EVENT_WORKER_STATE = "worker.state_change"
+EVENT_WORKER_QUARANTINED = "worker.quarantined"
+EVENT_JOB_REDISPATCHED = "job.redispatched"
+EVENT_SHARD_HANDOFF = "shard.handoff"
+EVENT_SWEEP_STEP = "sweep.step"
+
 #: Every event name the service can emit — the schema contract the
 #: docs and the lint-adjacent tests check against.
 SERVICE_EVENTS: Tuple[str, ...] = (
@@ -124,4 +164,17 @@ SERVICE_EVENTS: Tuple[str, ...] = (
     EVENT_ESTIMATOR_TIMEOUT,
     EVENT_DRAIN_STEP,
     EVENT_FLIGHT_DUMP,
+)
+
+#: Every event name the cluster coordinator can emit, *in addition to*
+#: the service set (the coordinator reuses EVENT_COALESCED and the
+#: drain events).  A separate tuple on purpose: the single-node
+#: service's event contract is unchanged by the cluster layer.
+CLUSTER_EVENTS: Tuple[str, ...] = (
+    EVENT_WORKER_REGISTERED,
+    EVENT_WORKER_STATE,
+    EVENT_WORKER_QUARANTINED,
+    EVENT_JOB_REDISPATCHED,
+    EVENT_SHARD_HANDOFF,
+    EVENT_SWEEP_STEP,
 )

@@ -24,7 +24,15 @@ simulation that is expensive — and each worker's process-wide caches
 make repeated rebuilding cheaper still).
 """
 
-from repro.parallel.jobs import JobError, JobResult, JobSpec, job_seed, resolve_callable
+from repro.parallel.jobs import (
+    JobError,
+    JobResult,
+    JobSpec,
+    job_seed,
+    resolve_callable,
+    spec_from_wire,
+    spec_to_wire,
+)
 from repro.parallel.merge import (
     merge_metrics_snapshots,
     merged_chrome_trace_events,
@@ -42,4 +50,6 @@ __all__ = [
     "merged_chrome_trace_events",
     "resolve_callable",
     "run_jobs",
+    "spec_from_wire",
+    "spec_to_wire",
 ]

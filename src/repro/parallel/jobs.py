@@ -5,11 +5,19 @@ A job is a *description*, never a live object: the function is named by
 pickles by reference), and the payload is a dict of picklable keyword
 arguments.  The worker resolves the name, seeds its RNG from the job's
 deterministic seed, and calls the function.
+
+Descriptions also travel across *sockets*: :func:`spec_to_wire` /
+:func:`spec_from_wire` round-trip a spec through JSON for the cluster
+coordinator (:mod:`repro.cluster`), which dispatches the same specs the
+process pool runs — the stricter constraint being that the function
+must be named by string and the payload must be JSON-serializable (no
+pickled callables cross machine boundaries).
 """
 
 from __future__ import annotations
 
 import importlib
+import json
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -90,6 +98,65 @@ class JobSpec:
     max_retries: int = 1
     collect_telemetry: bool = False
     trace: Optional[Dict[str, str]] = None
+
+
+def spec_to_wire(spec: JobSpec) -> Dict[str, Any]:
+    """JSON-able snapshot of a spec for cross-socket dispatch.
+
+    Stricter than pickling: ``fn`` must be a ``"module:callable"``
+    string and the payload must survive JSON (live callables and
+    simulator objects never cross machine boundaries).  Raises
+    :class:`JobError` naming the offending field otherwise.
+    """
+    if not isinstance(spec.fn, str):
+        raise JobError(
+            "wire jobs need fn as a 'module:callable' string, got %r"
+            % (spec.fn,)
+        )
+    try:
+        json.dumps(spec.payload)
+    except (TypeError, ValueError) as exc:
+        raise JobError(
+            "wire job payload for %r is not JSON-serializable: %s"
+            % (spec.label, exc)
+        ) from exc
+    return {
+        "fn": spec.fn,
+        "payload": dict(spec.payload),
+        "label": spec.label,
+        "seed": spec.seed,
+        "timeout_s": spec.timeout_s,
+        "max_retries": spec.max_retries,
+        "collect_telemetry": spec.collect_telemetry,
+        "trace": dict(spec.trace) if spec.trace else None,
+    }
+
+
+def spec_from_wire(wire: Dict[str, Any]) -> JobSpec:
+    """Rebuild a :class:`JobSpec` from its :func:`spec_to_wire` form."""
+    if not isinstance(wire, dict):
+        raise JobError("wire job must be a JSON object, got %r" % (wire,))
+    fn = wire.get("fn")
+    if not isinstance(fn, str) or ":" not in fn:
+        raise JobError("wire job fn must be 'module:callable', got %r"
+                       % (fn,))
+    payload = wire.get("payload", {})
+    if not isinstance(payload, dict):
+        raise JobError("wire job payload must be an object, got %r"
+                       % (payload,))
+    timeout_s = wire.get("timeout_s")
+    if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+        raise JobError("wire job timeout_s must be a number or null")
+    return JobSpec(
+        fn=fn,
+        payload=dict(payload),
+        label=str(wire.get("label", "")),
+        seed=int(wire.get("seed", 0)),
+        timeout_s=timeout_s,
+        max_retries=int(wire.get("max_retries", 1)),
+        collect_telemetry=bool(wire.get("collect_telemetry", False)),
+        trace=dict(wire["trace"]) if wire.get("trace") else None,
+    )
 
 
 @dataclass

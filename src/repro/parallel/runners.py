@@ -25,7 +25,14 @@ from repro.core.explorer import DesignPoint, DesignSpaceExplorer
 from repro.core.report import EnergyReport
 from repro.parallel.jobs import resolve_callable
 
-__all__ = ["run_explorer_point", "run_estimate", "reset_warm_caches"]
+__all__ = [
+    "run_explorer_point",
+    "run_estimate",
+    "reset_warm_caches",
+    "get_warm_cache",
+    "warm_cache_state",
+    "seed_warm_cache",
+]
 
 #: Per-process warm-start caches, keyed by sweep identity.  Lives for
 #: the worker's lifetime; ``fork`` workers start with the parent's
@@ -43,6 +50,36 @@ def _warm_cache(key: str) -> WarmStartCache:
     if cache is None:
         cache = _WARM_CACHES[key] = WarmStartCache()
     return cache
+
+
+def get_warm_cache(key: str) -> WarmStartCache:
+    """This process's warm-start cache for ``key`` (created on demand)."""
+    return _warm_cache(key)
+
+
+def warm_cache_state(key: str) -> Optional[Dict[str, Any]]:
+    """Exportable snapshot of the warm cache for ``key`` (None if cold).
+
+    The cluster worker pushes this to the coordinator's shared cache
+    tier after warm sweep points, so §4.2 convergence transfers across
+    nodes (fingerprint-guarded on adoption, see
+    :meth:`~repro.core.caching.WarmStartCache.export_state`).
+    """
+    cache = _WARM_CACHES.get(key)
+    return cache.export_state() if cache is not None else None
+
+
+def seed_warm_cache(key: str, state: Dict[str, Any]) -> int:
+    """Adopt a coordinator-shipped cache snapshot for ``key``.
+
+    Only a *cold* local cache adopts — a local cache that already holds
+    converged entries is further along than anything worth overwriting
+    mid-sweep.  Returns the adopted entry count (0 if skipped).
+    """
+    cache = _warm_cache(key)
+    if cache.entry_count > 0:
+        return 0
+    return cache.adopt_state(state)
 
 
 def run_explorer_point(

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 import threading
 import time as _time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -54,6 +55,7 @@ __all__ = [
     "ResilienceConfig",
     "ResilientEstimator",
     "call_with_watchdog",
+    "retry_backoff_s",
 ]
 
 #: The degradation ladder, most to least accurate.
@@ -70,6 +72,25 @@ class CorruptedEstimate(ReproError):
 
 class EstimatorUnavailable(ReproError):
     """A component estimator failed persistently (retries exhausted)."""
+
+
+def retry_backoff_s(site: str, attempt: int, base_s: float,
+                    cap_s: float) -> float:
+    """Exponential backoff with deterministic per-site jitter.
+
+    ``base_s * 2**(attempt-1)`` scaled by an equal-jitter factor in
+    ``[0.5, 1.0)`` derived from ``crc32(site:attempt)`` — NOT from the
+    :mod:`random` module, whose streams are seeded per job and must
+    produce byte-identical results whether or not a retry slept.  The
+    jitter decorrelates concurrent retries against one struggling
+    estimator (or cluster worker) while staying fully reproducible:
+    same site and attempt, same delay, every run.
+    """
+    if base_s <= 0 or attempt < 1:
+        return 0.0
+    raw = base_s * (2.0 ** (attempt - 1))
+    unit = zlib.crc32(("%s:%d" % (site, attempt)).encode("utf-8")) / 2**32
+    return min(cap_s, raw * (0.5 + unit / 2.0))
 
 
 def call_with_watchdog(fn: Callable, timeout_s: float):
@@ -122,6 +143,14 @@ class ResilienceConfig:
         max_energy_j: sanity bound of the result validator — a single
             transition above this is treated as corrupted (component
             energies in this framework are nano- to micro-joules).
+        backoff_base_s: first-retry backoff delay.  Retries against a
+            struggling estimator sleep ``retry_backoff_s(site, attempt,
+            base, cap)`` between attempts — exponential with
+            deterministic per-site jitter, so the retry storm a
+            transient fault can trigger is spread out without touching
+            the seeded RNG streams (results stay byte-identical; only
+            wall-clock changes).  0 disables backoff.
+        backoff_cap_s: upper bound of one backoff sleep.
         breaker_registry: optional circuit-breaker lookup with a
             ``get(site) -> breaker`` method (see
             :mod:`repro.service.breaker`).  Breakers remember persistent
@@ -137,6 +166,8 @@ class ResilienceConfig:
     max_retries: int = 1
     degradation: bool = True
     max_energy_j: float = 1e-3
+    backoff_base_s: float = 0.01
+    backoff_cap_s: float = 0.25
     breaker_registry: Optional[object] = field(
         default=None, compare=False, repr=False
     )
@@ -159,6 +190,10 @@ class ResilienceConfig:
             raise ValueError("watchdog_s must be positive (or None)")
         if self.max_energy_j <= 0:
             raise ValueError("max_energy_j must be positive")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_cap_s < 0:
+            raise ValueError("backoff_cap_s must be non-negative")
 
 
 @dataclass
@@ -209,6 +244,7 @@ class ResilientEstimator:
         self._shadow_by_path: Dict[Tuple, _ShadowStats] = {}
         self._shadow_by_transition: Dict[Tuple, _ShadowStats] = {}
         self.retries = 0
+        self.backoff_seconds = 0.0
         self.watchdog_timeouts = 0
         self.corrupted = 0
         self.failures = 0
@@ -326,6 +362,18 @@ class ResilientEstimator:
                     ) from failure
                 self.retries += 1
                 self._count("resilience.retries")
+                # Back off before the next attempt: exponential with
+                # deterministic per-site jitter, outside the watchdog
+                # and outside the seeded RNG streams, so only wall
+                # clock changes — never the estimate.
+                delay = retry_backoff_s(
+                    site, attempts,
+                    self.config.backoff_base_s, self.config.backoff_cap_s,
+                )
+                if delay > 0:
+                    self.backoff_seconds += delay
+                    self._count("resilience.backoff_sleeps")
+                    _time.sleep(delay)
 
         return supervised
 
@@ -491,6 +539,7 @@ class ResilientEstimator:
         """Flat counters for :class:`~repro.core.report.EnergyReport`."""
         stats: Dict[str, float] = {
             "retries": float(self.retries),
+            "backoff_seconds": round(self.backoff_seconds, 6),
             "watchdog_timeouts": float(self.watchdog_timeouts),
             "corrupted_estimates": float(self.corrupted),
             "persistent_failures": float(self.failures),

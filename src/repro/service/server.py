@@ -47,12 +47,11 @@ why drain + checkpoint + idempotent dedup exist.
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -85,6 +84,7 @@ from repro.service.api import (
 )
 from repro.service.breaker import BreakerRegistry
 from repro.service.dedup import InflightTable
+from repro.service.httpbase import JsonRequestHandler
 from repro.service.lifecycle import (
     DrainController,
     install_drain_signals,
@@ -804,77 +804,68 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
 
 
-class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-coestimation/1.0"
-    protocol_version = "HTTP/1.1"
-
+class _Handler(JsonRequestHandler):
     #: Grace added to a request's deadline while the handler waits for
     #: its pending result; drain always resolves earlier.
     WAIT_GRACE_S = 5.0
+
+    KNOWN_PATHS = (
+        "/estimate", "/healthz", "/readyz", "/stats", "/metrics",
+        "/debug/flightrecorder", "/debug/trace",
+    )
 
     @property
     def service(self) -> CoEstimationService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def log_message(self, fmt: str, *args) -> None:
-        if not getattr(self.server, "quiet", True):
-            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+    def record_http(self, label: str, status: int) -> None:
+        self.service.obs.record_http(label, status)
 
     # -- routes ---------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
-            self._respond(200, {
+            self.respond_json(200, {
                 "status": "alive",
                 "draining": self.service.drain_controller.draining,
             })
         elif self.path == "/readyz":
             if self.service.ready:
-                self._respond(200, {"status": "ready"})
+                self.respond_json(200, {"status": "ready"})
             else:
                 reason = ("draining" if self.service.drain_controller.draining
                           else "not_started")
-                self._respond(503, {"status": reason})
+                self.respond_json(503, {"status": reason})
         elif self.path == "/stats":
-            self._respond(200, self.service.stats_snapshot())
+            self.respond_json(200, self.service.stats_snapshot())
         elif self.path == "/metrics":
-            self._respond_text(200, self.service.metrics_exposition())
+            self.respond_text(200, self.service.metrics_exposition())
         elif self.path == "/debug/flightrecorder":
-            self._respond(200, self.service.obs.recorder.snapshot())
+            self.respond_json(200, self.service.obs.recorder.snapshot())
         elif self.path.startswith("/debug/trace/"):
             trace_id = self.path[len("/debug/trace/"):]
             spans = self.service.trace_spans(trace_id)
             if spans is None:
-                self._respond(404, {
+                self.respond_json(404, {
                     "status": "error",
                     "reason": "no recent trace %s" % trace_id,
                 })
             else:
-                self._respond(200, {
+                self.respond_json(200, {
                     "trace_id": trace_id,
                     "spans": [list(span) for span in spans],
                 })
         else:
-            self._respond(404, {"status": "error",
+            self.respond_json(404, {"status": "error",
                                 "reason": "unknown path %s" % self.path})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path != "/estimate":
-            self._respond(404, {"status": "error",
+            self.respond_json(404, {"status": "error",
                                 "reason": "unknown path %s" % self.path})
             return
-        try:
-            length = int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            self._respond(400, {"status": "error",
-                                "reason": "bad Content-Length"})
-            return
-        raw = self.rfile.read(length) if length else b"{}"
-        try:
-            body = json.loads(raw.decode("utf-8") or "{}")
-        except (UnicodeDecodeError, ValueError):
-            self._respond(400, {"status": "error",
-                                "reason": "body is not valid JSON"})
+        body = self.read_json_body()
+        if body is None:
             return
         try:
             request = parse_request(
@@ -883,7 +874,7 @@ class _Handler(BaseHTTPRequestHandler):
                 default_deadline_s=self.service.config.default_deadline_s,
             )
         except BadRequest as exc:
-            self._respond(400, {"status": "error", "reason": str(exc)})
+            self.respond_json(400, {"status": "error", "reason": str(exc)})
             return
         try:
             pending, coalesced = self.service.submit(request)
@@ -891,14 +882,14 @@ class _Handler(BaseHTTPRequestHandler):
             headers = {}
             if exc.retry_after_s is not None:
                 headers["Retry-After"] = str(exc.retry_after_s)
-            self._respond(exc.status, {
+            self.respond_json(exc.status, {
                 "status": "rejected",
                 "reason": exc.reason,
                 "request_id": request.request_id,
             }, headers)
             return
         if not pending.wait(request.deadline_s + self.WAIT_GRACE_S):
-            self._respond(504, {
+            self.respond_json(504, {
                 "status": "error",
                 "reason": "deadline_exceeded",
                 "request_id": request.request_id,
@@ -907,47 +898,7 @@ class _Handler(BaseHTTPRequestHandler):
         body = dict(pending.body)
         if coalesced:
             body["coalesced"] = True
-        self._respond(pending.status, body, pending.headers)
-
-    #: Paths counted under their own label; everything else is pooled
-    #: as "other" so probing garbage paths cannot explode cardinality.
-    _KNOWN_PATHS = (
-        "/estimate", "/healthz", "/readyz", "/stats", "/metrics",
-        "/debug/flightrecorder", "/debug/trace",
-    )
-
-    def _http_label(self) -> str:
-        path = self.path.split("?", 1)[0]
-        for known in self._KNOWN_PATHS:
-            if path == known or path.startswith(known + "/"):
-                return known
-        return "other"
-
-    def _respond(self, status: int, body: Dict[str, Any],
-                 headers: Optional[Dict[str, str]] = None) -> None:
-        payload = json.dumps(body, sort_keys=True).encode("utf-8")
-        self._send_payload(status, payload, "application/json", headers)
-
-    def _respond_text(self, status: int, text: str) -> None:
-        self._send_payload(
-            status, text.encode("utf-8"),
-            "text/plain; version=0.0.4; charset=utf-8", None,
-        )
-
-    def _send_payload(self, status: int, payload: bytes,
-                      content_type: str,
-                      headers: Optional[Dict[str, str]]) -> None:
-        self.service.obs.record_http(self._http_label(), status)
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        try:
-            self.wfile.write(payload)
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # client gave up; the service result still counted
+        self.respond_json(pending.status, body, pending.headers)
 
 
 def run_server(

@@ -15,6 +15,7 @@ import http.client
 import json
 import os
 import threading
+import time
 
 import pytest
 
@@ -215,8 +216,17 @@ class TestDeadlineDump:
         assert doomed.body["reason"] == "deadline_exceeded"
         assert doomed.headers["X-Trace-Id"] == doomed.trace_id
 
-        dumps = [name for name in os.listdir(dump_dir)
-                 if name.startswith(DUMP_PREFIX)]
+        # The dump is written after the 504 is resolved; under load the
+        # directory may not exist yet when the client returns, so poll.
+        deadline = time.monotonic() + 30.0
+        dumps = []
+        while time.monotonic() < deadline:
+            if os.path.isdir(dump_dir):
+                dumps = [name for name in os.listdir(dump_dir)
+                         if name.startswith(DUMP_PREFIX)]
+                if dumps:
+                    break
+            time.sleep(0.05)
         assert len(dumps) == 1
         assert "deadline_exceeded" in dumps[0]
         with open(os.path.join(dump_dir, dumps[0])) as handle:

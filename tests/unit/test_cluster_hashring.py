@@ -1,0 +1,106 @@
+"""Unit tests of the consistent-hash ring (repro.cluster.hashring)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster.hashring import HashRing
+
+
+def test_empty_ring_routes_nothing():
+    ring = HashRing()
+    assert ring.node_for("anything") is None
+    assert ring.preference("anything") == []
+    assert len(ring) == 0
+
+
+def test_single_node_takes_everything():
+    ring = HashRing()
+    ring.add("only")
+    for key in ("a", "b", "dma=2,x > y > z", ""):
+        assert ring.node_for(key) == "only"
+        assert ring.preference(key) == ["only"]
+
+
+def test_routing_is_deterministic():
+    ring_a = HashRing()
+    ring_b = HashRing()
+    for node in ("w0", "w1", "w2"):
+        ring_a.add(node)
+    for node in ("w2", "w0", "w1"):  # insertion order must not matter
+        ring_b.add(node)
+    keys = ["key-%d" % index for index in range(200)]
+    assert [ring_a.node_for(key) for key in keys] == \
+        [ring_b.node_for(key) for key in keys]
+
+
+def test_preference_lists_distinct_nodes_primary_first():
+    ring = HashRing()
+    for node in ("w0", "w1", "w2"):
+        ring.add(node)
+    for key in ("alpha", "beta", "gamma"):
+        preference = ring.preference(key)
+        assert preference[0] == ring.node_for(key)
+        assert sorted(preference) == ["w0", "w1", "w2"]
+        assert len(set(preference)) == 3
+
+
+def test_preference_count_truncates():
+    ring = HashRing()
+    for node in ("w0", "w1", "w2"):
+        ring.add(node)
+    assert len(ring.preference("key", count=2)) == 2
+
+
+def test_removal_only_moves_keys_of_the_removed_node():
+    """The consistent-hashing contract: removing one node reassigns
+    only the keys that lived on it."""
+    ring = HashRing()
+    for node in ("w0", "w1", "w2"):
+        ring.add(node)
+    keys = ["job-%d" % index for index in range(300)]
+    before = {key: ring.node_for(key) for key in keys}
+    ring.remove("w1")
+    after = {key: ring.node_for(key) for key in keys}
+    for key in keys:
+        if before[key] != "w1":
+            assert after[key] == before[key], key
+        else:
+            assert after[key] in ("w0", "w2")
+
+
+def test_distribution_is_roughly_balanced():
+    ring = HashRing(replicas=64)
+    for node in ("w0", "w1", "w2"):
+        ring.add(node)
+    counts = Counter(ring.node_for("key-%d" % index)
+                     for index in range(3000))
+    for node in ("w0", "w1", "w2"):
+        # 64 virtual replicas per node keep the spread well inside
+        # [10%, 60%] for three nodes (ideal: 33%).
+        assert 300 <= counts[node] <= 1800, counts
+
+
+def test_add_and_remove_are_idempotent():
+    ring = HashRing()
+    ring.add("w0")
+    ring.add("w0")
+    assert len(ring) == 1
+    ring.remove("w0")
+    ring.remove("w0")
+    assert len(ring) == 0
+    assert ring.node_for("key") is None
+
+
+def test_contains_and_nodes_view():
+    ring = HashRing()
+    ring.add("w1")
+    ring.add("w0")
+    assert "w0" in ring and "w1" in ring and "w9" not in ring
+    assert ring.nodes == ["w0", "w1"]
+
+
+def test_rejects_blank_node():
+    ring = HashRing()
+    with pytest.raises(ValueError):
+        ring.add("")

@@ -1,0 +1,199 @@
+"""Unit tests of the membership state machine (repro.cluster.membership).
+
+Everything runs on a fake clock — no sleeping, no timing flakes."""
+
+import pytest
+
+from repro.cluster.membership import (
+    DEAD,
+    DECOMMISSIONED,
+    LIMPLOCKED,
+    LIVE,
+    SUSPECT,
+    MembershipConfig,
+    MembershipTable,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_table(clock, transitions=None, **config):
+    defaults = dict(suspect_after_s=3.0, dead_after_s=10.0,
+                    limp_factor=4.0, limp_min_samples=3)
+    defaults.update(config)
+    return MembershipTable(
+        MembershipConfig(**defaults), clock=clock,
+        on_transition=(
+            (lambda *args: transitions.append(args))
+            if transitions is not None else None
+        ),
+    )
+
+
+def test_register_and_routable():
+    clock = FakeClock()
+    transitions = []
+    table = make_table(clock, transitions)
+    table.register("w0", "http://a:1")
+    table.register("w1", "http://b:2")
+    assert table.routable() == ["w0", "w1"]
+    assert ("w0", "", LIVE, "registered") in transitions
+
+
+def test_heartbeat_known_and_unknown():
+    clock = FakeClock()
+    table = make_table(clock)
+    table.register("w0", "http://a:1")
+    assert table.heartbeat("w0", queue_depth=2, completed=5) is True
+    assert table.get("w0").queue_depth == 2
+    assert table.heartbeat("ghost") is False
+
+
+def test_stale_heartbeat_walks_suspect_then_dead():
+    clock = FakeClock()
+    transitions = []
+    table = make_table(clock, transitions)
+    table.register("w0", "http://a:1")
+    clock.advance(4.0)  # > suspect_after
+    table.refresh()
+    assert table.states()["w0"] == SUSPECT
+    assert table.routable() == []
+    clock.advance(7.0)  # total 11 > dead_after
+    table.refresh()
+    assert table.states()["w0"] == DEAD
+    assert [t[2] for t in transitions if t[0] == "w0"] == \
+        [LIVE, SUSPECT, DEAD]
+
+
+def test_heartbeat_revives_suspect_but_not_dead():
+    clock = FakeClock()
+    table = make_table(clock)
+    table.register("w0", "http://a:1")
+    clock.advance(4.0)
+    table.refresh()
+    assert table.states()["w0"] == SUSPECT
+    assert table.heartbeat("w0") is True  # suspect ⇒ revived
+    assert table.states()["w0"] == LIVE
+    clock.advance(11.0)
+    table.refresh()
+    assert table.states()["w0"] == DEAD
+    # Dead workers must re-register; their heartbeat is refused.
+    assert table.heartbeat("w0") is False
+    table.register("w0", "http://a:1")
+    assert table.states()["w0"] == LIVE
+
+
+def test_limplock_quarantines_the_slow_peer():
+    clock = FakeClock()
+    transitions = []
+    table = make_table(clock, transitions)
+    for worker in ("w0", "w1", "w2"):
+        table.register(worker, "http://%s" % worker)
+    for _ in range(3):
+        table.observe_run("w0", 0.1)
+        table.observe_run("w1", 0.1)
+        table.observe_run("w2", 2.0)  # 20x the peer median
+    table.refresh()
+    assert table.states() == {"w0": LIVE, "w1": LIVE, "w2": LIMPLOCKED}
+    assert table.routable() == ["w0", "w1"]
+    reason = [t[3] for t in transitions if t[2] == LIMPLOCKED][0]
+    assert "limp factor" in reason
+    # Quarantine is sticky: heartbeats are refused until re-registration.
+    assert table.heartbeat("w2") is False
+
+
+def test_limplock_needs_minimum_samples_and_peers():
+    clock = FakeClock()
+    table = make_table(clock)
+    table.register("w0", "http://a")
+    table.register("w1", "http://b")
+    table.observe_run("w0", 0.1)
+    table.observe_run("w1", 5.0)  # only 1 sample (< limp_min_samples)
+    table.refresh()
+    assert table.states()["w1"] == LIVE
+    # Enough samples on w1 but none on w0: only one judged worker,
+    # so there is no peer median to compare against.
+    table.observe_run("w1", 5.0)
+    table.observe_run("w1", 5.0)
+    table.refresh()
+    assert table.states()["w1"] == LIVE
+
+
+def test_limp_min_gap_protects_fast_jobs():
+    """Microsecond-scale jitter can never quarantine anyone."""
+    clock = FakeClock()
+    table = make_table(clock, limp_min_gap_s=0.05)
+    table.register("w0", "http://a")
+    table.register("w1", "http://b")
+    for _ in range(3):
+        table.observe_run("w0", 0.000_01)
+        table.observe_run("w1", 0.000_09)  # 9x, but only 80µs apart
+    table.refresh()
+    assert table.states() == {"w0": LIVE, "w1": LIVE}
+
+
+def test_mark_dead_and_redispatch_accounting():
+    clock = FakeClock()
+    table = make_table(clock)
+    table.register("w0", "http://a")
+    assert table.mark_dead("w0", "socket refused") is True
+    assert table.mark_dead("w0", "again") is False
+    table.count_redispatch("w0", 3)
+    assert table.get("w0").redispatched_jobs == 3
+
+
+def test_decommission_is_terminal_until_reregistration():
+    clock = FakeClock()
+    table = make_table(clock)
+    table.register("w0", "http://a")
+    assert table.decommission("w0", "scale-down") is True
+    assert table.states()["w0"] == DECOMMISSIONED
+    assert table.heartbeat("w0") is False
+    assert table.routable() == []
+    table.register("w0", "http://a")
+    assert table.states()["w0"] == LIVE
+
+
+def test_reregistration_resets_statistics():
+    clock = FakeClock()
+    table = make_table(clock)
+    table.register("w0", "http://a")
+    for _ in range(5):
+        table.observe_run("w0", 9.0)
+    table.register("w0", "http://a")  # resurrect: clean latency record
+    info = table.get("w0")
+    assert info.run_samples == 0
+    assert info.observed_run_s == 0.0
+
+
+def test_snapshot_shape():
+    clock = FakeClock()
+    table = make_table(clock)
+    table.register("w0", "http://a:1")
+    table.heartbeat("w0", queue_depth=1, in_flight=1, completed=4,
+                    reported_run_s=0.25)
+    clock.advance(1.5)
+    document = table.snapshot()
+    assert document["w0"]["state"] == LIVE
+    assert document["w0"]["heartbeat_age_s"] == pytest.approx(1.5)
+    assert document["w0"]["queue_depth"] == 1
+    assert document["w0"]["completed"] == 4
+    assert table.heartbeat_ages()["w0"] == pytest.approx(1.5)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MembershipConfig(suspect_after_s=5.0, dead_after_s=4.0)
+    with pytest.raises(ValueError):
+        MembershipConfig(limp_factor=1.0)
+    with pytest.raises(ValueError):
+        MembershipConfig(limp_min_samples=0)

@@ -1,0 +1,102 @@
+"""Unit tests of the cluster wire layer (repro.cluster.protocol)."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.cluster.protocol import (
+    ProtocolError,
+    TransportError,
+    get_json,
+    post_json,
+)
+from repro.errors import ReproError
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def log_message(self, fmt, *args):
+        pass
+
+    def _send(self, status, payload, content_type="application/json"):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self):
+        if self.path == "/json":
+            self._send(200, b'{"status": "ok", "n": 7}')
+        elif self.path == "/notjson":
+            self._send(200, b"<html>nope</html>", "text/html")
+        elif self.path == "/list":
+            self._send(200, b"[1, 2, 3]")
+        elif self.path == "/empty":
+            self._send(200, b"")
+        else:
+            self._send(404, b'{"status": "error"}')
+
+    def do_POST(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        body = json.loads(self.rfile.read(length))
+        self._send(200, json.dumps({"echo": body}).encode())
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    httpd = HTTPServer(("127.0.0.1", 0), _Handler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield "http://127.0.0.1:%d" % httpd.server_address[1]
+    httpd.shutdown()
+    httpd.server_close()
+
+
+def test_get_json_roundtrip(server_url):
+    status, body = get_json(server_url, "/json")
+    assert status == 200
+    assert body == {"status": "ok", "n": 7}
+
+
+def test_post_json_echo(server_url):
+    status, body = post_json(server_url, "/anything", {"a": [1, 2]})
+    assert status == 200
+    assert body == {"echo": {"a": [1, 2]}}
+
+
+def test_http_error_status_is_returned_not_raised(server_url):
+    status, body = get_json(server_url, "/missing")
+    assert status == 404
+    assert body["status"] == "error"
+
+
+def test_empty_body_reads_as_empty_object(server_url):
+    status, body = get_json(server_url, "/empty")
+    assert status == 200 and body == {}
+
+
+def test_non_json_response_raises_protocol_error(server_url):
+    with pytest.raises(ProtocolError):
+        get_json(server_url, "/notjson")
+
+
+def test_non_object_json_raises_protocol_error(server_url):
+    with pytest.raises(ProtocolError):
+        get_json(server_url, "/list")
+
+
+def test_connection_refused_raises_transport_error():
+    with pytest.raises(TransportError):
+        get_json("http://127.0.0.1:9", "/x", timeout_s=2.0)
+
+
+def test_bad_url_raises_protocol_error():
+    with pytest.raises(ProtocolError):
+        get_json("ftp://example", "/x")
+
+
+def test_errors_are_repro_errors():
+    assert issubclass(TransportError, ReproError)
+    assert issubclass(ProtocolError, ReproError)

@@ -1,0 +1,87 @@
+"""Unit tests of the deterministic retry backoff (satellite of the
+cluster PR — the same schedule spaces supervisor retries, worker
+registration attempts, and coordinator re-dispatches)."""
+
+import zlib
+
+import pytest
+
+from repro.resilience.supervisor import retry_backoff_s
+
+
+def test_backoff_is_deterministic():
+    for attempt in range(1, 6):
+        a = retry_backoff_s("fig1:hw", attempt, 0.01, 0.25)
+        b = retry_backoff_s("fig1:hw", attempt, 0.01, 0.25)
+        assert a == b
+
+
+def test_backoff_grows_exponentially_until_the_cap():
+    delays = [retry_backoff_s("site", attempt, 0.01, 1e9)
+              for attempt in range(1, 10)]
+    # Raw schedule doubles; equal-jitter keeps each delay within
+    # [0.5, 1.0) of its raw value, so the doubling dominates from two
+    # attempts apart.
+    for earlier, later in zip(delays, delays[2:]):
+        assert later > earlier
+    raw = [0.01 * 2 ** (attempt - 1) for attempt in range(1, 10)]
+    for delay, ceiling in zip(delays, raw):
+        assert 0.5 * ceiling <= delay < ceiling
+
+
+def test_backoff_respects_the_cap():
+    assert retry_backoff_s("site", 30, 0.01, 0.25) == 0.25
+
+
+def test_jitter_decorrelates_sites():
+    """Different sites retrying the same attempt must not thundering-herd."""
+    delays = {retry_backoff_s("site-%d" % index, 3, 0.01, 10.0)
+              for index in range(16)}
+    assert len(delays) > 8  # most sites land on distinct delays
+
+
+def test_jitter_matches_the_documented_derivation():
+    site, attempt, base = "fig1:iss", 4, 0.02
+    unit = zlib.crc32(("%s:%d" % (site, attempt)).encode()) / 2 ** 32
+    expected = base * 2 ** (attempt - 1) * (0.5 + unit / 2.0)
+    assert retry_backoff_s(site, attempt, base, 10.0) == \
+        pytest.approx(expected)
+
+
+def test_zero_base_disables_backoff():
+    assert retry_backoff_s("site", 3, 0.0, 1.0) == 0.0
+
+
+def test_invalid_attempt_yields_zero():
+    assert retry_backoff_s("site", 0, 0.01, 1.0) == 0.0
+
+
+def test_supervisor_accounts_backoff_deterministically():
+    """A faulted, retried run records the same backoff_seconds every
+    time — wall clock changes, the report does not."""
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.supervisor import (
+        EstimatorUnavailable,
+        ResilienceConfig,
+        ResilientEstimator,
+    )
+    from repro.sw.power_model import InstructionPowerModel
+
+    def run_once():
+        config = ResilienceConfig(
+            fault_plan=FaultPlan.uniform(["hw"], 1.0, seed=3),
+            max_retries=2,
+            backoff_base_s=0.001,
+            backoff_cap_s=0.002,
+        )
+        supervisor = ResilientEstimator(
+            config, power_model=InstructionPowerModel()
+        )
+        wrapped = supervisor.supervise("hw", "dma", lambda: None)
+        with pytest.raises(EstimatorUnavailable):
+            wrapped()
+        return supervisor.backoff_seconds
+
+    first, second = run_once(), run_once()
+    assert first == second
+    assert first > 0.0
