@@ -10,9 +10,14 @@ Commands operate on the built-in example systems:
   design space and report the minimum-energy configuration.
 * ``characterize`` — run the software macro-model characterization and
   print the parameter file (the paper's Figure 3 artifact).
-* ``lint <system> [--format text|json|sarif] [--baseline PATH]`` — run
-  the whole-design static analyzer (see docs/static-analysis.md); the
-  exit code is 2 for errors, 1 for warnings, 0 otherwise.
+* ``lint <system> [--format text|json|sarif] [--baseline PATH]
+  [--cost]`` — run the whole-design static analyzer (see
+  docs/static-analysis.md); the exit code is 2 for errors, 1 for
+  warnings, 0 otherwise.  ``--cost`` appends the static cost report
+  (cycle/energy bounds, cache-table size, admission weight).
+* ``transvalidate`` — prove every optimizer rewrite rule equivalent
+  on its declared templates (exhaustive small-width, corner, and
+  random vectors); exit 1 if any rule is unsound or dead.
 * ``serve [--port N] [--workers N] [--queue-depth N]`` — run the
   long-lived co-estimation service (JSON over HTTP, bounded admission
   queue, circuit breakers, graceful SIGTERM drain; see
@@ -24,7 +29,10 @@ Commands operate on the built-in example systems:
   against an existing coordinator.
 
 ``estimate`` and ``explore`` run the fast lint subset as a pre-flight
-gate (``--no-preflight`` opts out).
+gate over the system they are about to run; ``serve`` and ``cluster``
+run it over *every* bundled system at startup (they accept requests
+for any of them) and refuse to start on error-severity findings.
+``--no-preflight`` opts out everywhere.
 
 Systems: ``fig1`` (producer/timer/consumer), ``tcpip``, ``tcpip-out``
 (TCP/IP with the outgoing path enabled), ``automotive``.
@@ -111,6 +119,33 @@ def _preflight(network, args: argparse.Namespace, metrics=None,
         print("pre-flight lint: %d advisory finding(s) in %r "
               "(run `repro lint %s` for details)"
               % (remainder, network.name, label or network.name))
+
+
+def _preflight_service(args: argparse.Namespace, what: str) -> None:
+    """Startup lint gate for the long-lived services.
+
+    ``serve`` and ``cluster`` accept requests for any bundled system,
+    so every one of them is fast-linted before the listener binds: an
+    error-severity design is refused where the operator can see it
+    instead of failing confusingly per-request.  ``--no-preflight``
+    opts out, same as the one-shot commands.
+    """
+    if getattr(args, "no_preflight", False):
+        return
+    from repro.lint import Severity, render_text, run_lint
+
+    for name in system_names():
+        network = _bundle(name).network
+        result = run_lint(network, fast_only=True)
+        errors = result.count(Severity.ERROR)
+        if errors:
+            sys.stderr.write(render_text(
+                result.diagnostics, title="pre-flight %s" % network.name))
+            raise SystemExit(
+                "pre-flight lint found %d error(s) in %r; %s refuses to "
+                "start (rerun with --no-preflight to override)"
+                % (errors, name, what)
+            )
 
 
 def _degraded_levels(report) -> List[str]:
@@ -389,7 +424,60 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.metrics:
         atomic_write_text(args.metrics, telemetry.metrics.to_json() + "\n")
         print("wrote %s" % args.metrics)
+    if args.cost or args.cost_output:
+        from repro.lint import compute_cost_report
+
+        cost_report = compute_cost_report(bundle.network)
+        if args.cost:
+            print(cost_report.render())
+        if args.cost_output:
+            import json as _json
+
+            atomic_write_text(
+                args.cost_output,
+                _json.dumps(cost_report.to_payload(), indent=1,
+                            sort_keys=True) + "\n",
+            )
+            print("wrote %s" % args.cost_output)
     return result.exit_code
+
+
+def cmd_transvalidate(args: argparse.Namespace) -> int:
+    """``repro transvalidate`` — prove the optimizer's rewrite rules."""
+    from repro.lint import check_rewrite_rules, render_sarif, validate_rules
+
+    report = validate_rules()
+    for result in report.results:
+        status = "SOUND" if result.sound else "UNSOUND"
+        if not result.exercised:
+            status = "DEAD"
+        print("%-28s %-8s %6d vector(s), %d/%d template(s) fired"
+              % (result.rule, status, result.vectors, result.fired,
+                 result.templates))
+        for counterexample in result.counterexamples:
+            print("    counterexample: %s" % counterexample.render())
+        for crash in result.crashes:
+            print("    crash: %s" % crash)
+    print("%d rule(s), %d vector(s): %s"
+          % (len(report.results), report.total_vectors,
+             "all sound and exercised"
+             if report.all_sound and report.all_exercised
+             else "UNSOUND OR DEAD RULES FOUND"))
+    diagnostics = check_rewrite_rules()
+    if args.output:
+        import json as _json
+
+        if args.format == "sarif":
+            atomic_write_text(args.output, render_sarif(
+                diagnostics, title="optimizer"))
+        else:
+            atomic_write_text(
+                args.output,
+                _json.dumps(report.to_payload(), indent=1, sort_keys=True)
+                + "\n",
+            )
+        print("wrote %s" % args.output)
+    return 0 if not diagnostics else 1
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
@@ -409,6 +497,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.slo import SLOConfig
     from repro.service import ServiceConfig, run_server
 
+    _preflight_service(args, "serve")
     config = ServiceConfig(
         workers=args.workers,
         queue_depth=args.queue_depth,
@@ -440,6 +529,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterConfig, run_cluster
     from repro.cluster.membership import MembershipConfig
 
+    _preflight_service(args, "cluster")
     config = ClusterConfig(
         membership=MembershipConfig(
             suspect_after_s=args.suspect_after_s,
@@ -602,7 +692,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--metrics", metavar="FILE",
                       help="write per-rule hit counters as a metrics "
                            "registry JSON snapshot")
+    lint.add_argument("--cost", action="store_true",
+                      help="append the static cost report: per-component "
+                           "cycle and energy bounds, the Section 4.2 "
+                           "cache-table size, and the admission weight "
+                           "the service prices Retry-After with")
+    lint.add_argument("--cost-output", metavar="PATH",
+                      help="write the cost report as JSON to PATH")
     lint.set_defaults(func=cmd_lint)
+
+    transvalidate = commands.add_parser(
+        "transvalidate",
+        help="prove the optimizer's rewrite rules sound (TV6xx)",
+    )
+    transvalidate.add_argument("--format", default="json",
+                               choices=["json", "sarif"],
+                               help="--output format (default: json)")
+    transvalidate.add_argument("--output", metavar="PATH",
+                               help="write the validation report to PATH")
+    transvalidate.set_defaults(func=cmd_transvalidate)
 
     characterize = commands.add_parser(
         "characterize", help="build the SW macro-model parameter file"
@@ -672,6 +780,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume", metavar="FILE",
                        help="re-enqueue the requests of a drain checkpoint "
                             "at startup")
+    serve.add_argument("--no-preflight", action="store_true",
+                       help="skip the startup fast-lint gate over the "
+                            "bundled systems")
     serve.set_defaults(func=cmd_serve)
 
     cluster = commands.add_parser(
@@ -715,6 +826,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit one JSON log line per cluster event "
                               "(registrations, state changes, "
                               "re-dispatches, quarantines)")
+    cluster.add_argument("--no-preflight", action="store_true",
+                         help="skip the startup fast-lint gate over the "
+                              "bundled systems")
     cluster.set_defaults(func=cmd_cluster)
 
     worker = commands.add_parser(

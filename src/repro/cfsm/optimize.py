@@ -23,14 +23,24 @@ construction (and checked by property tests against the interpreter):
 
 The optimizer is deliberately conservative: anything it does not
 recognize passes through untouched.
+
+Every expression rewrite lives in a declarative :class:`RewriteRule`
+registered in :data:`REWRITE_RULES`.  The registry is the single
+source of truth for both the optimizer (which applies the rules in
+order) and the translation validator
+(:mod:`repro.lint.transvalidate`, which proves each rule semantically
+equivalent by exhaustive small-bit-width evaluation plus corner
+vectors).  Adding a rule here without templates, or with unsound
+semantics, is a CI failure — the ``SHR(x, 0) -> x`` bug class cannot
+reach the optimizer silently anymore.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.cfsm.expr import BinaryOp, Const, Expression, UnaryOp
+from repro.cfsm.expr import BinaryOp, Const, Expression, UnaryOp, Var
 from repro.cfsm.model import Cfsm, Transition
 from repro.cfsm.sgraph import (
     Assign,
@@ -64,6 +74,193 @@ def _is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
 
 
+# ---------------------------------------------------------------------------
+# Declarative rewrite rules
+# ---------------------------------------------------------------------------
+
+#: A binary-expression rewriter: ``(op, left, right)`` of an already
+#: recursively-optimized node; returns the replacement expression or
+#: ``None`` when the rule does not apply.
+Rewriter = Callable[[str, Expression, Expression], Optional[Expression]]
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """One named, independently-validated expression rewrite.
+
+    ``templates`` are concrete LHS instances (over :class:`Var` leaves)
+    that the rule is expected to fire on; the translation validator
+    instantiates them, applies the rule, and proves
+    ``lhs.evaluate(env) == rhs.evaluate(env)`` over exhaustive
+    small-bit-width environments plus corner/random full-width
+    vectors.  A rule whose templates never fire is flagged (TV602) —
+    dead rules rot into unsound ones unnoticed.
+    """
+
+    name: str
+    #: ``identity`` rewrites count as folded constants in the report;
+    #: ``strength`` rewrites count as strength reductions.
+    category: str
+    description: str
+    rewrite: Rewriter
+    templates: Tuple[BinaryOp, ...] = field(default=())
+
+    def apply(self, op: str, left: Expression,
+              right: Expression) -> Optional[Expression]:
+        return self.rewrite(op, left, right)
+
+
+def _const_of(expr: Expression) -> Optional[int]:
+    return expr.value if isinstance(expr, Const) else None
+
+
+def _make_neutral_rule(rule_op: str, value: int, *, left_side: bool,
+                       name: str) -> RewriteRule:
+    """``op(x, value) -> x`` (or the mirrored ``op(value, x) -> x``)."""
+
+    def rewrite(op: str, left: Expression,
+                right: Expression) -> Optional[Expression]:
+        if op != rule_op:
+            return None
+        if left_side:
+            if _const_of(left) == value:
+                return right
+            return None
+        if _const_of(right) == value:
+            return left
+        return None
+
+    template = (BinaryOp(rule_op, Const(value), Var("a")) if left_side
+                else BinaryOp(rule_op, Var("a"), Const(value)))
+    side = "left" if left_side else "right"
+    return RewriteRule(
+        name=name,
+        category="identity",
+        description="%s neutral element %d on the %s collapses"
+                    % (rule_op, value, side),
+        rewrite=rewrite,
+        templates=(template,),
+    )
+
+
+def _annihilator_rewrite(op: str, left: Expression,
+                         right: Expression) -> Optional[Expression]:
+    """``MUL``/``AND`` by constant zero annihilate to zero."""
+    if op not in ("MUL", "AND"):
+        return None
+    if _const_of(left) == 0 or _const_of(right) == 0:
+        return Const(0)
+    return None
+
+
+def _strength_reduce_mul(op: str, left: Expression,
+                         right: Expression) -> Optional[Expression]:
+    """x*2^k -> x<<k;  x*(2^j+1)*2^k -> ((x<<j)+x)<<k;  x*(2^j-1)*2^k
+    -> ((x<<j)-x)<<k.  Division is only reducible for powers of two
+    when the operand is known non-negative — which we cannot prove
+    here, so only the multiply family is rewritten (its semantics are
+    exact for all integers)."""
+    if op != "MUL":
+        return None
+    const_side = None
+    var_side: Expression = left
+    if isinstance(right, Const):
+        const_side, var_side = right.value, left
+    elif isinstance(left, Const):
+        const_side, var_side = left.value, right
+    if const_side is None or const_side < 2:
+        return None
+
+    # Factor the constant as odd * 2^k; the 2^k part is a final
+    # shift, and odd parts of the form 2^j (+/-) 1 become
+    # shift-and-add/subtract.
+    even_shift = 0
+    odd = const_side
+    while odd % 2 == 0:
+        odd //= 2
+        even_shift += 1
+    if even_shift > 31:
+        return None
+
+    if odd == 1:
+        core: Optional[Expression] = var_side
+    elif (_is_power_of_two(odd - 1) and odd - 1 >= 2
+          and (odd - 1).bit_length() - 1 <= 31):
+        shift = (odd - 1).bit_length() - 1
+        core = BinaryOp(
+            "ADD", BinaryOp("SHL", var_side, Const(shift)), var_side
+        )
+    elif _is_power_of_two(odd + 1) and (odd + 1).bit_length() - 1 <= 31:
+        shift = (odd + 1).bit_length() - 1
+        core = BinaryOp(
+            "SUB", BinaryOp("SHL", var_side, Const(shift)), var_side
+        )
+    else:
+        return None
+    if even_shift == 0:
+        return core
+    return BinaryOp("SHL", core, Const(even_shift))
+
+
+#: The ordered rewrite registry.  Order is semantics-relevant only in
+#: that identities are tried before strength reduction (matching the
+#: historical pass structure); within a category the patterns are
+#: disjoint.  ``SHR(x, 0) -> x`` is deliberately absent: the
+#: interpreter's SHR wraps its operand to 32-bit unsigned, so
+#: ``SHR(x, 0) != x`` for negative x — exactly the kind of fact the
+#: translation validator exists to enforce.
+REWRITE_RULES: Tuple[RewriteRule, ...] = (
+    _make_neutral_rule("ADD", 0, left_side=False, name="add-zero-right"),
+    _make_neutral_rule("ADD", 0, left_side=True, name="add-zero-left"),
+    _make_neutral_rule("SUB", 0, left_side=False, name="sub-zero-right"),
+    _make_neutral_rule("MUL", 1, left_side=False, name="mul-one-right"),
+    _make_neutral_rule("MUL", 1, left_side=True, name="mul-one-left"),
+    RewriteRule(
+        name="mul-and-zero-annihilate",
+        category="identity",
+        description="MUL/AND with a constant zero operand is zero",
+        rewrite=_annihilator_rewrite,
+        templates=(
+            BinaryOp("MUL", Var("a"), Const(0)),
+            BinaryOp("MUL", Const(0), Var("a")),
+            BinaryOp("AND", Var("a"), Const(0)),
+            BinaryOp("AND", Const(0), Var("a")),
+        ),
+    ),
+    _make_neutral_rule("DIV", 1, left_side=False, name="div-one-right"),
+    _make_neutral_rule("OR", 0, left_side=False, name="or-zero-right"),
+    _make_neutral_rule("OR", 0, left_side=True, name="or-zero-left"),
+    _make_neutral_rule("XOR", 0, left_side=False, name="xor-zero-right"),
+    _make_neutral_rule("XOR", 0, left_side=True, name="xor-zero-left"),
+    _make_neutral_rule("SHL", 0, left_side=False, name="shl-zero-right"),
+    RewriteRule(
+        name="mul-const-to-shifts",
+        category="strength",
+        description="multiplication by odd*2^k constants becomes "
+                    "shift / shift-add / shift-subtract forms",
+        rewrite=_strength_reduce_mul,
+        templates=(
+            BinaryOp("MUL", Var("a"), Const(2)),
+            BinaryOp("MUL", Var("a"), Const(3)),
+            BinaryOp("MUL", Var("a"), Const(5)),
+            BinaryOp("MUL", Var("a"), Const(7)),
+            BinaryOp("MUL", Var("a"), Const(8)),
+            BinaryOp("MUL", Var("a"), Const(12)),
+            BinaryOp("MUL", Var("a"), Const(24)),
+            BinaryOp("MUL", Var("a"), Const(31)),
+            BinaryOp("MUL", Var("a"), Const(96)),
+            BinaryOp("MUL", Const(6), Var("a")),
+            BinaryOp("MUL", Var("a"), Const(1 << 31)),
+        ),
+    ),
+)
+
+
+def rewrite_rule_names() -> Tuple[str, ...]:
+    """Stable names of every registered rewrite rule (in order)."""
+    return tuple(rule.name for rule in REWRITE_RULES)
+
+
 class SGraphOptimizer:
     """Applies the optimization passes to expressions and statements."""
 
@@ -94,101 +291,15 @@ class SGraphOptimizer:
             self.report.folded_constants += 1
             return Const(BinaryOp(op, left, right).evaluate({}))
 
-        identity = self._algebraic_identity(op, left, right)
-        if identity is not None:
-            self.report.folded_constants += 1
-            return identity
-
-        reduced = self._strength_reduce(op, left, right)
-        if reduced is not None:
-            self.report.strength_reduced += 1
-            return reduced
+        for rule in REWRITE_RULES:
+            rewritten = rule.apply(op, left, right)
+            if rewritten is not None:
+                if rule.category == "identity":
+                    self.report.folded_constants += 1
+                else:
+                    self.report.strength_reduced += 1
+                return rewritten
         return BinaryOp(op, left, right)
-
-    @staticmethod
-    def _algebraic_identity(
-        op: str, left: Expression, right: Expression
-    ) -> Optional[Expression]:
-        right_const = right.value if isinstance(right, Const) else None
-        left_const = left.value if isinstance(left, Const) else None
-        if op == "ADD":
-            if right_const == 0:
-                return left
-            if left_const == 0:
-                return right
-        elif op == "SUB" and right_const == 0:
-            return left
-        elif op == "MUL":
-            if right_const == 1:
-                return left
-            if left_const == 1:
-                return right
-            if right_const == 0 or left_const == 0:
-                return Const(0)
-        elif op == "DIV" and right_const == 1:
-            return left
-        elif op in ("OR", "XOR"):
-            if right_const == 0:
-                return left
-            if left_const == 0:
-                return right
-        elif op == "AND" and (right_const == 0 or left_const == 0):
-            return Const(0)
-        elif op == "SHL" and right_const == 0:
-            # SHR is deliberately excluded: the interpreter's SHR wraps
-            # its operand to 32-bit unsigned, so SHR(x, 0) != x for
-            # negative x.
-            return left
-        return None
-
-    @staticmethod
-    def _strength_reduce(
-        op: str, left: Expression, right: Expression
-    ) -> Optional[Expression]:
-        """x*2^k -> x<<k;  x*(2^k + 1) -> (x<<k)+x;  x*(2^k - 1) ->
-        (x<<k)-x.  Division is only reduced for powers of two when the
-        operand is known non-negative — which we cannot prove here, so
-        only the multiply family is rewritten (its semantics are exact
-        for all integers)."""
-        if op != "MUL":
-            return None
-        const_side = None
-        var_side = None
-        if isinstance(right, Const):
-            const_side, var_side = right.value, left
-        elif isinstance(left, Const):
-            const_side, var_side = left.value, right
-        if const_side is None or const_side < 2:
-            return None
-
-        # Factor the constant as odd * 2^k; the 2^k part is a final
-        # shift, and odd parts of the form 2^j (+/-) 1 become
-        # shift-and-add/subtract.
-        even_shift = 0
-        odd = const_side
-        while odd % 2 == 0:
-            odd //= 2
-            even_shift += 1
-        if even_shift > 31:
-            return None
-
-        if odd == 1:
-            core: Optional[Expression] = var_side
-        elif _is_power_of_two(odd - 1) and odd - 1 >= 2 and (odd - 1).bit_length() - 1 <= 31:
-            shift = (odd - 1).bit_length() - 1
-            core = BinaryOp(
-                "ADD", BinaryOp("SHL", var_side, Const(shift)), var_side
-            )
-        elif _is_power_of_two(odd + 1) and (odd + 1).bit_length() - 1 <= 31:
-            shift = (odd + 1).bit_length() - 1
-            core = BinaryOp(
-                "SUB", BinaryOp("SHL", var_side, Const(shift)), var_side
-            )
-        else:
-            return None
-        if even_shift == 0:
-            return core
-        return BinaryOp("SHL", core, Const(even_shift))
 
     # -- statements -----------------------------------------------------------
 

@@ -446,6 +446,45 @@ class SynthesizedBlock:
     strobe_ports: Dict[str, str]  # event name -> strobe port name
     register_ports: Dict[str, str]  # variable name -> observation port
 
+    def logic_depth(self) -> int:
+        """Levelized combinational depth of the synthesized netlist."""
+        return levelize(self.netlist).depth
+
+
+@dataclass(frozen=True)
+class Levelization:
+    """Levelized view of a netlist's combinational logic.
+
+    ``net_levels[n]`` is the combinational level of net ``n``: 0 for
+    constants, primary inputs, and flip-flop outputs (cycle
+    boundaries), and ``1 + max(level of inputs)`` for gate outputs.
+    ``level_widths[d]`` counts the gates at level ``d + 1`` — the gates
+    that could evaluate concurrently in a data-parallel backend.
+    ``depth`` (the critical path in gate delays) bounds the clock the
+    block could sustain and feeds the static cost model.
+    """
+
+    net_levels: Tuple[int, ...]
+    level_widths: Tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.level_widths)
+
+
+def levelize(netlist: Netlist) -> Levelization:
+    """Levelize ``netlist`` (single pass: gates are in dependency order)."""
+    levels = [0] * netlist.num_nets
+    widths: List[int] = []
+    for gate in netlist.gates:
+        level = 1 + max((levels[net] for net in gate.inputs), default=0)
+        levels[gate.output] = level
+        while len(widths) < level:
+            widths.append(0)
+        widths[level - 1] += 1
+    return Levelization(net_levels=tuple(levels),
+                        level_widths=tuple(widths))
+
 
 def synthesize_cfsm(
     cfsm: Cfsm, library: Optional[GateLibrary] = None

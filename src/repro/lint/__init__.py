@@ -12,9 +12,24 @@ Layers:
   enumeration, the Section 4.2 cacheability report, and Section 4.1
   macro-model coverage;
 * :mod:`repro.lint.netlist_rules` — gate-level structural lint;
+* :mod:`repro.lint.absint` — abstract interpretation engine (bit-level
+  netlist fixpoint, expression intervals, sound energy bounds);
+* :mod:`repro.lint.dataflow_rules` — DF5xx dataflow diagnostics;
+* :mod:`repro.lint.transvalidate` — TV6xx translation validation of
+  the optimizer's rewrite-rule registry;
+* :mod:`repro.lint.cost` — per-system static :class:`CostReport`
+  (cycle, energy, and cache-table bounds) consumed by the service's
+  cost-aware admission control;
 * :mod:`repro.lint.passes` — the pass manager tying it together.
 """
 
+from repro.lint.absint import (
+    Interval,
+    abstract_eval,
+    abstract_netlist_values,
+    compute_var_intervals,
+    netlist_energy_bound,
+)
 from repro.lint.baseline import (
     Baseline,
     BaselineError,
@@ -39,15 +54,23 @@ from repro.lint.emitters import (
     render_text,
     sarif_report,
 )
+from repro.lint.cost import CostReport, compute_cost_report
 from repro.lint.passes import PASSES, LintPass, LintResult, run_lint
 from repro.lint.paths import CacheabilityReport, cacheability_report
+from repro.lint.transvalidate import (
+    ValidationReport,
+    check_rewrite_rules,
+    validate_rules,
+)
 
 __all__ = [
     "Baseline",
     "BaselineError",
     "CacheabilityReport",
+    "CostReport",
     "Diagnostic",
     "EMITTERS",
+    "Interval",
     "LintPass",
     "LintResult",
     "Location",
@@ -55,10 +78,17 @@ __all__ = [
     "RULES",
     "Rule",
     "Severity",
+    "ValidationReport",
+    "abstract_eval",
+    "abstract_netlist_values",
     "cacheability_report",
+    "check_rewrite_rules",
+    "compute_cost_report",
+    "compute_var_intervals",
     "exit_code",
     "load_baseline",
     "max_severity",
+    "netlist_energy_bound",
     "render_json",
     "render_sarif",
     "render_text",
@@ -66,5 +96,6 @@ __all__ = [
     "run_lint",
     "sarif_report",
     "sort_diagnostics",
+    "validate_rules",
     "write_baseline",
 ]

@@ -1,0 +1,135 @@
+"""DF5xx diagnostics: dataflow findings from abstract interpretation.
+
+The engine lives in :mod:`repro.lint.absint`; this module turns its
+proofs into diagnostics.
+
+* **Expression scope (fast)** — per-CFSM interval analysis decides
+  guards (DF503) and branch conditions (DF504) that the syntactic
+  constant propagation of :mod:`repro.lint.paths` (SG202/SG203) could
+  not.  Both rules explicitly skip anything the syntactic pass already
+  decided, so a finding here is always *new* information.
+
+* **Netlist scope (slow)** — the bit-level ternary fixpoint proves
+  gate outputs constant.  A constant output still feeding live logic
+  is DF501 (the cone below it is re-synthesizable to wires); the
+  per-netlist aggregate of provably-dead toggles, with the switching
+  energy they can never dissipate, is DF502.  The same fixpoint backs
+  the per-cycle energy upper bound consumed by
+  :mod:`repro.lint.cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cfsm.model import Network
+from repro.errors import ReproError
+from repro.lint.absint import (
+    abstract_eval,
+    abstract_netlist_values,
+    compute_var_intervals,
+    decided_branches,
+    netlist_energy_bound,
+)
+from repro.lint.diagnostics import Diagnostic, Location, make
+from repro.lint.paths import compute_value_sets, static_value
+
+#: DF501 findings per netlist before the rest folds into the DF502
+#: aggregate — keeps huge netlists from flooding reports.
+MAX_CONSTANT_NET_FINDINGS = 8
+
+
+def check_expression_dataflow(network: Network) -> List[Diagnostic]:
+    """DF503/DF504: interval-decided guards and branches."""
+    diagnostics: List[Diagnostic] = []
+    for name in sorted(network.cfsms):
+        cfsm = network.cfsms[name]
+        intervals = compute_var_intervals(cfsm)
+        values = compute_value_sets(cfsm)
+        for transition in cfsm.transitions:
+            guard = transition.guard
+            if guard is not None and static_value(guard, values) is None:
+                interval = abstract_eval(guard, intervals)
+                if interval.definitely_zero:
+                    diagnostics.append(make(
+                        "DF503",
+                        "guard is always zero for every reachable "
+                        "variable range (interval %r); the transition "
+                        "can never fire" % (interval,),
+                        Location(system=network.name, cfsm=name,
+                                 transition=transition.name,
+                                 expr=repr(guard)),
+                        data={"interval": repr(interval)},
+                    ))
+            for stmt, taken in decided_branches(
+                    transition.body.statements, intervals):
+                if static_value(stmt.cond, values) is not None:
+                    continue  # SG203's syntactic territory
+                diagnostics.append(make(
+                    "DF504",
+                    "branch condition is always %s over the reachable "
+                    "variable ranges; the %s arm is unreachable"
+                    % ("true" if taken else "false",
+                       "else" if taken else "then"),
+                    Location(system=network.name, cfsm=name,
+                             transition=transition.name,
+                             node=stmt.node_id, expr=repr(stmt.cond)),
+                    data={"taken": taken},
+                ))
+    return diagnostics
+
+
+def check_netlist_dataflow(network: Network) -> List[Diagnostic]:
+    """DF501/DF502: constant nets and dead toggles in synthesized HW."""
+    from repro.hw.netlist import CONST0, CONST1
+    from repro.hw.synth import synthesize_cfsm_cached
+
+    diagnostics: List[Diagnostic] = []
+    for cfsm in network.hardware_cfsms():
+        try:
+            block = synthesize_cfsm_cached(cfsm)
+        except ReproError:
+            continue  # NL300 already reports the failure
+        netlist = block.netlist
+        values = abstract_netlist_values(netlist)
+        fanout: Dict[int, int] = {}
+        for gate in netlist.gates:
+            for net in gate.inputs:
+                fanout[net] = fanout.get(net, 0) + 1
+        for dff in netlist.dffs:
+            fanout[dff.d] = fanout.get(dff.d, 0) + 1
+        reported = 0
+        for gate in netlist.gates:
+            net = gate.output
+            if net in (CONST0, CONST1) or values[net] is None:
+                continue
+            loads = fanout.get(net, 0)
+            if loads == 0:
+                continue  # dead logic is NL304's finding
+            if reported >= MAX_CONSTANT_NET_FINDINGS:
+                break
+            reported += 1
+            diagnostics.append(make(
+                "DF501",
+                "%s output is provably constant %d yet drives %d "
+                "load(s); the cone below is re-synthesizable to wires"
+                % (gate.cell, values[net], loads),
+                Location(system=network.name, cfsm=cfsm.name,
+                         netlist=netlist.name, net=net),
+                data={"cell": gate.cell, "value": values[net],
+                      "fanout": loads},
+            ))
+        bound = netlist_energy_bound(netlist, values=values)
+        if bound.constant_gate_outputs or bound.constant_dff_outputs:
+            diagnostics.append(make(
+                "DF502",
+                "%d of %d gate outputs (and %d flip-flops) can never "
+                "toggle; %.3g J of switching energy per cycle is "
+                "provably dead"
+                % (bound.constant_gate_outputs, bound.gate_outputs,
+                   bound.constant_dff_outputs, bound.dead_toggle_j),
+                Location(system=network.name, cfsm=cfsm.name,
+                         netlist=netlist.name),
+                data=bound.to_payload(),
+            ))
+    return diagnostics

@@ -63,6 +63,10 @@ class Location:
     netlist: Optional[str] = None
     net: Optional[int] = None
     port: Optional[str] = None
+    #: Expression-level anchor (rendered source of the sub-expression a
+    #: dataflow or translation-validation finding is about).  Rendered
+    #: last so that adding it did not move any pre-existing fingerprint.
+    expr: Optional[str] = None
 
     def qualified_name(self) -> str:
         """Hierarchical path, e.g. ``tcpip_nic/ip_check/block_done@n3``."""
@@ -83,6 +87,8 @@ class Location:
             rendered += "[event:%s]" % self.event
         if self.variable is not None:
             rendered += "[var:%s]" % self.variable
+        if self.expr is not None:
+            rendered += "{expr:%s}" % self.expr
         return rendered
 
 
@@ -293,6 +299,37 @@ RULES: Mapping[str, Rule] = _rules([
     Rule("NL306", "invalid-dff-init", Severity.WARNING,
          "A flip-flop initial value outside {0, 1} cannot be loaded "
          "into a single-bit register.", fast=False),
+    # -- dataflow / abstract interpretation (bit-level + intervals) --
+    Rule("DF501", "constant-net-feeds-logic", Severity.NOTE,
+         "Abstract interpretation proves this gate output constant in "
+         "every reachable cycle, yet it still feeds live logic: the "
+         "cone below it is re-synthesizable to wires.", fast=False),
+    Rule("DF502", "provably-dead-toggles", Severity.NOTE,
+         "A fraction of this netlist's gates can never toggle (bit-"
+         "level fixpoint); their switching energy is pure bound "
+         "slack a constant-folding resynthesis would reclaim.",
+         fast=False),
+    Rule("DF503", "interval-false-guard", Severity.WARNING,
+         "Interval analysis over the reachable variable ranges proves "
+         "the guard always zero — the transition is dead even though "
+         "syntactic constant propagation could not decide it."),
+    Rule("DF504", "interval-decided-branch", Severity.NOTE,
+         "Interval analysis pins this branch condition's outcome, so "
+         "one arm is unreachable beyond what the syntactic SG203 "
+         "check can see."),
+    # -- optimizer translation validation --
+    Rule("TV601", "unsound-rewrite-rule", Severity.ERROR,
+         "A registered optimizer rewrite changed the meaning of a "
+         "template expression: optimized designs silently diverge "
+         "from their source semantics."),
+    Rule("TV602", "unexercised-rewrite-rule", Severity.WARNING,
+         "A registered rewrite rule fired on none of its declared "
+         "templates; unexercised rules rot into unsound ones "
+         "unnoticed."),
+    Rule("TV603", "rewrite-validation-crash", Severity.ERROR,
+         "A rewrite rule (or its rewritten expression) raised during "
+         "validation; the optimizer would crash on designs matching "
+         "the template."),
 ])
 
 

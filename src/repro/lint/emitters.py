@@ -96,6 +96,27 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def _logical_locations(diagnostic: Diagnostic) -> List[Dict[str, Any]]:
+    """SARIF logical locations for one finding.
+
+    The fully qualified design path always comes first.  Findings
+    anchored at a sub-expression (dataflow DF5xx, translation
+    validation TV6xx) additionally carry the expression itself as a
+    child logical location of kind ``expression`` so SARIF viewers can
+    render the hierarchy instead of a flat string.
+    """
+    locations: List[Dict[str, Any]] = [
+        {"fullyQualifiedName": diagnostic.location.qualified_name()}
+    ]
+    if diagnostic.location.expr is not None:
+        locations.append({
+            "name": diagnostic.location.expr,
+            "kind": "expression",
+            "parentIndex": 0,
+        })
+    return locations
+
+
 def sarif_report(diagnostics: List[Diagnostic],
                  title: Optional[str] = None) -> Dict[str, Any]:
     """The SARIF 2.1.0 log as a plain dict."""
@@ -119,13 +140,7 @@ def sarif_report(diagnostics: List[Diagnostic],
             "ruleIndex": rule_index[d.code],
             "level": _SARIF_LEVELS[d.severity],
             "message": {"text": d.message},
-            "locations": [
-                {
-                    "logicalLocations": [
-                        {"fullyQualifiedName": d.location.qualified_name()}
-                    ]
-                }
-            ],
+            "locations": [{"logicalLocations": _logical_locations(d)}],
             "partialFingerprints": {"reproLint/v1": d.fingerprint},
         }
         for d in sort_diagnostics(diagnostics)

@@ -75,6 +75,18 @@ def _run_netlist_rules(network: Network) -> List[Diagnostic]:
     return check_hw_blocks(network)
 
 
+def _run_expression_dataflow(network: Network) -> List[Diagnostic]:
+    from repro.lint.dataflow_rules import check_expression_dataflow
+
+    return check_expression_dataflow(network)
+
+
+def _run_netlist_dataflow(network: Network) -> List[Diagnostic]:
+    from repro.lint.dataflow_rules import check_netlist_dataflow
+
+    return check_netlist_dataflow(network)
+
+
 #: All registered passes, execution order.  Names are stable (they
 #: appear in ``--verbose`` output and telemetry), codes stay with their
 #: pass.
@@ -82,8 +94,10 @@ PASSES: List[LintPass] = [
     LintPass("cfsm-structure", _run_cfsm_rules),
     LintPass("network-wiring", _run_network_rules),
     LintPass("path-analysis", _run_path_rules),
+    LintPass("dataflow-expr", _run_expression_dataflow),
     LintPass("macro-coverage", _run_macro_coverage, fast=False),
     LintPass("netlist-structure", _run_netlist_rules, fast=False),
+    LintPass("dataflow-netlist", _run_netlist_dataflow, fast=False),
 ]
 
 

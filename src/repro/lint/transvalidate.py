@@ -1,0 +1,315 @@
+"""Translation validation for the s-graph optimizer (TV6xx).
+
+Every expression rewrite the optimizer can perform lives in the
+declarative :data:`repro.cfsm.optimize.REWRITE_RULES` registry with a
+set of template expressions it is expected to fire on.  This module
+*proves* each rule semantically equivalent on its templates the way
+translation validators do it (Pnueli et al. / Necula): instantiate the
+template, apply the rule, and check ``lhs.evaluate(env) ==
+rhs.evaluate(env)`` over
+
+* **exhaustive** environments at small bit-widths (every signed value
+  of up to :data:`EXHAUSTIVE_BITS` bits per variable, the issue's
+  "exhaustive <= 8-bit" budget),
+* **corner vectors** at full width (zero, +/-1, the int16/int32
+  boundary values and their neighbours — the inputs that break
+  wrap-around and sign assumptions, like the historical
+  ``SHR(x, 0) -> x`` bug), and
+* **seeded random vectors** at and beyond 32 bits.
+
+A rule that rewrites any vector differently is reported as TV601
+(error, with the counterexample attached); a rule none of whose
+templates fire is TV602 (dead rule); a rule that raises is TV603.
+The CI ``deep-lint`` step runs this over the registry on every push,
+so an unsound identity can no longer reach the optimizer silently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cfsm.expr import Expression
+from repro.cfsm.optimize import REWRITE_RULES, RewriteRule
+from repro.lint.diagnostics import Diagnostic, Location, make
+
+__all__ = [
+    "EXHAUSTIVE_BITS",
+    "Counterexample",
+    "RuleValidation",
+    "ValidationReport",
+    "validate_rule",
+    "validate_rules",
+    "check_rewrite_rules",
+]
+
+#: Per-variable exhaustive sweep width (signed).  Templates are small
+#: (one or two variables), so a full signed sweep stays cheap; the cap
+#: below shrinks the width if a template ever grows more variables.
+EXHAUSTIVE_BITS = 8
+
+#: Ceiling on exhaustive environments per template before the sweep
+#: width is reduced.
+_EXHAUSTIVE_CAP = 1 << 16
+
+#: Full-width corner values: zero, units, and the two's-complement
+#: boundaries where wrap-around and sign-extension bugs live.
+CORNER_VALUES: Tuple[int, ...] = (
+    0, 1, -1, 2, -2, 3, -3,
+    31, 32, 33,
+    (1 << 15) - 1, 1 << 15, -(1 << 15), -(1 << 15) - 1,
+    (1 << 31) - 1, 1 << 31, -(1 << 31), -(1 << 31) - 1,
+    (1 << 32) - 1, 1 << 32,
+)
+
+#: Seeded random full-width vectors per template.
+RANDOM_VECTORS = 64
+
+_RANDOM_SEED = 0xC0E5
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One environment on which a rewrite changed the result."""
+
+    template: str
+    rewritten: str
+    env: Dict[str, int]
+    expected: int
+    actual: int
+
+    def render(self) -> str:
+        bindings = ", ".join(
+            "%s=%d" % (name, value) for name, value in sorted(self.env.items())
+        )
+        return "%s -> %s differs at {%s}: %d != %d" % (
+            self.template, self.rewritten, bindings,
+            self.expected, self.actual,
+        )
+
+
+@dataclass
+class RuleValidation:
+    """Outcome of validating one rewrite rule."""
+
+    rule: str
+    category: str
+    templates: int = 0
+    fired: int = 0
+    vectors: int = 0
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    crashes: List[str] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        return not self.counterexamples and not self.crashes
+
+    @property
+    def exercised(self) -> bool:
+        return self.fired > 0
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "category": self.category,
+            "templates": self.templates,
+            "fired": self.fired,
+            "vectors": self.vectors,
+            "sound": self.sound,
+            "exercised": self.exercised,
+            "counterexamples": [c.render() for c in self.counterexamples],
+            "crashes": list(self.crashes),
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Validation outcomes for a whole rule registry."""
+
+    results: List[RuleValidation] = field(default_factory=list)
+
+    @property
+    def all_sound(self) -> bool:
+        return all(result.sound for result in self.results)
+
+    @property
+    def all_exercised(self) -> bool:
+        return all(result.exercised for result in self.results)
+
+    @property
+    def total_vectors(self) -> int:
+        return sum(result.vectors for result in self.results)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "rules": len(self.results),
+            "all_sound": self.all_sound,
+            "all_exercised": self.all_exercised,
+            "total_vectors": self.total_vectors,
+            "results": [result.to_payload() for result in self.results],
+        }
+
+
+def _exhaustive_values(variable_count: int) -> List[int]:
+    bits = EXHAUSTIVE_BITS
+    while variable_count > 1 and (1 << bits) ** variable_count > _EXHAUSTIVE_CAP:
+        bits -= 1
+    half = 1 << (bits - 1)
+    return list(range(-half, half))
+
+
+def _environments(
+    variables: Sequence[str], rng: random.Random
+) -> List[Dict[str, int]]:
+    """Exhaustive small-width grid + corner grid + random full-width."""
+    if not variables:
+        return [{}]
+    envs: List[Dict[str, int]] = []
+    small = _exhaustive_values(len(variables))
+    for combo in itertools.product(small, repeat=len(variables)):
+        envs.append(dict(zip(variables, combo)))
+    corner_pool: Sequence[Tuple[int, ...]]
+    if len(variables) == 1:
+        corner_pool = [(value,) for value in CORNER_VALUES]
+    else:
+        corner_pool = list(itertools.product(CORNER_VALUES,
+                                             repeat=len(variables)))
+    for combo in corner_pool:
+        envs.append(dict(zip(variables, combo)))
+    for _ in range(RANDOM_VECTORS):
+        envs.append({
+            name: rng.randint(-(1 << 40), 1 << 40) for name in variables
+        })
+    return envs
+
+
+def _validate_template(
+    rule: RewriteRule,
+    template: Expression,
+    result: RuleValidation,
+    rng: random.Random,
+) -> None:
+    from repro.cfsm.expr import BinaryOp
+
+    if not isinstance(template, BinaryOp):
+        result.crashes.append(
+            "template %r is not a binary expression" % (template,)
+        )
+        return
+    try:
+        rewritten = rule.apply(template.op, template.left, template.right)
+    except Exception as exc:  # noqa: BLE001 - crash IS the finding
+        result.crashes.append(
+            "rule raised %s on template %r" % (exc.__class__.__name__,
+                                               template)
+        )
+        return
+    if rewritten is None:
+        return
+    result.fired += 1
+    variables = sorted(set(template.variables())
+                       | set(rewritten.variables()))
+    for env in _environments(variables, rng):
+        result.vectors += 1
+        try:
+            expected = template.evaluate(env)
+            actual = rewritten.evaluate(env)
+        except Exception as exc:  # noqa: BLE001 - crash IS the finding
+            result.crashes.append(
+                "evaluation raised %s on template %r under %r"
+                % (exc.__class__.__name__, template, env)
+            )
+            return
+        if expected != actual:
+            result.counterexamples.append(Counterexample(
+                template=repr(template),
+                rewritten=repr(rewritten),
+                env=dict(env),
+                expected=expected,
+                actual=actual,
+            ))
+            if len(result.counterexamples) >= 3:
+                return
+
+
+def validate_rule(
+    rule: RewriteRule, seed: int = _RANDOM_SEED
+) -> RuleValidation:
+    """Prove (or refute) one rewrite rule on its declared templates."""
+    result = RuleValidation(rule=rule.name, category=rule.category,
+                            templates=len(rule.templates))
+    rng = random.Random(seed)
+    for template in rule.templates:
+        _validate_template(rule, template, result, rng)
+    return result
+
+
+def validate_rules(
+    rules: Optional[Sequence[RewriteRule]] = None,
+    seed: int = _RANDOM_SEED,
+) -> ValidationReport:
+    """Validate a rule registry (the optimizer's by default)."""
+    report = ValidationReport()
+    for rule in (REWRITE_RULES if rules is None else rules):
+        report.results.append(validate_rule(rule, seed=seed))
+    return report
+
+
+def _rule_location(rule_name: str, template: Optional[str]) -> Location:
+    return Location(system="optimizer", cfsm=rule_name, expr=template)
+
+
+def check_rewrite_rules(
+    rules: Optional[Sequence[RewriteRule]] = None,
+    seed: int = _RANDOM_SEED,
+    metrics=None,
+) -> List[Diagnostic]:
+    """TV6xx diagnostics for a rule registry.
+
+    TV601 (error) per counterexample-bearing rule, TV602 (warning) per
+    rule that fired on none of its templates, TV603 (error) per rule
+    that raised during validation.  ``metrics`` (a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`) receives the
+    same ``lint.rule.<CODE>`` hit counters :func:`repro.lint.run_lint`
+    emits for its passes.
+    """
+    diagnostics: List[Diagnostic] = []
+    report = validate_rules(rules, seed=seed)
+    for result in report.results:
+        if result.counterexamples:
+            first = result.counterexamples[0]
+            diagnostics.append(make(
+                "TV601",
+                "rewrite rule %r is unsound: %s"
+                % (result.rule, first.render()),
+                _rule_location(result.rule, first.template),
+                data={
+                    "rule": result.rule,
+                    "counterexamples":
+                        [c.render() for c in result.counterexamples],
+                    "vectors": result.vectors,
+                },
+            ))
+        for crash in result.crashes:
+            diagnostics.append(make(
+                "TV603",
+                "rewrite rule %r failed validation: %s"
+                % (result.rule, crash),
+                _rule_location(result.rule, None),
+                data={"rule": result.rule},
+            ))
+        if not result.exercised and not result.crashes:
+            diagnostics.append(make(
+                "TV602",
+                "rewrite rule %r fired on none of its %d declared "
+                "templates" % (result.rule, result.templates),
+                _rule_location(result.rule, None),
+                data={"rule": result.rule,
+                      "templates": result.templates},
+            ))
+    if metrics is not None:
+        for diagnostic in diagnostics:
+            metrics.counter("lint.rule.%s" % diagnostic.code).inc()
+    return diagnostics

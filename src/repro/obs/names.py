@@ -24,6 +24,9 @@ __all__ = [
     "METRIC_BREAKER_TRANSITIONS",
     "METRIC_QUEUE_DEPTH",
     "METRIC_QUEUE_WAIT_SECONDS",
+    "METRIC_ADMISSION_STATIC_COST_QUEUED",
+    "METRIC_ADMISSION_STATIC_COST_IN_FLIGHT",
+    "METRIC_ADMISSION_STATIC_COST_SECONDS_PER_UNIT",
     "METRIC_RUN_SECONDS",
     "METRIC_REQUEST_LATENCY_SECONDS",
     "METRIC_SLO_LATENCY_BURN",
@@ -82,6 +85,17 @@ METRIC_QUEUE_DEPTH = "service.queue_depth"
 
 #: Time a request spent queued before a worker took it (histogram).
 METRIC_QUEUE_WAIT_SECONDS = "service.queue_wait_seconds"
+
+#: Cost-aware admission gauges (rendered as
+#: ``repro_admission_static_cost_*``): summed static admission weight
+#: (:attr:`repro.lint.cost.CostReport.cost_units`) of the queued and
+#: in-flight requests, and the learned seconds-per-cost-unit rate the
+#: Retry-After quotes are priced with.
+METRIC_ADMISSION_STATIC_COST_QUEUED = "admission.static_cost_queued"
+METRIC_ADMISSION_STATIC_COST_IN_FLIGHT = "admission.static_cost_in_flight"
+METRIC_ADMISSION_STATIC_COST_SECONDS_PER_UNIT = (
+    "admission.static_cost_seconds_per_unit"
+)
 
 #: Wall-clock of the co-estimation run itself (histogram).
 METRIC_RUN_SECONDS = "service.run_seconds"

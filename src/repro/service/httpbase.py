@@ -27,7 +27,8 @@ class QuietHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, handler_class, quiet: bool = True) -> None:
+    def __init__(self, address: Tuple[str, int], handler_class: Any,
+                 quiet: bool = True) -> None:
         self.quiet = quiet
         super().__init__(address, handler_class)
 
@@ -47,7 +48,7 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
     #: as "other" so probing garbage paths cannot explode cardinality.
     KNOWN_PATHS: Tuple[str, ...] = ()
 
-    def log_message(self, fmt: str, *args) -> None:
+    def log_message(self, fmt: str, *args: Any) -> None:
         if not getattr(self.server, "quiet", True):
             BaseHTTPRequestHandler.log_message(self, fmt, *args)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import signal
 import threading
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.resilience.checkpoint import (
     CheckpointWriter,
@@ -69,7 +69,7 @@ class DrainController:
 
 def install_drain_signals(
     controller: DrainController,
-    signals=(signal.SIGTERM, signal.SIGINT),
+    signals: Sequence[int] = (signal.SIGTERM, signal.SIGINT),
 ) -> Callable[[], None]:
     """Route ``signals`` into ``controller.request_drain``.
 
@@ -79,7 +79,7 @@ def install_drain_signals(
     should skip installation and drive the controller directly.
     """
 
-    def handler(signum, frame):  # noqa: ARG001 - signal signature
+    def handler(signum: int, frame: Any) -> None:  # noqa: ARG001
         controller.request_drain("signal %d" % signum)
 
     previous = {}
@@ -94,8 +94,8 @@ def install_drain_signals(
 
 
 def raise_on_signals(
-    signals=(signal.SIGTERM,),
-    exception_factory: Callable[[int], BaseException] = None,
+    signals: Sequence[int] = (signal.SIGTERM,),
+    exception_factory: Optional[Callable[[int], BaseException]] = None,
 ) -> Callable[[], None]:
     """Convert ``signals`` into an in-band exception in the main thread.
 
@@ -107,11 +107,15 @@ def raise_on_signals(
     restore function.
     """
     if exception_factory is None:
-        def exception_factory(signum):
+        def default_factory(signum: int) -> BaseException:
             return SystemExit(128 + signum)
 
-    def handler(signum, frame):  # noqa: ARG001 - signal signature
-        raise exception_factory(signum)
+        factory = default_factory
+    else:
+        factory = exception_factory
+
+    def handler(signum: int, frame: Any) -> None:  # noqa: ARG001
+        raise factory(signum)
 
     previous = {}
     for signum in signals:

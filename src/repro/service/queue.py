@@ -57,7 +57,8 @@ class AdmissionQueue:
         self._clock = clock
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
-        self._items: List[Tuple[int, int, Any]] = []  # (priority, seq, item)
+        # (priority, seq, static cost units, item)
+        self._items: List[Tuple[int, int, float, Any]] = []
         self._seq = 0
         self._closed = False
         # Lifetime accounting (read by /stats).
@@ -65,6 +66,12 @@ class AdmissionQueue:
         self.rejected = 0
         self.shed = 0
         self.peak_depth = 0
+        # Static-cost accounting: the queue tracks the summed admission
+        # weight (repro.lint.cost units) of everything waiting, so the
+        # service can quote Retry-After from the *work* queued instead
+        # of the request count.
+        self._queued_cost = 0.0
+        self.admitted_cost = 0.0
         # Recent (timestamp, depth) points, one per depth change —
         # the /stats sparkline that shows *how* the queue filled, not
         # just where it stands now.  Bounded; O(1) per transition.
@@ -77,9 +84,13 @@ class AdmissionQueue:
 
     # -- producer side --------------------------------------------------
 
-    def submit(self, item: Any, priority: int) -> Optional[Any]:
+    def submit(self, item: Any, priority: int,
+               cost: float = 1.0) -> Optional[Any]:
         """Admit ``item``; returns the shed victim, if admission cost one.
 
+        ``cost`` is the request's static admission weight
+        (:attr:`repro.lint.cost.CostReport.cost_units`); the queue sums
+        it into :attr:`queued_cost` for cost-aware backpressure quotes.
         Raises :class:`QueueFull` when the queue is at capacity and no
         queued entry has a strictly lower priority, :class:`QueueClosed`
         after :meth:`close`.
@@ -96,11 +107,14 @@ class AdmissionQueue:
                         "admission queue full (%d queued at priority >= %d)"
                         % (len(self._items), priority)
                     )
-                victim = self._items.pop(index)[2]
+                _, _, victim_cost, victim = self._items.pop(index)
+                self._queued_cost -= victim_cost
                 self.shed += 1
             self._seq += 1
-            self._items.append((priority, self._seq, item))
+            self._items.append((priority, self._seq, cost, item))
             self.admitted += 1
+            self._queued_cost += cost
+            self.admitted_cost += cost
             if len(self._items) > self.peak_depth:
                 self.peak_depth = len(self._items)
             self._record_depth_locked()
@@ -111,7 +125,7 @@ class AdmissionQueue:
         """Index of the shed victim: lowest priority, newest arrival."""
         best = 0
         for index in range(1, len(self._items)):
-            priority, seq, _ = self._items[index]
+            priority, seq, _, _ = self._items[index]
             if (priority, -seq) < (self._items[best][0], -self._items[best][1]):
                 best = index
         return best
@@ -138,11 +152,12 @@ class AdmissionQueue:
                 self._not_empty.wait(remaining)
             best = 0
             for index in range(1, len(self._items)):
-                priority, seq, _ = self._items[index]
+                priority, seq, _, _ = self._items[index]
                 if (-priority, seq) < (-self._items[best][0],
                                        self._items[best][1]):
                     best = index
-            item = self._items.pop(best)[2]
+            _, _, cost, item = self._items.pop(best)
+            self._queued_cost -= cost
             self._record_depth_locked()
             return item
 
@@ -162,10 +177,11 @@ class AdmissionQueue:
     def drain_remaining(self) -> List[Any]:
         """Remove and return everything still queued (drain checkpoint)."""
         with self._not_empty:
-            items = [item for _, _, item in sorted(
+            items = [item for _, _, _, item in sorted(
                 self._items, key=lambda entry: (-entry[0], entry[1])
             )]
             self._items.clear()
+            self._queued_cost = 0.0
             self._record_depth_locked()
             return items
 
@@ -173,6 +189,12 @@ class AdmissionQueue:
     def depth(self) -> int:
         with self._lock:
             return len(self._items)
+
+    @property
+    def queued_cost(self) -> float:
+        """Summed static cost units of everything currently waiting."""
+        with self._lock:
+            return self._queued_cost
 
     def depth_history(self) -> List[Tuple[float, int]]:
         """Recent ``(timestamp, depth)`` points, oldest first."""
@@ -188,6 +210,8 @@ class AdmissionQueue:
                 "admitted": self.admitted,
                 "rejected": self.rejected,
                 "shed": self.shed,
+                "queued_cost": round(self._queued_cost, 4),
+                "admitted_cost": round(self.admitted_cost, 4),
                 "closed": self._closed,
                 "depth_history": [
                     [round(ts, 6), depth]

@@ -52,7 +52,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from http.server import ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.obs import Observability
@@ -68,6 +68,9 @@ from repro.obs.names import (
     EVENT_FAILED,
     EVENT_REJECTED,
     EVENT_SHED,
+    METRIC_ADMISSION_STATIC_COST_IN_FLIGHT,
+    METRIC_ADMISSION_STATIC_COST_QUEUED,
+    METRIC_ADMISSION_STATIC_COST_SECONDS_PER_UNIT,
 )
 from repro.obs.slo import SLOConfig
 from repro.parallel.jobs import JobSpec, job_seed
@@ -104,6 +107,11 @@ __all__ = [
     "ServiceHTTPServer",
     "run_server",
 ]
+
+
+#: Seconds-per-cost-unit rate used for Retry-After quotes before any
+#: run has completed; replaced by the online EWMA after the first one.
+DEFAULT_SECONDS_PER_COST_UNIT = 0.05
 
 
 class ServiceRejected(ReproError):
@@ -195,6 +203,9 @@ class _Entry:
     pending: PendingResult
     admitted_at: float
     context: Optional[RequestContext] = None
+    #: Static admission weight of the request
+    #: (:attr:`repro.lint.cost.CostReport.cost_units`).
+    cost: float = 1.0
 
 
 @dataclass
@@ -231,7 +242,7 @@ class CoEstimationService:
 
     def __init__(self, config: Optional[ServiceConfig] = None,
                  telemetry: Optional[Telemetry] = None,
-                 clock=time.monotonic,
+                 clock: Callable[[], float] = time.monotonic,
                  logger: Optional[JsonLogger] = None) -> None:
         self.config = config or ServiceConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -265,7 +276,15 @@ class CoEstimationService:
         self._started = False
         self._stopped = False
         self._in_flight = 0
+        self._in_flight_cost = 0.0
         self._avg_run_s = 0.0
+        # Online seconds-per-cost-unit estimate (EWMA over completed
+        # runs); 0.0 means "nothing learned yet" and _retry_after_s
+        # falls back to DEFAULT_SECONDS_PER_COST_UNIT.
+        self._seconds_per_cost_unit = 0.0
+        # Per-system static admission weights, computed once — the
+        # bundled systems are immutable, so their CostReports are too.
+        self._static_costs: Dict[str, float] = {}
         self._completed = 0
         self._failed = 0
         self._expired = 0
@@ -330,12 +349,14 @@ class CoEstimationService:
         context = RequestContext.new(request.request_id)
         bundle = build_bundle(request.system)
         fingerprint = request_fingerprint(bundle, request)
+        cost = self._static_cost(request.system, bundle)
         entry = _Entry(
             request=request,
             fingerprint=fingerprint,
             pending=PendingResult(),
             admitted_at=self.clock(),
             context=context,
+            cost=cost,
         )
         entry.pending.trace_id = context.trace_id
         with use_context(context):
@@ -351,17 +372,19 @@ class CoEstimationService:
                 )
                 return primary.pending, True
             try:
-                victim = self.queue.submit(entry, request.priority)
+                victim = self.queue.submit(entry, request.priority,
+                                           cost=cost)
             except QueueFull:
                 self.dedup.complete(fingerprint)
                 self._count("service.rejected.queue_full")
                 self.obs.event(
                     EVENT_REJECTED, reason="queue_full",
                     system=request.system, depth=self.queue.depth,
+                    static_cost=round(cost, 4),
                 )
                 raise ServiceRejected(
                     "admission queue full", 429, "queue_full",
-                    retry_after_s=self._retry_after_s(),
+                    retry_after_s=self._retry_after_s(cost),
                 ) from None
             except QueueClosed:
                 self.dedup.complete(fingerprint)
@@ -379,16 +402,50 @@ class CoEstimationService:
                 strategy=request.strategy,
                 priority=request.priority,
                 depth=self.queue.depth,
+                static_cost=round(cost, 4),
             )
             if victim is not None:
                 self._finish_shed(victim)
         return entry.pending, False
 
-    def _retry_after_s(self) -> int:
+    def _static_cost(self, system: str, bundle: Any) -> float:
+        """Static admission weight of one request, cached per system.
+
+        The weight is :attr:`repro.lint.cost.CostReport.cost_units` —
+        a pure function of the design, so it is computed once.  Falls
+        back to the neutral weight 1.0 when the analysis fails:
+        admission *pricing* must never refuse work the estimator could
+        still run.
+        """
         with self._lock:
-            avg = self._avg_run_s or 1.0
-        backlog = self.queue.depth + self._in_flight
-        estimate = backlog * avg / max(1, self.config.workers)
+            cached = self._static_costs.get(system)
+        if cached is not None:
+            return cached
+        try:
+            from repro.lint.cost import compute_cost_report
+
+            cost = compute_cost_report(bundle.network).cost_units
+        except Exception:
+            cost = 1.0
+        with self._lock:
+            self._static_costs[system] = cost
+        return cost
+
+    def _retry_after_s(self, incoming_cost: float = 0.0) -> int:
+        """Retry-After quote from the *statically priced* backlog.
+
+        The backlog is summed in cost units (queued + in flight + the
+        refused request's own weight) and converted to seconds by the
+        learned per-unit rate, divided across the workers — so a
+        heavyweight design is quoted a longer back-off than a light
+        one against the same queue.
+        """
+        with self._lock:
+            rate = (self._seconds_per_cost_unit
+                    or DEFAULT_SECONDS_PER_COST_UNIT)
+            in_flight_cost = self._in_flight_cost
+        backlog = self.queue.queued_cost + in_flight_cost + incoming_cost
+        estimate = backlog * rate / max(1, self.config.workers)
         return max(1, int(estimate + 0.999))
 
     def _finish_shed(self, victim: _Entry) -> None:
@@ -406,7 +463,7 @@ class CoEstimationService:
                 "detail": "shed for a higher-priority request under "
                           "queue pressure",
             },
-            headers={"Retry-After": str(self._retry_after_s())},
+            headers={"Retry-After": str(self._retry_after_s(victim.cost))},
             event=EVENT_SHED,
         )
 
@@ -449,12 +506,14 @@ class CoEstimationService:
                 continue
             with self._lock:
                 self._in_flight += 1
+                self._in_flight_cost += entry.cost
             try:
                 self._execute(entry)
             finally:
                 self.dedup.complete(entry.fingerprint)
                 with self._lock:
                     self._in_flight -= 1
+                    self._in_flight_cost -= entry.cost
                 self._gauge("service.queue_depth", self.queue.depth)
 
     def _execute(self, entry: _Entry) -> None:
@@ -593,7 +652,7 @@ class CoEstimationService:
             spans = self._recent_traces.get(trace_id)
             return list(spans) if spans is not None else None
 
-    def _finish_ok(self, entry: _Entry, report, queue_wait: float,
+    def _finish_ok(self, entry: _Entry, report: Any, queue_wait: float,
                    wall_s: float, run_seconds: float) -> None:
         import dataclasses
 
@@ -607,6 +666,11 @@ class CoEstimationService:
             self._avg_run_s = (
                 wall_s if self._avg_run_s == 0.0
                 else 0.8 * self._avg_run_s + 0.2 * wall_s
+            )
+            rate = wall_s / max(entry.cost, 1e-9)
+            self._seconds_per_cost_unit = (
+                rate if self._seconds_per_cost_unit == 0.0
+                else 0.8 * self._seconds_per_cost_unit + 0.2 * rate
             )
             for level, count in report.provenance.items():
                 self._provenance[level] = (
@@ -742,7 +806,17 @@ class CoEstimationService:
                 "degraded_responses": self._degraded_responses,
                 "avg_run_seconds": self._avg_run_s,
             }
+            admission = {
+                "in_flight_cost": round(self._in_flight_cost, 4),
+                "seconds_per_cost_unit": self._seconds_per_cost_unit,
+                "static_costs": {
+                    name: round(cost, 4)
+                    for name, cost in sorted(self._static_costs.items())
+                },
+            }
             provenance = dict(self._provenance)
+        admission["queued_cost"] = round(self.queue.queued_cost, 4)
+        self._refresh_admission_gauges()
         self._gauge("service.queue_depth", self.queue.depth)
         self._gauge("service.breakers_open", self.breakers.open_count())
         self.obs.sync_breaker_states(self.breakers.states())
@@ -750,6 +824,7 @@ class CoEstimationService:
         recorder = self.obs.recorder
         return {
             "service": service,
+            "admission": admission,
             "queue": self.queue.snapshot(),
             "dedup": self.dedup.snapshot(),
             "breakers": self.breakers.snapshot(),
@@ -770,8 +845,18 @@ class CoEstimationService:
         """The Prometheus ``/metrics`` body (refreshes derived gauges)."""
         self._gauge("service.queue_depth", self.queue.depth)
         self._gauge("service.breakers_open", self.breakers.open_count())
+        self._refresh_admission_gauges()
         self.obs.sync_breaker_states(self.breakers.states())
         return self.obs.render_metrics()
+
+    def _refresh_admission_gauges(self) -> None:
+        with self._lock:
+            in_flight_cost = self._in_flight_cost
+            rate = self._seconds_per_cost_unit
+        self._gauge(METRIC_ADMISSION_STATIC_COST_QUEUED,
+                    self.queue.queued_cost)
+        self._gauge(METRIC_ADMISSION_STATIC_COST_IN_FLIGHT, in_flight_cost)
+        self._gauge(METRIC_ADMISSION_STATIC_COST_SECONDS_PER_UNIT, rate)
 
     def _count(self, name: str) -> None:
         if self.telemetry.enabled:
@@ -797,7 +882,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, service: CoEstimationService,
+    def __init__(self, address: Tuple[str, int],
+                 service: CoEstimationService,
                  quiet: bool = True) -> None:
         self.service = service
         self.quiet = quiet
@@ -908,7 +994,9 @@ def run_server(
     resume_path: Optional[str] = None,
     install_signals: bool = True,
     quiet: bool = False,
-    ready_callback=None,
+    ready_callback: Optional[
+        Callable[["CoEstimationService", "ServiceHTTPServer"], None]
+    ] = None,
 ) -> int:
     """Run the service until a drain is requested; returns the exit code.
 

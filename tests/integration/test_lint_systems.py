@@ -71,6 +71,18 @@ class TestGoldenLint:
         result = run_lint(tcpip.build_system(dma_block_words=16).network)
         self.assert_clean(result)
         assert fingerprintless(result) == [
+            # The checksum datapath carries constant-zero AND legs the
+            # bit-level fixpoint proves dead (capped per-net findings
+            # plus the per-netlist aggregate).
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net258"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net275"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net292"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net309"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net343"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net360"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net377"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net394"),
+            ("DF502", "tcpip_nic/checksum/netlist:checksum_netlist"),
             ("NET109", "tcpip_nic/ip_check[event:CHK_ERR]"),
             ("NET109", "tcpip_nic/ip_check[event:PKT_OK]"),
             ("NET109", "tcpip_nic/ip_check[event:TX_READY]"),
@@ -89,6 +101,15 @@ class TestGoldenLint:
         # disappear (the branch is now genuinely exercised both ways).
         assert "SG203" not in {d.code for d in result.diagnostics}
         assert fingerprintless(result) == [
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net283"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net302"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net321"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net340"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net378"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net397"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net416"),
+            ("DF501", "tcpip_nic/checksum/netlist:checksum_netlist@net435"),
+            ("DF502", "tcpip_nic/checksum/netlist:checksum_netlist"),
             ("NET109", "tcpip_nic/ip_check[event:CHK_ERR]"),
             ("NET109", "tcpip_nic/ip_check[event:PKT_OK]"),
             ("NET109", "tcpip_nic/ip_check[event:TX_READY]"),

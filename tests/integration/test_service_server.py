@@ -136,6 +136,71 @@ class TestSaturationUnderLoad:
         assert snap["queue"]["peak_depth"] <= service.config.queue_depth
 
 
+class TestCostAwareAdmission:
+    """Two queued-out requests of different static cost get different
+    Retry-After quotes: the backlog is priced in cost units, not
+    entries (ISSUE acceptance scenario)."""
+
+    @pytest.fixture
+    def pinned_service(self, monkeypatch):
+        # Workers that never take from the queue: the single queue slot
+        # stays deterministically occupied, so every further submit is
+        # a 429 priced off the same backlog.
+        monkeypatch.setattr(CoEstimationService, "_worker_loop",
+                            lambda self: None)
+        service = CoEstimationService(
+            ServiceConfig(workers=1, queue_depth=1,
+                          default_deadline_s=60.0)
+        )
+        service.start()
+        return service
+
+    def test_heavier_design_quoted_longer_retry_after(self, pinned_service):
+        service = pinned_service
+        service.submit(req({"system": "automotive",
+                            "strategy": "caching"}))  # occupies the slot
+
+        with pytest.raises(ServiceRejected) as light:
+            service.submit(req({"system": "automotive", "strategy": "full"}))
+        with pytest.raises(ServiceRejected) as heavy:
+            service.submit(req({"system": "tcpip", "strategy": "full"}))
+
+        assert light.value.status == 429
+        assert heavy.value.status == 429
+        assert light.value.retry_after_s >= 1
+        # Same queue state, same instant — the only difference is the
+        # incoming request's own static weight (automotive ~1.2 units,
+        # tcpip ~35 units), and the quote must reflect it.
+        assert heavy.value.retry_after_s > light.value.retry_after_s
+
+    def test_stats_expose_the_price_list(self, pinned_service):
+        service = pinned_service
+        service.submit(req({"system": "automotive", "strategy": "caching"}))
+        with pytest.raises(ServiceRejected):
+            service.submit(req({"system": "tcpip", "strategy": "full"}))
+
+        snap = service.stats_snapshot()
+        admission = snap["admission"]
+        # The queue holds exactly the automotive filler.
+        assert admission["queued_cost"] == pytest.approx(
+            admission["static_costs"]["automotive"])
+        assert admission["in_flight_cost"] == 0.0
+        # Rejected requests are priced too: the probe's system is in
+        # the price list even though it never entered the queue.
+        assert set(admission["static_costs"]) == {"automotive", "tcpip"}
+        assert (admission["static_costs"]["tcpip"]
+                > admission["static_costs"]["automotive"])
+        assert snap["queue"]["queued_cost"] == pytest.approx(
+            admission["queued_cost"])
+        assert snap["queue"]["admitted_cost"] == pytest.approx(
+            admission["queued_cost"])
+
+        exposition = service.metrics_exposition()
+        assert "repro_admission_static_cost_queued" in exposition
+        assert "repro_admission_static_cost_in_flight" in exposition
+        assert "repro_admission_static_cost_seconds_per_unit" in exposition
+
+
 def _post_async(port, body, results):
     def worker():
         try:

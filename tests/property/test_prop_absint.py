@@ -1,0 +1,257 @@
+"""Property tests: abstract-interpretation soundness (the DF5xx engine).
+
+The contract of :mod:`repro.lint.absint` is soundness, nothing less:
+
+* **intervals** — for every expression and every concrete environment
+  drawn from inside the abstract one, the concrete result lies inside
+  the abstract interval;
+* **ternary netlist fixpoint** — for every synthesized netlist and any
+  input sequence, every net whose abstract value is ``0`` or ``1``
+  holds exactly that value at every settled cycle, and the per-cycle
+  energy bound is never exceeded by a concrete ``step``.
+
+On top of the hypothesis sweeps a deterministic seeded fuzz runs
+1000 expression vectors, so the soundness budget does not depend on
+hypothesis' example budget.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfsm.expr import BinaryOp, Const, UnaryOp, Var
+from repro.hw.logicsim import CompiledSimulator
+from repro.hw.synth import synthesize_cfsm_cached
+from repro.lint.absint import (
+    TOP_INTERVAL,
+    Interval,
+    abstract_eval,
+    abstract_netlist_values,
+    netlist_energy_bound,
+)
+
+from tests.generators import (
+    SW_BINOPS,
+    SW_UNOPS,
+    VAR_NAMES,
+    hw_bodies,
+    hw_values,
+    sw_exprs,
+    sw_values,
+    var_bindings,
+)
+from tests.property.test_prop_synth import build_cfsm
+
+SEEDED_VECTORS = 1000
+_FUZZ_SEED = 0xAB51
+
+
+# ---------------------------------------------------------------------------
+# Interval algebra
+# ---------------------------------------------------------------------------
+
+
+class TestIntervalAlgebra:
+    def test_empty_interval_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_join_is_a_hull(self):
+        joined = Interval(0, 5).join(Interval(10, 12))
+        assert joined == Interval(0, 12)
+        assert joined.contains(7)  # hull, not union
+
+    def test_join_with_top_is_top(self):
+        assert Interval(1, 2).join(TOP_INTERVAL) == TOP_INTERVAL
+
+    def test_widen_drops_growing_bounds(self):
+        previous = Interval(0, 10)
+        grown = Interval(0, 11).widen(previous)
+        assert grown == Interval(0, None)
+        shrunk = Interval(2, 9).widen(previous)
+        assert shrunk == Interval(2, 9)  # stable bounds survive
+
+    def test_truthiness_predicates(self):
+        assert Interval.const(0).definitely_zero
+        assert Interval(3, 7).definitely_nonzero
+        assert Interval(-2, -1).definitely_nonzero
+        boolish = Interval(0, 1)
+        assert not boolish.definitely_zero
+        assert not boolish.definitely_nonzero
+
+    @given(sw_values(), sw_values(), sw_values())
+    def test_join_contains_both_operands(self, a, b, probe):
+        lhs = Interval(min(a, b), max(a, b))
+        rhs = Interval.const(probe)
+        joined = lhs.join(rhs)
+        assert joined.contains(a)
+        assert joined.contains(b)
+        assert joined.contains(probe)
+
+
+# ---------------------------------------------------------------------------
+# Expression intervals: abstract contains concrete
+# ---------------------------------------------------------------------------
+
+
+def _constant_env(bindings, event_value):
+    env = {name: Interval.const(value) for name, value in bindings.items()}
+    env["@IN"] = Interval.const(event_value)
+    return env
+
+
+@given(sw_exprs(3), var_bindings(sw_values()), sw_values())
+@settings(max_examples=200)
+def test_abstract_eval_contains_concrete(expr, bindings, event_value):
+    concrete_env = dict(bindings)
+    concrete_env["@IN"] = event_value
+    concrete = expr.evaluate(concrete_env)
+    interval = abstract_eval(expr, _constant_env(bindings, event_value))
+    assert interval.contains(concrete), (
+        "concrete %d escaped %r for %r" % (concrete, interval, expr)
+    )
+
+
+@given(
+    sw_exprs(3),
+    var_bindings(sw_values()),
+    sw_values(),
+    st.integers(min_value=0, max_value=1 << 12),
+    st.integers(min_value=0, max_value=1 << 12),
+)
+@settings(max_examples=200)
+def test_widened_env_still_contains_concrete(expr, bindings, event_value,
+                                             slack_lo, slack_hi):
+    """Soundness must survive imprecision: growing the abstract inputs
+    may only grow (never lose) the concrete result."""
+    concrete_env = dict(bindings)
+    concrete_env["@IN"] = event_value
+    concrete = expr.evaluate(concrete_env)
+    wide_env = {
+        name: Interval(value - slack_lo, value + slack_hi)
+        for name, value in bindings.items()
+    }
+    wide_env["@IN"] = Interval(event_value - slack_lo, event_value + slack_hi)
+    assert abstract_eval(expr, wide_env).contains(concrete)
+
+
+@given(sw_exprs(3), var_bindings(sw_values()), sw_values())
+@settings(max_examples=100)
+def test_unbound_variables_are_top(expr, bindings, event_value):
+    """An empty abstract environment is always sound (everything TOP)."""
+    concrete_env = dict(bindings)
+    concrete_env["@IN"] = event_value
+    concrete = expr.evaluate(concrete_env)
+    assert abstract_eval(expr, {}).contains(concrete)
+
+
+def _random_expr(rng, depth):
+    if depth <= 0 or rng.random() < 0.3:
+        kind = rng.randrange(3)
+        if kind == 0:
+            return Const(rng.randint(-(1 << 20), 1 << 20))
+        if kind == 1:
+            return Var(rng.choice(VAR_NAMES))
+        return Const(rng.choice((0, 1, -1, (1 << 31) - 1, -(1 << 31))))
+    if rng.random() < 0.2:
+        return UnaryOp(rng.choice(SW_UNOPS), _random_expr(rng, depth - 1))
+    return BinaryOp(
+        rng.choice(SW_BINOPS),
+        _random_expr(rng, depth - 1),
+        _random_expr(rng, depth - 1),
+    )
+
+
+def test_seeded_fuzz_1000_vectors_sound():
+    """Deterministic bulk soundness sweep: 1000 seeded (expression,
+    environment) vectors, each checked under both a constant and a
+    slack-widened abstract environment."""
+    rng = random.Random(_FUZZ_SEED)
+    for case in range(SEEDED_VECTORS):
+        expr = _random_expr(rng, rng.randint(1, 4))
+        bindings = {
+            name: rng.randint(-(1 << 24), 1 << 24) for name in VAR_NAMES
+        }
+        concrete = expr.evaluate(dict(bindings))
+        exact_env = {
+            name: Interval.const(value) for name, value in bindings.items()
+        }
+        assert abstract_eval(expr, exact_env).contains(concrete), (
+            "case %d: %r escaped under exact env" % (case, expr)
+        )
+        slack = rng.randint(0, 1 << 10)
+        wide_env = {
+            name: Interval(value - slack, value + slack)
+            for name, value in bindings.items()
+        }
+        assert abstract_eval(expr, wide_env).contains(concrete), (
+            "case %d: %r escaped under widened env" % (case, expr)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Netlist ternary fixpoint: abstract contains every concrete trajectory
+# ---------------------------------------------------------------------------
+
+
+def _assert_nets_inside(abstract, sim, context):
+    for net, proved in enumerate(abstract):
+        if proved is not None:
+            assert sim.values[net] == proved, (
+                "net %d proved %d but holds %d (%s)"
+                % (net, proved, sim.values[net], context)
+            )
+
+
+@given(
+    hw_bodies(),
+    var_bindings(hw_values()),
+    st.lists(st.integers(min_value=0, max_value=0xFFFF),
+             min_size=8, max_size=24),
+)
+@settings(max_examples=15, deadline=None)
+def test_netlist_fixpoint_contains_concrete_run(body, bindings, stimuli):
+    """Every net the ternary fixpoint proves constant holds that value
+    at every settled cycle, for arbitrary input stimuli; and no cycle's
+    concrete energy exceeds the static per-cycle bound."""
+    cfsm = build_cfsm(list(body))
+    netlist = synthesize_cfsm_cached(cfsm).netlist
+    abstract = abstract_netlist_values(netlist)
+    bound = netlist_energy_bound(netlist, values=abstract)
+
+    sim = CompiledSimulator(netlist)
+    sim.reset()
+    _assert_nets_inside(abstract, sim, "after reset")
+
+    ports = sorted(netlist.input_ports)
+    for cycle, stimulus in enumerate(stimuli):
+        inputs = {}
+        for offset, port in enumerate(ports):
+            width = len(netlist.input_ports[port])
+            inputs[port] = (stimulus >> offset) & ((1 << width) - 1)
+        energy = sim.step(inputs)
+        assert energy <= bound.total_j + 1e-15, (
+            "cycle %d dissipated %.3g J above the static bound %.3g J"
+            % (cycle, energy, bound.total_j)
+        )
+        _assert_nets_inside(abstract, sim, "cycle %d" % cycle)
+
+
+@given(hw_bodies(), var_bindings(hw_values()))
+@settings(max_examples=10, deadline=None)
+def test_energy_bound_terms_are_consistent(body, bindings):
+    cfsm = build_cfsm(list(body))
+    netlist = synthesize_cfsm_cached(cfsm).netlist
+    bound = netlist_energy_bound(netlist)
+    assert bound.total_j >= 0.0
+    assert abs(
+        bound.total_j
+        - (bound.clock_j + bound.dff_switch_j + bound.input_j
+           + bound.gate_switch_j)
+    ) < 1e-18
+    assert bound.dead_toggle_j >= 0.0
+    assert 0 <= bound.constant_gate_outputs <= bound.gate_outputs
+    assert bound.gate_outputs == len(netlist.gates)

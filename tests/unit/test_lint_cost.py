@@ -1,0 +1,258 @@
+"""Static cost model: bounds really bound, reports round-trip.
+
+The two bound walks mirror real execution engines, so each is checked
+against its engine on random programs:
+
+* the hardware cycle bound against the RTL micro-program interpreter
+  (one micro-op per cycle, the same machine
+  ``tests/property/test_prop_synth.py`` proves equivalent to the
+  behavioral semantics), and
+* the software macro-op bound against the s-graph interpreter's
+  actual macro-operation stream.
+"""
+
+from hypothesis import given, settings
+
+from repro.cfsm.builder import CfsmBuilder, NetworkBuilder
+from repro.cfsm.expr import Const, Var, add, const, event_value, mul, var
+from repro.cfsm.sgraph import Assign, Loop, assign, emit
+from repro.hw.synth import RtlCompiler
+from repro.lint.cost import (
+    ComponentCost,
+    CostReport,
+    compute_cost_report,
+    hw_transition_cycle_bound,
+    sw_transition_op_bound,
+)
+
+from tests.generators import (
+    EVENT_IN,
+    VAR_NAMES,
+    hw_bodies,
+    hw_values,
+    sw_bodies,
+    sw_values,
+    var_bindings,
+)
+from tests.property.test_prop_synth import (
+    SHARED_IMAGE,
+    DictShared,
+    build_cfsm,
+    interpret_micro,
+    run_behavioral,
+)
+
+
+# ---------------------------------------------------------------------------
+# Hardware: the cycle bound dominates the micro-program interpreter
+# ---------------------------------------------------------------------------
+
+
+@given(hw_bodies(), var_bindings(hw_values()), hw_values())
+@settings(max_examples=40)
+def test_hw_cycle_bound_dominates_micro_program(body, bindings, event_value_):
+    cfsm = build_cfsm(list(body))
+    bound = hw_transition_cycle_bound(cfsm, 0)
+    assert bound is not None and bound >= 1
+
+    _, trace, _ = run_behavioral(cfsm, bindings, event_value_)
+    program = RtlCompiler(cfsm).compile()
+    cycles, _ = interpret_micro(
+        program,
+        dict(bindings),
+        {EVENT_IN: event_value_},
+        [value for _, value in trace.shared_reads],
+    )
+    assert cycles <= bound, (
+        "micro-program ran %d cycles past the static bound %d"
+        % (cycles, bound)
+    )
+
+
+def test_hw_bound_none_for_unsynthesizable_body():
+    builder = CfsmBuilder("mulproc")
+    builder.input(EVENT_IN, has_value=True)
+    builder.var("a", 0)
+    builder.transition("t", trigger=[EVENT_IN],
+                       body=[assign("a", mul(var("a"), var("a")))])
+    assert hw_transition_cycle_bound(builder.build(), 0) is None
+
+
+def test_hw_loop_bound_uses_intervals_not_the_mask():
+    """A loop whose count is a constant-valued variable is priced at
+    that constant, not at the 2^width-1 datapath mask."""
+    builder = CfsmBuilder("looper", width=16)
+    builder.input(EVENT_IN)
+    builder.var("n", 3)
+    builder.var("x", 0)
+    builder.transition("t", trigger=[EVENT_IN], body=[
+        Loop(Var("n"), [Assign("x", add(var("x"), const(1)))]),
+    ])
+    bound = hw_transition_cycle_bound(builder.build(), 0)
+    assert bound is not None
+    # counter init + 3 * (test + body + decrement) + exit test + done:
+    # far below the 65535-iteration mask fallback.
+    assert bound < 100
+
+
+# ---------------------------------------------------------------------------
+# Software: the macro-op bound dominates the interpreter's stream
+# ---------------------------------------------------------------------------
+
+
+def _build_sw_cfsm(body):
+    builder = CfsmBuilder("sprop")
+    builder.input(EVENT_IN, has_value=True)
+    builder.output("OUT", has_value=True)
+    for name in VAR_NAMES:
+        builder.var(name, 0)
+    builder.transition("t", trigger=[EVENT_IN], body=body)
+    return builder.build()
+
+
+@given(sw_bodies(), var_bindings(sw_values()), sw_values())
+@settings(max_examples=40)
+def test_sw_op_bound_dominates_interpreter(body, bindings, event_value_):
+    cfsm = _build_sw_cfsm(list(body))
+    ops_bound, _ = sw_transition_op_bound(cfsm, 0)
+
+    env = dict(bindings)
+    env["@" + EVENT_IN] = event_value_
+    trace = cfsm.transitions[0].body.execute(env,
+                                             shared=DictShared(SHARED_IMAGE))
+    assert len(trace.ops) <= ops_bound, (
+        "interpreter emitted %d macro-ops past the static bound %d"
+        % (len(trace.ops), ops_bound)
+    )
+
+
+def test_sw_bound_marks_cap_assumed_loops():
+    builder = CfsmBuilder("capper")
+    builder.input(EVENT_IN, has_value=True)
+    builder.var("x", 0)
+    builder.transition("t", trigger=[EVENT_IN], body=[
+        # The count arrives from the event: unbounded interval, so the
+        # walk must fall back to the interpreter's iteration cap.
+        Loop(event_value(EVENT_IN),
+             [Assign("x", add(var("x"), const(1)))]),
+    ])
+    cfsm = builder.build()
+    ops, capped = sw_transition_op_bound(cfsm, 0)
+    assert capped
+    assert ops > cfsm.transitions[0].body.max_iterations
+
+
+def test_sw_bound_exact_for_straight_line_code():
+    builder = CfsmBuilder("straight")
+    builder.input(EVENT_IN, has_value=True)
+    builder.output("OUT", has_value=True)
+    builder.var("x", 0)
+    builder.transition("t", trigger=[EVENT_IN], body=[
+        assign("x", add(event_value(EVENT_IN), const(1))),
+        emit("OUT", var("x")),
+    ])
+    cfsm = builder.build()
+    ops_bound, capped = sw_transition_op_bound(cfsm, 0)
+    assert not capped
+    env = {"x": 0, "@" + EVENT_IN: 7}
+    trace = cfsm.transitions[0].body.execute(env)
+    # Straight-line code has a single path: the bound is tight.
+    assert ops_bound == len(trace.ops)
+
+
+# ---------------------------------------------------------------------------
+# The report object
+# ---------------------------------------------------------------------------
+
+
+def _tiny_network(copies=1):
+    net = NetworkBuilder("tiny")
+    net.environment_input("GO")
+    for index in range(copies):
+        proc = net.cfsm("p%d" % index, "hw")
+        proc.input("GO", has_value=True)
+        proc.output("DONE", has_value=True)
+        proc.var("x", 0)
+        proc.transition("t", trigger=["GO"], body=[
+            assign("x", add(var("x"), event_value("GO"))),
+            emit("DONE", var("x")),
+        ])
+        net.on_bus("DONE")
+    return net.build()
+
+
+def test_cost_report_fields_and_determinism():
+    report = compute_cost_report(_tiny_network())
+    again = compute_cost_report(_tiny_network())
+    assert report.to_payload() == again.to_payload()
+    assert report.cost_units >= 1.0
+    assert report.cycles_per_event_bound is not None
+    assert report.cycles_per_event_bound >= 1
+    assert report.energy_per_event_bound_j is not None
+    assert report.energy_per_event_bound_j > 0.0
+    assert report.clock_energy_per_cycle_j > 0.0
+    component = report.component("p0")
+    assert component.implementation == "hw"
+    assert component.gate_count > 0
+    assert component.logic_depth > 0
+
+
+def test_cost_units_monotone_in_design_size():
+    small = compute_cost_report(_tiny_network(copies=1))
+    large = compute_cost_report(_tiny_network(copies=3))
+    assert large.cost_units > small.cost_units
+
+
+def test_cost_report_payload_round_trip():
+    report = compute_cost_report(_tiny_network(copies=2))
+    rebuilt = CostReport.from_payload(report.to_payload())
+    assert rebuilt.system == report.system
+    assert rebuilt.cost_units == report.cost_units
+    assert rebuilt.cache_table_size == report.cache_table_size
+    assert rebuilt.cache_table_unbounded == report.cache_table_unbounded
+    assert len(rebuilt.components) == len(report.components)
+    for mine, theirs in zip(rebuilt.components, report.components):
+        assert mine.to_payload() == theirs.to_payload()
+
+
+def test_component_lookup_raises_for_unknown_name():
+    import pytest
+
+    report = compute_cost_report(_tiny_network())
+    with pytest.raises(KeyError):
+        report.component("ghost")
+
+
+def test_none_bounds_propagate_to_system_level():
+    report = CostReport(system="s", components=[
+        ComponentCost(name="ok", implementation="hw",
+                      cycles_per_event_bound=10,
+                      energy_per_event_bound_j=1e-9),
+        ComponentCost(name="unbounded", implementation="hw",
+                      cycles_per_event_bound=None,
+                      energy_per_event_bound_j=None,
+                      gate_count=200),
+    ])
+    assert report.cycles_per_event_bound is None
+    assert report.energy_per_event_bound_j is None
+    # ...but the admission weight stays finite: unknown hardware is
+    # priced at the cycle cap, never refused.
+    assert report.cost_units > 1.0
+
+
+def test_render_mentions_the_key_bounds():
+    report = compute_cost_report(_tiny_network())
+    text = report.render()
+    assert "Static cost report: tiny" in text
+    assert "cost units" in text
+    assert "[hw] p0" in text
+    assert "cycles <=" in text
+
+
+def test_const_templates_do_not_share_state():
+    """Two reports from separately built equal networks are equal —
+    no hidden global state in the walks."""
+    a = compute_cost_report(_tiny_network(copies=2)).to_payload()
+    b = compute_cost_report(_tiny_network(copies=2)).to_payload()
+    assert a == b
+    assert Const(0) == Const(0)  # dataclass equality, not identity

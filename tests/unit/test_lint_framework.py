@@ -39,11 +39,13 @@ EXPECTED_CODES = [
     "CFSM001", "CFSM002", "CFSM003", "CFSM004", "CFSM005", "CFSM006",
     "CFSM007", "CFSM008", "CFSM009", "CFSM010", "CFSM011", "CFSM012",
     "CFSM013",
+    "DF501", "DF502", "DF503", "DF504",
     "MM401",
     "NET101", "NET102", "NET103", "NET104", "NET105", "NET106",
     "NET107", "NET108", "NET109",
     "NL300", "NL301", "NL302", "NL303", "NL304", "NL305", "NL306",
     "SG201", "SG202", "SG203", "SG204", "SG205",
+    "TV601", "TV602", "TV603",
 ]
 
 
@@ -271,6 +273,25 @@ class TestSarifEmitter:
     def test_render_is_valid_json(self):
         log = json.loads(render_sarif([diag()]))
         assert log["runs"][0]["results"]
+
+    def test_expression_findings_get_hierarchical_locations(self):
+        """DF/TV findings anchored at a sub-expression carry it as a
+        child logical location, not squashed into the flat name."""
+        finding = diag("DF504", message="decided", cfsm="p",
+                       transition="t", expr="GT(Var(x), Const(0))")
+        (result,) = sarif_report([finding])["runs"][0]["results"]
+        locations = result["locations"][0]["logicalLocations"]
+        assert len(locations) == 2
+        parent, child = locations
+        assert "expr" not in parent
+        assert child["name"] == "GT(Var(x), Const(0))"
+        assert child["kind"] == "expression"
+        assert child["parentIndex"] == 0
+
+    def test_expressionless_findings_stay_flat(self):
+        (result,) = sarif_report([diag("NET108", cfsm="p")]
+                                 )["runs"][0]["results"]
+        assert len(result["locations"][0]["logicalLocations"]) == 1
 
     def test_emitter_registry(self):
         assert set(EMITTERS) == {"text", "json", "sarif"}

@@ -1,0 +1,168 @@
+"""Translation validation (TV6xx): the optimizer registry is proven.
+
+Two directions:
+
+* every rule actually registered in
+  :data:`repro.cfsm.optimize.REWRITE_RULES` is sound and exercised
+  over the full vector budget, and
+* a deliberately-unsound fixture rule — the historical
+  ``SHR(x, 0) -> x`` identity, which breaks for negative operands
+  because the interpreter wraps SHR operands to 32-bit unsigned — is
+  caught as TV601 with a concrete counterexample, a dead rule as
+  TV602, and a crashing rule as TV603.
+"""
+
+from repro.cfsm.expr import BinaryOp, Const, Var
+from repro.cfsm.optimize import REWRITE_RULES, RewriteRule, rewrite_rule_names
+from repro.lint.transvalidate import (
+    Counterexample,
+    check_rewrite_rules,
+    validate_rule,
+    validate_rules,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def _shr_zero_rule():
+    """The bug class the validator exists for: SHR by zero is *not* the
+    identity (SHR wraps its operand to unsigned 32-bit first)."""
+
+    def rewrite(op, left, right):
+        if op == "SHR" and isinstance(right, Const) and right.value == 0:
+            return left
+        return None
+
+    return RewriteRule(
+        name="shr-zero-right-unsound",
+        category="identity",
+        description="fixture: the unsound SHR(x, 0) -> x identity",
+        rewrite=rewrite,
+        templates=(BinaryOp("SHR", Var("a"), Const(0)),),
+    )
+
+
+def _dead_rule():
+    return RewriteRule(
+        name="never-fires",
+        category="identity",
+        description="fixture: rewrite that declines every template",
+        rewrite=lambda op, left, right: None,
+        templates=(BinaryOp("ADD", Var("a"), Const(0)),),
+    )
+
+
+def _crashing_rule():
+    def rewrite(op, left, right):
+        raise RuntimeError("boom")
+
+    return RewriteRule(
+        name="crashes",
+        category="identity",
+        description="fixture: rewrite that raises",
+        rewrite=rewrite,
+        templates=(BinaryOp("ADD", Var("a"), Const(0)),),
+    )
+
+
+class TestRegistryIsProven:
+    def test_every_registered_rule_sound_and_exercised(self):
+        report = validate_rules()
+        assert len(report.results) == len(REWRITE_RULES)
+        for result in report.results:
+            assert result.sound, (
+                "%s: %s" % (result.rule,
+                            [c.render() for c in result.counterexamples]
+                            + result.crashes)
+            )
+            assert result.exercised, "%s never fired" % result.rule
+        assert report.all_sound
+        assert report.all_exercised
+
+    def test_vector_budget_is_substantial_and_deterministic(self):
+        first = validate_rules()
+        second = validate_rules()
+        assert first.total_vectors == second.total_vectors
+        # Exhaustive 8-bit sweeps + corners + random vectors over 13
+        # rules: the budget must stay in the thousands, or the
+        # exhaustive layer has silently stopped running.
+        assert first.total_vectors >= 5000
+        assert first.to_payload() == second.to_payload()
+
+    def test_registry_yields_no_diagnostics(self):
+        assert check_rewrite_rules() == []
+
+    def test_rule_names_are_stable_and_unique(self):
+        names = rewrite_rule_names()
+        assert len(names) == len(set(names))
+        assert [r.rule for r in validate_rules().results] == list(names)
+
+    def test_payload_shape(self):
+        payload = validate_rules().to_payload()
+        assert payload["rules"] == len(REWRITE_RULES)
+        assert payload["all_sound"] is True
+        assert payload["all_exercised"] is True
+        for entry in payload["results"]:
+            assert entry["counterexamples"] == []
+            assert entry["crashes"] == []
+            assert entry["fired"] >= 1
+
+
+class TestUnsoundFixtureIsCaught:
+    def test_shr_zero_identity_refuted_with_negative_operand(self):
+        validation = validate_rule(_shr_zero_rule())
+        assert not validation.sound
+        assert validation.fired == 1
+        assert validation.counterexamples
+        cex = validation.counterexamples[0]
+        assert isinstance(cex, Counterexample)
+        # Non-negative operands are fixed points of the 32-bit wrap, so
+        # any refutation must come from a negative input.
+        assert all(c.env["a"] < 0 for c in validation.counterexamples)
+        assert cex.expected == cex.env["a"] % (1 << 32)
+        assert cex.actual == cex.env["a"]
+        assert "differs at" in cex.render()
+
+    def test_shr_zero_identity_is_tv601(self):
+        diagnostics = check_rewrite_rules([_shr_zero_rule()])
+        assert [d.code for d in diagnostics] == ["TV601"]
+        diagnostic = diagnostics[0]
+        assert diagnostic.severity == "error"
+        assert diagnostic.location.system == "optimizer"
+        assert diagnostic.location.cfsm == "shr-zero-right-unsound"
+        assert diagnostic.location.expr is not None
+        assert diagnostic.data["counterexamples"]
+        assert len(diagnostic.data["counterexamples"]) <= 3
+
+    def test_unsound_rule_hides_nothing_in_a_mixed_registry(self):
+        rules = list(REWRITE_RULES) + [_shr_zero_rule()]
+        diagnostics = check_rewrite_rules(rules)
+        assert [d.code for d in diagnostics] == ["TV601"]
+        assert diagnostics[0].data["rule"] == "shr-zero-right-unsound"
+
+    def test_dead_rule_is_tv602(self):
+        diagnostics = check_rewrite_rules([_dead_rule()])
+        assert [d.code for d in diagnostics] == ["TV602"]
+        assert diagnostics[0].severity == "warning"
+
+    def test_crashing_rule_is_tv603(self):
+        diagnostics = check_rewrite_rules([_crashing_rule()])
+        assert [d.code for d in diagnostics] == ["TV603"]
+        assert "boom" not in diagnostics[0].message  # class name, not str
+        assert "RuntimeError" in diagnostics[0].message
+
+
+class TestTelemetry:
+    def test_counters_incremented_per_code(self):
+        registry = MetricsRegistry()
+        check_rewrite_rules(
+            [_shr_zero_rule(), _dead_rule(), _crashing_rule()],
+            metrics=registry,
+        )
+        assert registry.counter("lint.rule.TV601").value == 1
+        assert registry.counter("lint.rule.TV602").value == 1
+        assert registry.counter("lint.rule.TV603").value == 1
+
+    def test_clean_registry_touches_no_counters(self):
+        registry = MetricsRegistry()
+        check_rewrite_rules(metrics=registry)
+        assert registry.counter("lint.rule.TV601").value == 0

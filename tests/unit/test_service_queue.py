@@ -83,6 +83,60 @@ class TestLoadShedding:
         assert q.submit("high", priority=2) is None
 
 
+class TestCostAccounting:
+    def test_queued_cost_tracks_submissions_and_takes(self):
+        q = AdmissionQueue(max_depth=4)
+        q.submit("light", priority=1, cost=1.25)
+        q.submit("heavy", priority=1, cost=35.0)
+        assert q.queued_cost == pytest.approx(36.25)
+        assert q.admitted_cost == pytest.approx(36.25)
+        q.take(0)
+        assert q.queued_cost == pytest.approx(35.0)
+        q.take(0)
+        assert q.queued_cost == pytest.approx(0.0)
+        # admitted_cost is a lifetime counter, not a level.
+        assert q.admitted_cost == pytest.approx(36.25)
+
+    def test_default_cost_is_one_unit(self):
+        q = AdmissionQueue(max_depth=2)
+        q.submit("a", priority=1)
+        assert q.queued_cost == pytest.approx(1.0)
+
+    def test_shedding_refunds_the_victim_cost(self):
+        q = AdmissionQueue(max_depth=2)
+        q.submit("low", priority=0, cost=19.0)
+        q.submit("normal", priority=1, cost=1.0)
+        victim = q.submit("high", priority=2, cost=2.5)
+        assert victim == "low"
+        # 19 left with the victim; the shedder's 2.5 arrived.
+        assert q.queued_cost == pytest.approx(3.5)
+        assert q.admitted_cost == pytest.approx(22.5)
+
+    def test_rejected_submission_costs_nothing(self):
+        q = AdmissionQueue(max_depth=1)
+        q.submit("queued", priority=1, cost=4.0)
+        with pytest.raises(QueueFull):
+            q.submit("newcomer", priority=1, cost=100.0)
+        assert q.queued_cost == pytest.approx(4.0)
+        assert q.admitted_cost == pytest.approx(4.0)
+
+    def test_drain_remaining_zeroes_the_level(self):
+        q = AdmissionQueue(max_depth=4)
+        q.submit("a", priority=1, cost=2.0)
+        q.submit("b", priority=0, cost=3.0)
+        q.close()
+        assert q.drain_remaining() == ["a", "b"]
+        assert q.queued_cost == pytest.approx(0.0)
+
+    def test_snapshot_reports_cost_levels(self):
+        q = AdmissionQueue(max_depth=4)
+        q.submit("a", priority=1, cost=1.2446)
+        q.submit("b", priority=1, cost=35.0081)
+        snap = q.snapshot()
+        assert snap["queued_cost"] == pytest.approx(36.2527)
+        assert snap["admitted_cost"] == pytest.approx(36.2527)
+
+
 class TestLifecycle:
     def test_closed_refuses_submissions(self):
         q = AdmissionQueue(max_depth=2)
