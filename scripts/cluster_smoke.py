@@ -17,15 +17,26 @@ deployment would experience it:
    and /stats must count at least one re-dispatch;
 6. a fresh worker started with ``--limp-s`` (it sleeps before every
    job and heartbeat) must be quarantined by the limplock detector —
-   visible in /readyz — while the cluster keeps answering estimates.
+   visible in /readyz — while the cluster keeps answering estimates;
+7. **high availability** (docs/cluster-ha.md): an active + standby
+   coordinator pair over a shared ``--control-dir``, three workers
+   holding both peers.  The active is SIGKILLed mid-sweep; the standby
+   must take the lease, replay the journal, report leadership in
+   /readyz and ``repro_cluster_failovers_total >= 1`` in /metrics, and
+   a failover resubmission (``resume`` through the handed-off
+   checkpoint) must produce rows byte-identical to the single-node
+   baseline.  A restarted deposed coordinator must come back fenced
+   (503 ``not_leader``) — no split brain.
 
-Coordinator JSON logs are captured to CLUSTER_LOG_DIR (CI uploads the
-directory as an artifact).  Exits non-zero on the first violation.
+Coordinator JSON logs (both replicas in the HA phase) are captured to
+CLUSTER_LOG_DIR (CI uploads the directory as an artifact).  Exits
+non-zero on the first violation.
 """
 
 import http.client
 import json
 import os
+import shutil
 import signal
 import subprocess
 import sys
@@ -58,6 +69,16 @@ def get(port, path):
         connection.close()
 
 
+def get_text(port, path):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
 def fail(message):
     print("cluster smoke FAILED: %s" % message, file=sys.stderr)
     sys.exit(1)
@@ -80,16 +101,56 @@ def wait_readyz(port, predicate, what, deadline_s=30.0):
          % (what, deadline_s, last))
 
 
-def spawn_worker(port, worker_id, limp_s=0.0):
+def spawn_worker(port, worker_id, limp_s=0.0, peers=()):
     command = [PYTHON, "-m", "repro", "worker",
                "--coordinator", "http://127.0.0.1:%d" % port,
                "--worker-id", worker_id]
+    for peer in peers:
+        command += ["--peer", peer]
     if limp_s > 0:
         command += ["--limp-s", str(limp_s)]
     return subprocess.Popen(
         command, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
         env=dict(os.environ, PYTHONUNBUFFERED="1"),
     )
+
+
+def spawn_coordinator(coordinator_id, control_dir, log_name,
+                      standby=False, peers=(), lease_ttl_s=2.0):
+    """One ``repro cluster`` coordinator replica (no spawned workers)."""
+    log_handle = open(os.path.join(LOG_DIR, log_name), "w")
+    command = [PYTHON, "-m", "repro", "cluster",
+               "--workers", "0", "--port", "0",
+               "--coordinator-id", coordinator_id,
+               "--control-dir", control_dir,
+               "--lease-ttl-s", str(lease_ttl_s),
+               "--suspect-after-s", "4", "--dead-after-s", "8",
+               "--log-json", "--no-preflight"]
+    if standby:
+        command.append("--standby")
+    for peer in peers:
+        command += ["--peer", peer]
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=log_handle,
+        env=dict(os.environ, PYTHONUNBUFFERED="1"), text=True,
+    )
+    banner = process.stdout.readline()
+    if "coordinator listening on http://" not in banner:
+        fail("no banner from coordinator %s: %r" % (coordinator_id, banner))
+    port = int(banner.split("http://127.0.0.1:")[1].split(" ")[0])
+    return process, port, log_handle
+
+
+def terminate(processes, timeout=10):
+    for process in processes:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+    for process in processes:
+        try:
+            process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
 
 
 def main():
@@ -258,17 +319,9 @@ def main():
               "sweep and estimates kept completing"
               % stats["cluster"]["quarantines"])
 
-        print("cluster smoke PASSED")
+        print("core phases PASSED")
     finally:
-        for process in workers.values():
-            if process.poll() is None:
-                process.send_signal(signal.SIGTERM)
-        for process in workers.values():
-            try:
-                process.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                process.kill()
-                process.wait()
+        terminate(list(workers.values()), timeout=10)
         if coordinator.poll() is None:
             coordinator.send_signal(signal.SIGTERM)
             try:
@@ -277,6 +330,158 @@ def main():
                 coordinator.kill()
                 coordinator.wait()
         log_handle.close()
+
+    run_ha_phase(baseline)
+    print("cluster smoke PASSED")
+
+
+def run_ha_phase(baseline):
+    """Phase 7: SIGKILL the active coordinator, fail over to the standby."""
+    control_dir = os.path.join(LOG_DIR, "ha-control")
+    shutil.rmtree(control_dir, ignore_errors=True)
+    checkpoint = os.path.join(LOG_DIR, "ha-sweep.ckpt.jsonl")
+    if os.path.exists(checkpoint):
+        os.remove(checkpoint)
+    processes = []
+    log_handles = []
+    try:
+        active, active_port, log = spawn_coordinator(
+            "ha-a", control_dir, "ha-active.jsonl")
+        processes.append(active)
+        log_handles.append(log)
+        wait_readyz(
+            active_port,
+            lambda doc: doc.get("ha", {}).get("role") == "leader",
+            "ha-a leading",
+        )
+        standby, standby_port, log = spawn_coordinator(
+            "ha-b", control_dir, "ha-standby.jsonl", standby=True,
+            peers=["http://127.0.0.1:%d" % active_port])
+        processes.append(standby)
+        log_handles.append(log)
+
+        workers = []
+        for worker_id in ("ha-w0", "ha-w1", "ha-w2"):
+            workers.append(spawn_worker(
+                active_port, worker_id,
+                peers=["http://127.0.0.1:%d" % standby_port]))
+        processes.extend(workers)
+        wait_readyz(
+            active_port,
+            lambda doc: sorted(doc.get("routable", [])) ==
+            ["ha-w0", "ha-w1", "ha-w2"],
+            "three live workers on the active",
+        )
+        print("ha membership OK: active leading, standby shadowing, "
+              "3 workers live")
+
+        # Sweep through the active; SIGKILL it once points are landing
+        # (mid-sweep, during its shard dispatching — the hardest spot).
+        sweep_result = {}
+
+        def run_sweep():
+            try:
+                sweep_result["reply"] = post(
+                    active_port, "/sweep",
+                    {"dma": [2, 8], "packets": 1,
+                     "checkpoint": checkpoint}, timeout=600,
+                )
+            except OSError as exc:  # the kill severs this socket
+                sweep_result["error"] = str(exc)
+
+        sweep_thread = threading.Thread(target=run_sweep, daemon=True)
+        sweep_thread.start()
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            _, stats = get(active_port, "/stats")
+            done = stats["cluster"]["sweep_points_completed"]
+            if done >= 2:
+                break
+            if sweep_result:
+                fail("ha sweep finished before the kill could land")
+            time.sleep(0.1)
+        else:
+            fail("no ha sweep points completed within 120s")
+
+        active.send_signal(signal.SIGKILL)
+        active.wait()
+        sweep_thread.join(60)
+        print("killed the active coordinator mid-sweep "
+              "(%d point(s) were done)" % done)
+
+        # The standby must take the lease and report leadership.
+        ready = wait_readyz(
+            standby_port,
+            lambda doc: doc.get("ha", {}).get("role") == "leader",
+            "standby leadership",
+            deadline_s=60.0,
+        )
+        if ready["ha"]["leader"] != "ha-b" or ready["ha"]["epoch"] < 2:
+            fail("standby leadership looks wrong: %s" % ready["ha"])
+        wait_readyz(
+            standby_port,
+            lambda doc: sorted(doc.get("routable", [])) ==
+            ["ha-w0", "ha-w1", "ha-w2"],
+            "workers re-registered with the new leader",
+            deadline_s=90.0,
+        )
+        print("failover OK: ha-b leads epoch %d, workers followed"
+              % ready["ha"]["epoch"])
+
+        # The failover client resubmits its sweep with resume: the
+        # handed-off checkpoint restores what the dead leader finished,
+        # and the merged rows are byte-identical to the baseline.
+        status, body = post(
+            standby_port, "/sweep",
+            {"dma": [2, 8], "packets": 1,
+             "checkpoint": checkpoint, "resume": True}, timeout=600,
+        )
+        if status != 200 or body.get("status") != "ok":
+            fail("resumed sweep on the new leader failed: %s %s"
+                 % (status, {k: body.get(k) for k in
+                             ("status", "completed", "total_points",
+                              "errors")}))
+        rows = json.dumps(body["rows"], indent=1, sort_keys=True) + "\n"
+        if rows != baseline:
+            fail("post-failover rows differ from the single-node "
+                 "baseline (%d vs %d bytes)" % (len(rows), len(baseline)))
+        print("failover sweep OK: %d/%d points, rows byte-identical, "
+              "%d restored from the handed-off checkpoint"
+              % (body["completed"], body["total_points"], body["restored"]))
+
+        # The failover is visible on the metrics surface.
+        _, stats = get(standby_port, "/stats")
+        if stats["ha"]["failovers"] < 1:
+            fail("/stats counts no failover: %s" % stats["ha"])
+        _, exposition = get_text(standby_port, "/metrics")
+        failover_lines = [
+            line for line in exposition.splitlines()
+            if line.startswith("repro_cluster_failovers_total")
+        ]
+        if not failover_lines or float(failover_lines[0].split()[-1]) < 1:
+            fail("repro_cluster_failovers_total missing or zero in "
+                 "/metrics: %r" % failover_lines)
+        print("ha observability OK: failovers_total=%s, epoch=%d"
+              % (failover_lines[0].split()[-1], stats["ha"]["epoch"]))
+
+        # A restarted deposed coordinator must be fenced, not a second
+        # brain: the lease is held, so it stays standby and answers
+        # 503 not_leader on the data plane.
+        restarted, restarted_port, log = spawn_coordinator(
+            "ha-a", control_dir, "ha-restarted.jsonl",
+            peers=["http://127.0.0.1:%d" % standby_port])
+        processes.append(restarted)
+        log_handles.append(log)
+        status, body = post(restarted_port, "/sweep",
+                            {"dma": [2], "packets": 1}, timeout=60)
+        if status != 503 or body.get("reason") != "not_leader":
+            fail("restarted deposed coordinator was not fenced: %s %s"
+                 % (status, body))
+        print("no-split-brain OK: restarted ha-a answers 503 not_leader")
+    finally:
+        terminate(processes, timeout=10)
+        for handle in log_handles:
+            handle.close()
 
 
 if __name__ == "__main__":

@@ -539,7 +539,20 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         heartbeat_interval_s=args.heartbeat_s,
         redispatch_budget=args.redispatch_budget,
         log_json=args.log_json,
+        coordinator_id=args.coordinator_id or "",
+        control_dir=args.control_dir,
+        standby=args.standby,
+        peers=list(args.peer or []),
+        lease_ttl_s=args.lease_ttl_s,
+        flight_dump_dir=args.flight_dump_dir,
     )
+    if args.standby or args.workers == 0:
+        # A standby (or a coordinator-only node) spawns no workers of
+        # its own: the workers belong to the cluster, not the leader,
+        # and re-register with whoever holds the lease.
+        from repro.cluster import run_coordinator
+
+        return run_coordinator(args.host, args.port, config=config)
     return run_cluster(
         args.host,
         args.port,
@@ -561,6 +574,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
         heartbeat_interval_s=args.heartbeat_s,
         slots=args.slots,
         limp_s=args.limp_s,
+        peers=list(args.peer or []),
     )
     return run_worker(config)
 
@@ -822,6 +836,31 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="re-dispatches allowed per job after "
                               "transport failures (default %(default)s)")
+    cluster.add_argument("--coordinator-id", default="", metavar="ID",
+                         help="stable coordinator identity for HA "
+                              "(default: coord-<pid>); the smallest id "
+                              "wins a contested election")
+    cluster.add_argument("--control-dir", default=None, metavar="DIR",
+                         help="shared directory for the control-plane "
+                              "journal and leadership lease; setting it "
+                              "enables coordinator HA "
+                              "(see docs/cluster-ha.md)")
+    cluster.add_argument("--standby", action="store_true",
+                         help="start as a standby: tail the leader's "
+                              "journal and take over only when the "
+                              "lease expires or is released")
+    cluster.add_argument("--peer", action="append", default=[],
+                         metavar="URL",
+                         help="another coordinator's URL (repeatable); "
+                              "handed to workers and clients for "
+                              "failover")
+    cluster.add_argument("--lease-ttl-s", type=float, default=3.0,
+                         metavar="S",
+                         help="leadership lease TTL; a dead leader is "
+                              "succeeded within this long (default: 3.0)")
+    cluster.add_argument("--flight-dump-dir", default=None, metavar="DIR",
+                         help="write flight-recorder dumps here on "
+                              "takeover/deposition")
     cluster.add_argument("--log-json", action="store_true",
                          help="emit one JSON log line per cluster event "
                               "(registrations, state changes, "
@@ -850,6 +889,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="heartbeat interval (default %(default)s)")
     worker.add_argument("--slots", type=int, default=1, metavar="N",
                         help="concurrent job slots (default: 1)")
+    worker.add_argument("--peer", action="append", default=[],
+                        metavar="URL",
+                        help="additional coordinator URL to fail over "
+                             "through (repeatable)")
     worker.add_argument("--limp-s", type=float, default=0.0, metavar="S",
                         help="fault injection: sleep S seconds before "
                              "every job and heartbeat — makes this worker "

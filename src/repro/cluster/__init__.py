@@ -23,6 +23,12 @@ execution — the cluster is a distribution layer, not a second engine.
 * :mod:`repro.cluster.coordinator` — membership + routing +
   re-dispatch + sweep sharding with checkpoint-backed shard handoff
   (``repro cluster``).
+* :mod:`repro.cluster.journal` — the append-only, fsync'd
+  control-plane journal a standby replays to take over.
+* :mod:`repro.cluster.ha` — lease-based leader election with a
+  deterministic tiebreak, plus the peer-walking failover client;
+  together with per-request epoch fencing this is the coordinator
+  high-availability layer (docs/cluster-ha.md).
 
 Determinism contract: every job's seed is a pure function of its
 identity (:func:`repro.parallel.jobs.job_seed`), so a job re-dispatched
@@ -33,10 +39,20 @@ reproduces its original result byte for byte.  See docs/cluster.md.
 from repro.cluster.coordinator import (
     ClusterConfig,
     ClusterCoordinator,
+    ROLE_FENCED,
+    ROLE_LEADER,
+    ROLE_STANDBY,
     run_cluster,
     run_coordinator,
 )
+from repro.cluster.ha import Lease, LeaseFile, failover_request
 from repro.cluster.hashring import HashRing
+from repro.cluster.journal import (
+    ControlPlaneJournal,
+    ControlPlaneState,
+    JournalEntry,
+    JournalError,
+)
 from repro.cluster.membership import (
     DEAD,
     DECOMMISSIONED,
@@ -82,4 +98,14 @@ __all__ = [
     "WorkerConfig",
     "ClusterWorker",
     "run_worker",
+    "ROLE_LEADER",
+    "ROLE_STANDBY",
+    "ROLE_FENCED",
+    "Lease",
+    "LeaseFile",
+    "failover_request",
+    "ControlPlaneJournal",
+    "ControlPlaneState",
+    "JournalEntry",
+    "JournalError",
 ]

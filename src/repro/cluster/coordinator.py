@@ -27,7 +27,16 @@ threads it routes them to registered worker nodes:
   with byte-identical merged output;
 * **the shared warm-cache tier** — workers push/pull §4.2 warm-start
   snapshots through the coordinator (fingerprint-guarded, wholesale
-  adoption), transferring cache convergence across nodes.
+  adoption), transferring cache convergence across nodes;
+* **high availability** — with a ``control_dir`` configured, every
+  control-plane transition (membership, cache adoptions, sweeps in
+  flight) is appended to a durable journal
+  (:mod:`repro.cluster.journal`), leadership is held through a
+  TTL lease (:mod:`repro.cluster.ha`), standby coordinators tail the
+  leader's journal over HTTP and take over on lease expiry by
+  replaying it, and every dispatch/heartbeat is **epoch-fenced** so a
+  deposed leader is answered ``409 stale-epoch`` instead of splitting
+  the brain.  See docs/cluster-ha.md.
 
 The coordinator core is HTTP-agnostic with an injectable transport and
 clock, so the failure machinery is unit-testable without sockets.
@@ -35,6 +44,9 @@ clock, so the failure machinery is unit-testable without sockets.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -46,17 +58,44 @@ from repro.obs.logging import JsonLogger, NULL_LOGGER
 from repro.obs.names import (
     EVENT_COALESCED,
     EVENT_JOB_REDISPATCHED,
+    EVENT_JOURNAL_REPLAYED,
+    EVENT_LEADER_DEPOSED,
+    EVENT_LEADER_ELECTED,
+    EVENT_LEADER_RESIGNED,
     EVENT_SHARD_HANDOFF,
+    EVENT_STALE_EPOCH,
+    EVENT_SWEEP_RECOVERED,
     EVENT_SWEEP_STEP,
     EVENT_WORKER_QUARANTINED,
     EVENT_WORKER_REGISTERED,
     EVENT_WORKER_STATE,
+    METRIC_CLUSTER_EPOCH,
+    METRIC_CLUSTER_FAILOVERS,
     METRIC_CLUSTER_HEARTBEAT_AGE,
+    METRIC_CLUSTER_JOURNAL_ENTRIES,
+    METRIC_CLUSTER_LEASE_REMAINING,
     METRIC_CLUSTER_QUARANTINES,
     METRIC_CLUSTER_REDISPATCHES,
+    METRIC_CLUSTER_REPLAY_SECONDS,
+    METRIC_CLUSTER_STALE_EPOCH,
     METRIC_CLUSTER_WORKER_QUEUE_DEPTH,
     METRIC_CLUSTER_WORKERS,
 )
+from repro.cluster.ha import Lease, LeaseFile
+from repro.cluster.journal import (
+    KIND_CACHE_ADOPTED,
+    KIND_LEADER_ELECTED,
+    KIND_LEADER_RESIGNED,
+    KIND_SWEEP_COMPLETED,
+    KIND_SWEEP_STARTED,
+    KIND_WORKER_REGISTERED,
+    KIND_WORKER_STATE,
+    ControlPlaneJournal,
+    ControlPlaneState,
+    JournalError,
+    entries_to_wire,
+)
+from repro.errors import ReproError
 from repro.cluster.hashring import HashRing
 from repro.cluster.membership import (
     DEAD,
@@ -70,7 +109,11 @@ from repro.cluster.membership import (
 from repro.cluster.protocol import (
     JOB_KIND_ESTIMATE,
     JOB_KIND_SPEC,
+    REASON_NOT_LEADER,
+    REASON_STALE_EPOCH,
+    STATUS_STALE_EPOCH,
     TransportError,
+    get_json,
     post_json,
 )
 from repro.core.explorer import (
@@ -104,6 +147,9 @@ from repro.telemetry import Telemetry
 __all__ = [
     "ClusterConfig",
     "ClusterCoordinator",
+    "ROLE_LEADER",
+    "ROLE_STANDBY",
+    "ROLE_FENCED",
     "run_coordinator",
     "run_cluster",
 ]
@@ -113,6 +159,14 @@ _SWEEP_STRATEGIES = ("full", "caching", "macromodel", "sampling")
 
 #: The fig.7 sweep's builder — the same one ``repro explore`` names.
 _SWEEP_BUILDER = "repro.systems.tcpip:build_system"
+
+#: Coordinator roles under HA.  Without a ``control_dir`` the single
+#: coordinator is permanently ``leader``; a ``fenced`` coordinator has
+#: seen proof of a newer epoch and refuses the data plane until it
+#: re-syncs and (maybe) wins a later election.
+ROLE_LEADER = "leader"
+ROLE_STANDBY = "standby"
+ROLE_FENCED = "fenced"
 
 
 @dataclass
@@ -137,6 +191,27 @@ class ClusterConfig:
     default_deadline_s: float = 30.0
     ring_replicas: int = 64
     log_json: bool = False
+    #: High availability (docs/cluster-ha.md).  Setting ``control_dir``
+    #: turns it on: the journal and the leadership lease live under it,
+    #: and the HA loop runs.  ``None`` keeps the exact single-
+    #: coordinator behaviour (always leader, epoch 1, no extra I/O).
+    coordinator_id: str = ""
+    control_dir: Optional[str] = None
+    #: Start as a standby: tail the leader's journal and only contest
+    #: the lease once it expires or is released.
+    standby: bool = False
+    #: Coordinator peer URLs handed to workers/clients for failover.
+    peers: List[str] = field(default_factory=list)
+    lease_ttl_s: float = 3.0
+    lease_renew_s: float = 1.0
+    journal_tail_interval_s: float = 0.25
+    journal_segment_entries: int = 256
+    #: Grace before a new leader re-runs orphaned sweeps on its own —
+    #: gives the original client time to resubmit with ``resume``.
+    orphan_grace_s: float = 5.0
+    recover_orphan_sweeps: bool = True
+    #: Flight-recorder dumps land here on takeover/deposition.
+    flight_dump_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.refresh_interval_s <= 0:
@@ -145,6 +220,17 @@ class ClusterConfig:
             raise ValueError("redispatch_budget must be non-negative")
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive")
+        if not self.coordinator_id:
+            self.coordinator_id = "coord-%d" % os.getpid()
+        if self.lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
+        if self.lease_renew_s <= 0 or self.lease_renew_s >= self.lease_ttl_s:
+            raise ValueError(
+                "lease_renew_s must sit inside (0, lease_ttl_s)")
+        if self.journal_tail_interval_s <= 0:
+            raise ValueError("journal_tail_interval_s must be positive")
+        if self.standby and self.control_dir is None:
+            raise ValueError("a standby coordinator needs a control_dir")
 
 
 @dataclass
@@ -187,6 +273,7 @@ class ClusterCoordinator:
         clock: Callable[[], float] = time.monotonic,
         transport=None,
         logger: Optional[JsonLogger] = None,
+        wall_clock: Callable[[], float] = time.time,
     ) -> None:
         self.config = config or ClusterConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -216,6 +303,390 @@ class ClusterCoordinator:
         self._sweep_points = 0
         self._cache_lock = threading.Lock()
         self._cache_tier: Dict[str, Dict[str, Any]] = {}
+        # -- high availability state (inert when control_dir is unset) --
+        self.wall_clock = wall_clock
+        self.url = ""
+        self.journal: Optional[ControlPlaneJournal] = None
+        self.lease: Optional[LeaseFile] = None
+        self._ha_lock = threading.Lock()
+        self._role = ROLE_LEADER
+        self._epoch = 1
+        self._failovers = 0
+        self._stale_epochs = 0
+        self._last_replay_s = 0.0
+        self._restoring = False
+        self._standby_since = 0.0
+        self._active_sweeps: set = set()
+        self._completed_sweeps: set = set()
+        self._orphans: Dict[str, Dict[str, Any]] = {}
+        if self.config.control_dir is not None:
+            if self.config.flight_dump_dir:
+                self.obs.flight_dump_dir = self.config.flight_dump_dir
+            self.journal = ControlPlaneJournal(
+                os.path.join(self.config.control_dir,
+                             "journal-%s" % self.config.coordinator_id),
+                segment_entries=self.config.journal_segment_entries,
+            )
+            self.lease = LeaseFile(
+                self.config.control_dir, self.config.coordinator_id,
+                ttl_s=self.config.lease_ttl_s, clock=wall_clock,
+            )
+            # Everybody starts as a standby; the HA loop (or a test
+            # calling try_elect directly) promotes the lease winner.
+            self._role = ROLE_STANDBY
+            self._epoch = self.journal.tip_epoch()
+            self._standby_since = wall_clock()
+            self.drain_controller.add_hook(self._resign_on_drain)
+
+    # -- high availability: roles and epochs -----------------------------
+
+    @property
+    def ha_enabled(self) -> bool:
+        return self.journal is not None
+
+    @property
+    def role(self) -> str:
+        return self._role
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def is_leader(self) -> bool:
+        return self._role == ROLE_LEADER
+
+    def set_url(self, url: str) -> None:
+        """Record this coordinator's advertised URL (once bound)."""
+        self.url = url
+        if self.lease is not None:
+            self.lease.url = url
+
+    def leader_url_hint(self) -> str:
+        """Best-effort URL of the current leader (for 503 answers)."""
+        if self.is_leader:
+            return self.url
+        if self.lease is not None:
+            lease = self.lease.read()
+            if lease is not None and lease.holder and lease.url \
+                    and not lease.expired(self.wall_clock()):
+                return lease.url
+        return ""
+
+    def _not_leader_reply(self) -> Tuple[int, Dict[str, Any]]:
+        return 503, {
+            "status": "rejected",
+            "reason": REASON_NOT_LEADER,
+            "role": self._role,
+            "epoch": self._epoch,
+            "leader_url": self.leader_url_hint(),
+        }
+
+    def _journal_append(self, kind: str,
+                        payload: Optional[Dict[str, Any]] = None) -> None:
+        """Durably record one control-plane transition (leaders only).
+
+        Standbys never append their own entries — their journal is a
+        replica fed by :meth:`apply_replicated` — and replay-driven
+        restores are suppressed so a takeover does not double the
+        journal it just read.
+        """
+        if self.journal is None or self._restoring or not self.is_leader:
+            return
+        self.journal.append(kind, payload=payload, epoch=self._epoch)
+
+    def _fence(self, observed_epoch: int, detail: str) -> None:
+        """Stand down: proof of a newer epoch means we were deposed."""
+        with self._ha_lock:
+            if not self.ha_enabled or self._role == ROLE_FENCED:
+                return
+            was_leader = self.is_leader
+            self._role = ROLE_FENCED
+            with self._lock:
+                self._stale_epochs += 1
+        self.obs.metrics.counter(METRIC_CLUSTER_STALE_EPOCH).inc()
+        self.obs.event(EVENT_STALE_EPOCH, observed_epoch=observed_epoch,
+                       own_epoch=self._epoch, detail=detail)
+        if was_leader:
+            self.obs.event(EVENT_LEADER_DEPOSED,
+                           coordinator=self.config.coordinator_id,
+                           observed_epoch=observed_epoch, detail=detail)
+            self.obs.dump_flight("deposed")
+
+    # -- high availability: election and takeover ------------------------
+
+    def try_elect(self) -> bool:
+        """Contest the lease; on a win, replay the journal and lead."""
+        if self.lease is None or self.journal is None or self.is_leader:
+            return False
+        acquired = self.lease.try_acquire(
+            epoch_floor=self.journal.tip_epoch()
+        )
+        if acquired is None:
+            return False
+        self._become_leader(acquired)
+        return True
+
+    def _become_leader(self, lease: Lease) -> None:
+        """Takeover: replay the journal, restore state, start leading.
+
+        The restored membership/cache re-registrations are applied with
+        journaling suppressed (the entries that taught us about them
+        are already durable); only the ``leader-elected`` marker is
+        appended, under the new epoch.
+        """
+        started = time.monotonic()
+        state = self.journal.replay()
+        self._restore_state(state)
+        replay_s = time.monotonic() - started
+        takeover = bool(state.previous_leaders(self.config.coordinator_id))
+        with self._ha_lock:
+            self._epoch = lease.epoch
+            self._role = ROLE_LEADER
+            self._last_replay_s = replay_s
+            self._orphans = state.orphaned_sweeps()
+            self._completed_sweeps.update(
+                sweep_id for sweep_id, info in state.sweeps.items()
+                if info["done"]
+            )
+            if takeover:
+                with self._lock:
+                    self._failovers += 1
+        self._journal_append(KIND_LEADER_ELECTED, {
+            "coordinator_id": self.config.coordinator_id,
+            "url": self.url,
+            "takeover": takeover,
+            "replayed_entries": state.applied,
+        })
+        self.obs.event(
+            EVENT_LEADER_ELECTED,
+            coordinator=self.config.coordinator_id,
+            epoch=self._epoch, takeover=takeover,
+            replayed_entries=state.applied,
+            orphaned_sweeps=sorted(self._orphans),
+        )
+        self.obs.event(EVENT_JOURNAL_REPLAYED, entries=state.applied,
+                       seconds=round(replay_s, 6),
+                       workers=len(state.workers),
+                       cache_keys=len(state.cache_tier))
+        if takeover:
+            self.obs.metrics.counter(METRIC_CLUSTER_FAILOVERS).inc()
+            self.obs.dump_flight("takeover")
+        self._publish_ha_metrics()
+
+    def _restore_state(self, state: ControlPlaneState) -> None:
+        """Rebuild membership + warm-cache tier from a replayed fold."""
+        self._restoring = True
+        try:
+            for worker_id, info in sorted(state.workers.items()):
+                if not info["url"]:
+                    continue
+                self.membership.register(worker_id, info["url"])
+                if info["state"] == DEAD:
+                    self.membership.mark_dead(worker_id, "journal replay")
+                elif info["state"] == DECOMMISSIONED:
+                    self.membership.decommission(worker_id, "journal replay")
+            with self._cache_lock:
+                for key, slot in state.cache_tier.items():
+                    self._cache_tier[key] = {
+                        "state": dict(slot["state"]),
+                        "entries": slot["entries"],
+                        "worker": slot["worker"],
+                        "updates": slot["updates"],
+                    }
+        finally:
+            self._restoring = False
+
+    # -- high availability: replication and recovery ---------------------
+
+    def journal_entries_since(self, since: int) -> Tuple[int, Dict[str, Any]]:
+        """``GET /cluster/journal?since=N`` — the standby tail feed."""
+        if self.journal is None:
+            return 404, {"status": "error", "reason": "ha_disabled"}
+        entries = self.journal.entries_since(since)
+        return 200, {
+            "status": "ok",
+            "entries": entries_to_wire(entries),
+            "tip": self.journal.tip_seq(),
+            "epoch": self._epoch,
+            "role": self._role,
+            "leader": (self.config.coordinator_id if self.is_leader else ""),
+        }
+
+    def apply_replicated(self, documents: List[Dict[str, Any]]) -> int:
+        """Fold tailed wire entries into the local replica journal."""
+        if self.journal is None:
+            return 0
+        appended = 0
+        for document in documents:
+            if self.journal.append_replicated(document):
+                appended += 1
+        return appended
+
+    def _tail_leader(self, lease: Lease) -> None:
+        """One standby tail step against the current leader."""
+        if self.journal is None or not lease.url or lease.url == self.url:
+            return
+        try:
+            status, body = get_json(
+                lease.url,
+                "/cluster/journal?since=%d" % self.journal.tip_seq(),
+                timeout_s=self.config.request_timeout_s,
+            )
+        except ReproError:  # transport/protocol: the leader is flapping
+            return
+        if status != 200:
+            return
+        entries = body.get("entries")
+        if isinstance(entries, list):
+            try:
+                self.apply_replicated(entries)
+            except JournalError as exc:
+                self.obs.event(EVENT_JOURNAL_REPLAYED, error=str(exc),
+                               entries=0)
+
+    def recover_orphaned_sweeps(
+        self, grace_s: Optional[float] = None
+    ) -> List[Tuple[str, int, Dict[str, Any]]]:
+        """Re-dispatch sweeps orphaned by the previous leader's death.
+
+        Waits ``grace_s`` first so a failover client that resubmits its
+        own sweep (with ``resume``) wins the race; anything it resumed
+        lands in ``_completed_sweeps``/``_active_sweeps`` and is
+        skipped here.  Re-runs use the *same* sweep id, signature, and
+        deterministic per-job seeds, so the merged rows are
+        byte-identical to an uninterrupted run.
+        """
+        if grace_s is None:
+            grace_s = self.config.orphan_grace_s
+        if grace_s > 0 and self.drain_controller.wait(grace_s):
+            return []
+        results: List[Tuple[str, int, Dict[str, Any]]] = []
+        with self._ha_lock:
+            orphans = sorted(self._orphans.items())
+        for sweep_id, info in orphans:
+            if not self.is_leader or self.drain_controller.draining:
+                break
+            with self._ha_lock:
+                if sweep_id in self._completed_sweeps \
+                        or sweep_id in self._active_sweeps:
+                    continue
+            params = dict(info["params"])
+            checkpoint = params.get("checkpoint")
+            params["resume"] = bool(
+                isinstance(checkpoint, str) and os.path.exists(checkpoint)
+            )
+            status, body = self.run_sweep(params)
+            self.obs.event(EVENT_SWEEP_RECOVERED, sweep=sweep_id,
+                           http_status=status,
+                           status=str(body.get("status") or ""),
+                           resumed=params["resume"])
+            results.append((sweep_id, status, body))
+        return results
+
+    # -- high availability: the background loop --------------------------
+
+    def ha_loop(self) -> None:
+        """Renew-or-elect until drain; the body of the HA thread.
+
+        Leaders renew the lease every ``lease_renew_s`` and fence
+        themselves if it is lost.  Standbys tail the leader's journal,
+        and contest the lease the moment it is free — except a
+        configured ``--standby`` defers for one TTL after boot so the
+        intended active coordinator claims first on a cold start.
+        """
+        if not self.ha_enabled:
+            return
+        while not self.drain_controller.draining:
+            if self.is_leader:
+                lease = self.lease.renew()
+                if lease is None:
+                    current = self.lease.read()
+                    self._fence(
+                        current.epoch if current is not None else self._epoch,
+                        "leadership lease lost",
+                    )
+                else:
+                    self._publish_ha_metrics()
+                if self.drain_controller.wait(self.config.lease_renew_s):
+                    return
+            else:
+                self._standby_step()
+                if self.drain_controller.wait(
+                        self.config.journal_tail_interval_s):
+                    return
+
+    def _standby_step(self) -> None:
+        """One standby iteration: shadow the leader or try to succeed."""
+        lease = self.lease.read()
+        now = self.wall_clock()
+        if lease is not None and lease.holder \
+                and lease.holder != self.config.coordinator_id \
+                and not lease.expired(now):
+            self._tail_leader(lease)
+            return
+        if self.config.standby and lease is None \
+                and now - self._standby_since < self.config.lease_ttl_s:
+            return  # cold start: let the configured active claim first
+        if self.try_elect() and self.config.recover_orphan_sweeps \
+                and self._orphans:
+            threading.Thread(
+                target=self.recover_orphaned_sweeps,
+                name="cluster-orphan-recovery", daemon=True,
+            ).start()
+
+    def _resign_on_drain(self, reason: str) -> None:
+        """Drain hook: hand the journal tip and the lease to a successor."""
+        if not self.ha_enabled or not self.is_leader:
+            return
+        self._journal_append(KIND_LEADER_RESIGNED, {
+            "coordinator_id": self.config.coordinator_id,
+            "tip_seq": self.journal.tip_seq(),
+            "reason": reason,
+        })
+        self.lease.release()
+        self.obs.event(EVENT_LEADER_RESIGNED,
+                       coordinator=self.config.coordinator_id,
+                       epoch=self._epoch, reason=reason)
+
+    def _publish_ha_metrics(self) -> None:
+        if not self.ha_enabled:
+            return
+        metrics = self.obs.metrics
+        metrics.gauge(METRIC_CLUSTER_EPOCH).set(float(self._epoch))
+        remaining = (self.lease.remaining_s() or 0.0) if self.is_leader \
+            else 0.0
+        metrics.gauge(METRIC_CLUSTER_LEASE_REMAINING).set(
+            round(remaining, 3))
+        metrics.gauge(METRIC_CLUSTER_JOURNAL_ENTRIES).set(
+            float(len(self.journal)))
+        metrics.gauge(METRIC_CLUSTER_REPLAY_SECONDS).set(
+            round(self._last_replay_s, 6))
+
+    def ha_snapshot(self) -> Dict[str, Any]:
+        """The ``ha`` section of /stats, /readyz, and the smoke checks."""
+        if not self.ha_enabled:
+            return {"enabled": False}
+        with self._lock:
+            failovers = self._failovers
+            stale = self._stale_epochs
+        return {
+            "enabled": True,
+            "role": self._role,
+            "coordinator_id": self.config.coordinator_id,
+            "epoch": self._epoch,
+            "leader": (self.config.coordinator_id if self.is_leader
+                       else ""),
+            "leader_url": self.leader_url_hint(),
+            "lease_remaining_s": round(
+                self.lease.remaining_s() or 0.0, 3),
+            "journal_tip": self.journal.tip_seq(),
+            "journal_entries": len(self.journal),
+            "failovers": failovers,
+            "stale_epoch_rejections": stale,
+            "last_replay_s": round(self._last_replay_s, 6),
+            "orphaned_sweeps": sorted(self._orphans),
+        }
 
     # -- membership plumbing ---------------------------------------------
 
@@ -237,21 +708,53 @@ class ClusterCoordinator:
         else:
             self.obs.event(EVENT_WORKER_STATE, worker=worker_id,
                            old=old, new=new, reason=reason)
+        # Durable transitions only: registrations (with the URL a
+        # successor needs to route again) and terminal states.  Suspect
+        # flaps are transient and stay out of the journal.
+        if new == LIVE:
+            self._journal_append(KIND_WORKER_REGISTERED, {
+                "worker_id": worker_id,
+                "url": self.membership.url_of(worker_id) or "",
+            })
+        elif new in (DEAD, DECOMMISSIONED, LIMPLOCKED):
+            self._journal_append(KIND_WORKER_STATE, {
+                "worker_id": worker_id, "state": new, "reason": reason,
+            })
 
     def register_worker(self, worker_id: str,
                         url: str) -> Tuple[int, Dict[str, Any]]:
         if not worker_id or not url:
             return 400, {"status": "error",
                          "reason": "worker_id and url are required"}
+        if self.ha_enabled and not self.is_leader:
+            return self._not_leader_reply()
         self.membership.register(worker_id, url)
         return 200, {
             "status": "ok",
             "worker_id": worker_id,
             "heartbeat_interval_s": self.config.heartbeat_interval_s,
+            "epoch": self._epoch,
+            "leader": self.config.coordinator_id,
+            "peers": list(self.config.peers),
         }
 
     def heartbeat(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         worker_id = str(body.get("worker_id") or "")
+        if self.ha_enabled:
+            if not self.is_leader:
+                return self._not_leader_reply()
+            worker_epoch = int(body.get("epoch") or 0)
+            if worker_epoch > self._epoch:
+                # The worker has obeyed a newer leader: we were deposed
+                # while our lease file said otherwise (e.g. clock skew).
+                self._fence(worker_epoch,
+                            "heartbeat from %s carried epoch %d"
+                            % (worker_id, worker_epoch))
+                return STATUS_STALE_EPOCH, {
+                    "status": "error",
+                    "reason": REASON_STALE_EPOCH,
+                    "epoch": worker_epoch,
+                }
         known = self.membership.heartbeat(
             worker_id,
             queue_depth=int(body.get("queue_depth") or 0),
@@ -259,7 +762,12 @@ class ClusterCoordinator:
             completed=int(body.get("completed") or 0),
             reported_run_s=float(body.get("mean_run_s") or 0.0),
         )
-        return 200, {"status": "ok" if known else "unknown"}
+        return 200, {
+            "status": "ok" if known else "unknown",
+            "epoch": self._epoch,
+            "leader": self.config.coordinator_id,
+            "leader_url": self.url,
+        }
 
     def refresh_membership(self) -> None:
         """Advance liveness/limplock; transitions fan out via the hook."""
@@ -306,6 +814,9 @@ class ClusterCoordinator:
         """
         if self.drain_controller.draining:
             raise _Rejected("coordinator is draining", 503, "draining")
+        if self.ha_enabled and not self.is_leader:
+            raise _Rejected("this coordinator is %s, not the leader"
+                            % self._role, 503, REASON_NOT_LEADER)
         bundle = build_bundle(request.system)
         fingerprint = request_fingerprint(bundle, request)
         context = RequestContext.new(request.request_id)
@@ -344,6 +855,8 @@ class ClusterCoordinator:
             "request": request.to_payload(),
             "trace": (entry.context.to_payload()
                       if entry.context is not None else None),
+            "epoch": self._epoch,
+            "leader": self.config.coordinator_id,
         }
         timeout_s = request.deadline_s + 5.0
         redispatches = 0
@@ -390,6 +903,19 @@ class ClusterCoordinator:
                 ))
                 continue
             self.membership.observe_run(target, self.clock() - started)
+            if status == STATUS_STALE_EPOCH \
+                    and body.get("reason") == REASON_STALE_EPOCH:
+                # The worker obeys a newer leader: stand down, and send
+                # the client to the peer list instead of a stale answer.
+                self._fence(int(body.get("epoch") or 0),
+                            "estimate dispatch fenced by %s" % target)
+                self._resolve(entry, 503, {
+                    "status": "rejected",
+                    "reason": REASON_NOT_LEADER,
+                    "request_id": request.request_id,
+                    "leader_url": self.leader_url_hint(),
+                })
+                return
             if status == 503 and body.get("reason") == "draining":
                 # The worker is decommissioning; its shard belongs to
                 # its ring successor now.  Not a failure — no penalty
@@ -457,6 +983,57 @@ class ClusterCoordinator:
             plan = self._parse_sweep(params)
         except BadRequest as exc:
             return 400, {"status": "error", "reason": str(exc)}
+        if self.ha_enabled and not self.is_leader:
+            return self._not_leader_reply()
+        sweep_id = self._sweep_id(plan)
+        with self._ha_lock:
+            self._active_sweeps.add(sweep_id)
+        # Journal the sweep *before* dispatching: if this coordinator
+        # dies mid-sweep, the entry (without a matching completion) is
+        # exactly what tells the successor to re-dispatch it.
+        self._journal_append(KIND_SWEEP_STARTED, {
+            "sweep_id": sweep_id,
+            "params": {
+                "dma": list(plan.dma_sizes),
+                "packets": plan.num_packets,
+                "period_ns": plan.packet_period_ns,
+                "strategy": plan.strategy,
+                "warm_start": plan.warm_start,
+                "checkpoint": plan.checkpoint_path,
+            },
+        })
+        try:
+            status, body = self._run_sweep(plan)
+        finally:
+            with self._ha_lock:
+                self._active_sweeps.discard(sweep_id)
+        body["sweep_id"] = sweep_id
+        if status == 200 and body.get("status") == "ok":
+            with self._ha_lock:
+                self._completed_sweeps.add(sweep_id)
+                self._orphans.pop(sweep_id, None)
+            self._journal_append(KIND_SWEEP_COMPLETED, {
+                "sweep_id": sweep_id,
+                "points": int(body.get("completed") or 0),
+            })
+        return status, body
+
+    @staticmethod
+    def _sweep_id(plan: _SweepPlan) -> str:
+        """Stable identity of one sweep (``resume`` excluded on purpose:
+        resuming an interrupted sweep is the *same* sweep)."""
+        identity = {
+            "dma": list(plan.dma_sizes),
+            "packets": plan.num_packets,
+            "period_ns": plan.packet_period_ns,
+            "strategy": plan.strategy,
+            "warm_start": plan.warm_start,
+            "checkpoint": plan.checkpoint_path,
+        }
+        canonical = json.dumps(identity, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+    def _run_sweep(self, plan: _SweepPlan) -> Tuple[int, Dict[str, Any]]:
         with self._lock:
             self._sweeps += 1
         assignments = self._sweep_assignments()
@@ -542,7 +1119,12 @@ class ClusterCoordinator:
                         pick = pending[0]
                     pending.remove(pick)
                 spec = specs[pick]
-                body = {"kind": JOB_KIND_SPEC, "job": spec_to_wire(spec)}
+                body = {
+                    "kind": JOB_KIND_SPEC,
+                    "job": spec_to_wire(spec),
+                    "epoch": self._epoch,
+                    "leader": self.config.coordinator_id,
+                }
                 started = self.clock()
                 try:
                     status, reply = self.transport(
@@ -559,6 +1141,16 @@ class ClusterCoordinator:
                 self.membership.observe_run(
                     worker_id, self.clock() - started
                 )
+                if status == STATUS_STALE_EPOCH \
+                        and reply.get("reason") == REASON_STALE_EPOCH:
+                    # Deposed mid-sweep: requeue the point (the new
+                    # leader re-dispatches it with the same seed) and
+                    # stop driving this worker.
+                    self._fence(int(reply.get("epoch") or 0),
+                                "sweep dispatch fenced by %s" % worker_id)
+                    with lock:
+                        pending.insert(0, pick)
+                    return
                 if status == 503:
                     # Draining worker: hand its shard back for the
                     # ring successors (the checkpoint already holds
@@ -613,6 +1205,8 @@ class ClusterCoordinator:
         # is left.  Each round re-reads membership, so workers that
         # register mid-sweep join and dead ones drop out.
         while True:
+            if self.ha_enabled and not self.is_leader:
+                break  # fenced mid-sweep; successor owns the rest
             with lock:
                 if not pending:
                     break
@@ -630,6 +1224,15 @@ class ClusterCoordinator:
                 thread.start()
             for thread in threads:
                 thread.join()
+
+        if self.ha_enabled and not self.is_leader:
+            status, reply = self._not_leader_reply()
+            reply["detail"] = (
+                "fenced mid-sweep after %d of %d point(s); the "
+                "checkpoint carries them to the new leader"
+                % (len(results), len(specs))
+            )
+            return status, reply
 
         ordered = sorted(range(len(specs)), key=lambda i: sweep_order[i])
         points = [
@@ -744,6 +1347,14 @@ class ClusterCoordinator:
                     "worker": worker,
                     "updates": (slot["updates"] + 1 if slot else 1),
                 }
+                updates = self._cache_tier[key]["updates"]
+        if adopt:
+            # Adoptions are durable: a successor replays them and the
+            # warm tier survives the failover with its convergence.
+            self._journal_append(KIND_CACHE_ADOPTED, {
+                "key": key, "state": state, "entries": entries,
+                "worker": worker, "updates": updates,
+            })
         return 200, {"status": "ok", "adopted": adopt, "entries": entries}
 
     # -- views -----------------------------------------------------------
@@ -760,9 +1371,13 @@ class ClusterCoordinator:
             "workers": workers,
             "routable": routable,
             "states": states,
+            "ha": self.ha_snapshot(),
         }
         if self.drain_controller.draining:
             return 503, dict(body, status="draining")
+        if self.ha_enabled and not self.is_leader:
+            return 503, dict(body, status=self._role,
+                             reason=REASON_NOT_LEADER)
         if not routable:
             return 503, dict(body, status="no_workers")
         return 200, dict(body, status="ready")
@@ -798,6 +1413,7 @@ class ClusterCoordinator:
                        else "ready"),
                 workers_by_state=counts,
             ),
+            "ha": self.ha_snapshot(),
             "workers": self.membership.snapshot(),
             "dedup": self.dedup.snapshot(),
             "cache_tier": cache_tier,
@@ -806,6 +1422,7 @@ class ClusterCoordinator:
 
     def publish_cluster_metrics(self) -> None:
         """Refresh the cluster gauge families from membership."""
+        self._publish_ha_metrics()
         metrics = self.obs.metrics
         counts: Dict[str, int] = {state: 0 for state in _ALL_STATES}
         for state in self.membership.states().values():
@@ -849,7 +1466,7 @@ class _CoordinatorHandler(JsonRequestHandler):
     KNOWN_PATHS = (
         "/estimate", "/sweep", "/healthz", "/readyz", "/stats", "/metrics",
         "/cluster/register", "/cluster/heartbeat", "/cluster/cache",
-        "/cluster/decommission",
+        "/cluster/decommission", "/cluster/journal",
     )
 
     @property
@@ -873,6 +1490,22 @@ class _CoordinatorHandler(JsonRequestHandler):
             self.respond_json(200, self.coordinator.stats_snapshot())
         elif self.path == "/metrics":
             self.respond_text(200, self.coordinator.metrics_exposition())
+        elif self.path.startswith("/cluster/journal"):
+            since = 0
+            if "?" in self.path:
+                from urllib.parse import parse_qs, urlsplit
+
+                query = parse_qs(urlsplit(self.path).query)
+                try:
+                    since = int((query.get("since") or ["0"])[0])
+                except ValueError:
+                    self.respond_json(400, {
+                        "status": "error",
+                        "reason": "'since' must be an integer",
+                    })
+                    return
+            status, body = self.coordinator.journal_entries_since(since)
+            self.respond_json(status, body)
         elif self.path.startswith("/cluster/cache"):
             key = ""
             if "?" in self.path:
@@ -971,6 +1604,7 @@ def run_coordinator(
     coordinator = ClusterCoordinator(config)
     httpd = QuietHTTPServer((host, port), _CoordinatorHandler)
     httpd.coordinator = coordinator  # type: ignore[attr-defined]
+    coordinator.set_url("http://%s:%d" % (host, httpd.server_address[1]))
     restore = None
     if install_signals:
         restore = install_drain_signals(coordinator.drain_controller)
@@ -985,19 +1619,32 @@ def run_coordinator(
         target=refresher, name="cluster-refresh", daemon=True
     )
     refresh_thread.start()
+    if coordinator.ha_enabled:
+        ha_thread = threading.Thread(
+            target=coordinator.ha_loop, name="cluster-ha", daemon=True
+        )
+        ha_thread.start()
     serve_thread = threading.Thread(
         target=httpd.serve_forever, name="cluster-http", daemon=True
     )
     serve_thread.start()
     if not quiet:
+        ha_note = ""
+        if coordinator.ha_enabled:
+            ha_note = " ha=%s id=%s lease=%.1fs" % (
+                "standby" if coordinator.config.standby else "active",
+                coordinator.config.coordinator_id,
+                coordinator.config.lease_ttl_s,
+            )
         print("cluster coordinator listening on http://%s:%d "
-              "(heartbeat=%.1fs suspect=%.1fs dead=%.1fs limp=%.1fx) — "
+              "(heartbeat=%.1fs suspect=%.1fs dead=%.1fs limp=%.1fx%s) — "
               "SIGTERM drains gracefully"
               % (host, httpd.server_address[1],
                  coordinator.config.heartbeat_interval_s,
                  coordinator.config.membership.suspect_after_s,
                  coordinator.config.membership.dead_after_s,
-                 coordinator.config.membership.limp_factor), flush=True)
+                 coordinator.config.membership.limp_factor,
+                 ha_note), flush=True)
     if ready_callback is not None:
         ready_callback(coordinator, httpd)
     try:

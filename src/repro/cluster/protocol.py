@@ -31,6 +31,9 @@ from repro.errors import ReproError
 __all__ = [
     "JOB_KIND_ESTIMATE",
     "JOB_KIND_SPEC",
+    "REASON_NOT_LEADER",
+    "REASON_STALE_EPOCH",
+    "STATUS_STALE_EPOCH",
     "TransportError",
     "ProtocolError",
     "http_json",
@@ -40,6 +43,17 @@ __all__ = [
 
 JOB_KIND_ESTIMATE = "estimate"
 JOB_KIND_SPEC = "spec"
+
+#: Epoch fencing (docs/cluster-ha.md): a request stamped with an epoch
+#: older than the receiver's is answered ``409 stale-epoch`` — the
+#: sender has been deposed and must stand down, never retry.
+STATUS_STALE_EPOCH = 409
+REASON_STALE_EPOCH = "stale-epoch"
+
+#: A standby coordinator answers data-plane requests with
+#: ``503 not_leader`` (plus a ``leader_url`` hint when it has one);
+#: failover clients walk their peer list on this reason.
+REASON_NOT_LEADER = "not_leader"
 
 
 class TransportError(ReproError):

@@ -32,8 +32,8 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.parallel.jobs import JobError, JobSpec, job_seed, spec_from_wire
 from repro.parallel.pool import execute_spec
@@ -41,6 +41,9 @@ from repro.parallel.runners import seed_warm_cache, warm_cache_state
 from repro.cluster.protocol import (
     JOB_KIND_ESTIMATE,
     JOB_KIND_SPEC,
+    REASON_NOT_LEADER,
+    REASON_STALE_EPOCH,
+    STATUS_STALE_EPOCH,
     TransportError,
     get_json,
     post_json,
@@ -75,10 +78,18 @@ class WorkerConfig:
     #: each heartbeat — manufactures an alive-but-slow (limplocked)
     #: node for tests and the cluster smoke script.
     limp_s: float = 0.0
-    #: Registration retry budget (deterministic backoff between tries).
+    #: *Initial* registration retry budget (deterministic backoff
+    #: between tries).  Once the worker has made contact, losing the
+    #: coordinator is not fatal: re-registration retries without bound
+    #: at the capped backoff, walking the peer list (docs/cluster-ha.md).
     register_retries: int = 10
     register_backoff_s: float = 0.1
     register_backoff_cap_s: float = 2.0
+    #: Additional coordinator URLs (standbys) to fail over through.
+    peers: List[str] = field(default_factory=list)
+    #: Consecutive heartbeat transport failures before the worker walks
+    #: the peer list looking for a new leader.
+    heartbeat_miss_limit: int = 3
     breaker_threshold: int = 3
     breaker_recovery_s: float = 30.0
     #: Participate in the coordinator's shared warm-cache tier.
@@ -106,6 +117,16 @@ class ClusterWorker:
     def __init__(self, config: WorkerConfig) -> None:
         self.config = config
         self.url = ""  # set once the HTTP server knows its port
+        #: The coordinator currently obeyed; starts at the configured
+        #: URL and moves along ``peers`` on failover.
+        self.coordinator_url = config.coordinator_url
+        #: Highest leader epoch this worker has obeyed.  Jobs and
+        #: heartbeats stamped with an older epoch are fenced with
+        #: 409 ``stale-epoch`` — the guarantee that a deposed leader
+        #: cannot run anything here (docs/cluster-ha.md).
+        self.epoch = 0
+        self.leader_id = ""
+        self._hb_misses = 0
         self.drain = DrainController()
         self.breakers = BreakerRegistry(
             failure_threshold=config.breaker_threshold,
@@ -133,43 +154,131 @@ class ClusterWorker:
 
     # -- registration / heartbeats ---------------------------------------
 
-    def register(self) -> bool:
-        """Announce this worker to the coordinator (bounded retries)."""
+    def _candidate_coordinators(self) -> List[str]:
+        """Current coordinator first, then the configured peer list."""
+        candidates = [self.coordinator_url]
+        for peer in [self.config.coordinator_url] + list(self.config.peers):
+            if peer and peer not in candidates:
+                candidates.append(peer)
+        return candidates
+
+    def _adopt_leader(self, url: str, reply: Dict[str, Any]) -> None:
+        """Record the coordinator that just answered authoritatively."""
+        self.coordinator_url = url
+        epoch = int(reply.get("epoch") or 0)
+        if epoch > self.epoch:
+            self.epoch = epoch
+        leader = str(reply.get("leader") or "")
+        if leader:
+            self.leader_id = leader
+
+    def register_backoff_s(self, attempt: int) -> float:
+        """Deterministic capped backoff for registration attempts.
+
+        The attempt index is clamped before the exponent so an
+        *unbounded* re-registration loop (a worker outliving a long
+        coordinator outage) can never overflow ``2.0 ** attempt``; past
+        the clamp the cap rules the value anyway.
+        """
+        return retry_backoff_s(
+            "register:%s" % self.config.worker_id, min(attempt, 32),
+            self.config.register_backoff_s,
+            self.config.register_backoff_cap_s,
+        )
+
+    def _register_once(self) -> bool:
+        """One registration pass across the candidate coordinators."""
         body = {"worker_id": self.config.worker_id, "url": self.url}
-        for attempt in range(1, self.config.register_retries + 1):
+        queue = self._candidate_coordinators()
+        tried = set()
+        while queue:
+            url = queue.pop(0)
+            if url in tried:
+                continue
+            tried.add(url)
             try:
-                status, _ = post_json(
-                    self.config.coordinator_url, "/cluster/register", body,
-                    timeout_s=5.0,
+                status, reply = post_json(
+                    url, "/cluster/register", body, timeout_s=5.0,
                 )
-                if status == 200:
-                    return True
             except TransportError:
-                pass
-            time.sleep(retry_backoff_s(
-                "register:%s" % self.config.worker_id, attempt,
-                self.config.register_backoff_s,
-                self.config.register_backoff_cap_s,
-            ))
+                continue
+            if status == 200:
+                self._adopt_leader(url, reply)
+                return True
+            if status == 503 and reply.get("reason") == REASON_NOT_LEADER:
+                hint = reply.get("leader_url")
+                if isinstance(hint, str) and hint and hint not in tried:
+                    queue.insert(0, hint)
+        return False
+
+    def register(self) -> bool:
+        """Announce this worker to the coordinator (bounded retries).
+
+        This is the *initial* contact: if no coordinator answers within
+        the retry budget the worker exits 1 — a misconfigured URL
+        should fail loudly, not spin forever.
+        """
+        for attempt in range(1, self.config.register_retries + 1):
+            if self._register_once():
+                return True
+            time.sleep(self.register_backoff_s(attempt))
+        return False
+
+    def reregister(self) -> bool:
+        """Re-announce after initial contact: unbounded, capped backoff.
+
+        Once the worker has been part of the cluster, a vanished
+        coordinator is expected churn (failover in progress), so this
+        loop never gives up — it walks the peer list at the capped
+        backoff until a leader answers or the worker itself drains.
+        """
+        attempt = 0
+        while not self.drain.draining:
+            attempt += 1
+            if self._register_once():
+                return True
+            if self.drain.wait(self.register_backoff_s(attempt)):
+                break
         return False
 
     def heartbeat_once(self) -> None:
         """One heartbeat; re-registers if the coordinator forgot us."""
         body = dict(self.load_snapshot(),
-                    worker_id=self.config.worker_id)
+                    worker_id=self.config.worker_id,
+                    epoch=self.epoch)
         try:
             status, reply = post_json(
-                self.config.coordinator_url, "/cluster/heartbeat", body,
+                self.coordinator_url, "/cluster/heartbeat", body,
                 timeout_s=5.0,
             )
         except TransportError:
-            return  # coordinator briefly unreachable; next beat retries
-        if status == 200 and reply.get("status") == "unknown":
-            # Declared dead or quarantined (or the coordinator
-            # restarted): re-register, which resets the coordinator's
-            # statistics for this worker — a recovered limper starts
-            # with a clean latency record.
-            self.register()
+            # Coordinator unreachable; tolerate a few misses (it may be
+            # restarting), then walk the peer list for the new leader.
+            self._hb_misses += 1
+            if self._hb_misses >= self.config.heartbeat_miss_limit:
+                self._hb_misses = 0
+                self.reregister()
+            return
+        self._hb_misses = 0
+        if status == 503 and reply.get("reason") == REASON_NOT_LEADER:
+            # A standby answered (the leader moved): follow its hint or
+            # walk the peers until the new leader registers us.
+            self.reregister()
+            return
+        if status == STATUS_STALE_EPOCH \
+                and reply.get("reason") == REASON_STALE_EPOCH:
+            # We carry a newer epoch than this coordinator — it is the
+            # deposed one.  Find the leader that gave us the epoch.
+            self.reregister()
+            return
+        if status == 200:
+            self._adopt_leader(self.coordinator_url, reply)
+            if reply.get("status") == "unknown":
+                # Declared dead or quarantined (or the coordinator
+                # restarted): re-register, which resets the
+                # coordinator's statistics for this worker — a
+                # recovered limper starts with a clean latency record.
+                self.reregister()
 
     def heartbeat_loop(self) -> None:
         while not self.drain.wait(self.config.heartbeat_interval_s):
@@ -193,6 +302,21 @@ class ClusterWorker:
                 "status": "error",
                 "reason": "unknown job kind %r" % kind,
             }
+        epoch = int(body.get("epoch") or 0)
+        if epoch:  # absent/0 = HA disabled; nothing to fence against
+            with self._lock:
+                if epoch < self.epoch:
+                    # A deposed leader is still dispatching: fence it.
+                    # Never run the job — the real leader owns it now.
+                    return STATUS_STALE_EPOCH, {
+                        "status": "error",
+                        "reason": REASON_STALE_EPOCH,
+                        "epoch": self.epoch,
+                        "worker": self.config.worker_id,
+                    }
+                if epoch > self.epoch:
+                    self.epoch = epoch
+                    self.leader_id = str(body.get("leader") or "")
         acquired = self._slots.acquire(blocking=False)
         if not acquired:
             with self._lock:
@@ -354,7 +478,7 @@ class ClusterWorker:
         """Seed a cold local cache from the coordinator's tier."""
         try:
             status, reply = get_json(
-                self.config.coordinator_url,
+                self.coordinator_url,
                 "/cluster/cache?key=%s" % warm_key, timeout_s=5.0,
             )
         except TransportError:
@@ -370,7 +494,7 @@ class ClusterWorker:
             return
         try:
             post_json(
-                self.config.coordinator_url, "/cluster/cache",
+                self.coordinator_url, "/cluster/cache",
                 {"key": warm_key, "state": state,
                  "worker": self.config.worker_id},
                 timeout_s=5.0,
@@ -401,6 +525,8 @@ class _WorkerHandler(JsonRequestHandler):
                 status="alive",
                 worker=self.worker.config.worker_id,
                 draining=self.worker.drain.draining,
+                epoch=self.worker.epoch,
+                coordinator=self.worker.coordinator_url,
             ))
         else:
             self.respond_json(404, {"status": "error",

@@ -137,6 +137,18 @@ HELP_TEXT: Dict[str, str] = {
         "Jobs re-dispatched away from dead or quarantined workers",
     names.METRIC_CLUSTER_QUARANTINES:
         "Workers quarantined by the limplock detector",
+    names.METRIC_CLUSTER_FAILOVERS:
+        "Leadership takeovers completed by this coordinator",
+    names.METRIC_CLUSTER_EPOCH:
+        "Current leader epoch (monotonic across failovers)",
+    names.METRIC_CLUSTER_LEASE_REMAINING:
+        "Seconds left on the leadership lease (0 when not leading)",
+    names.METRIC_CLUSTER_JOURNAL_ENTRIES:
+        "Entries in the control-plane journal",
+    names.METRIC_CLUSTER_REPLAY_SECONDS:
+        "Seconds the last takeover spent replaying the journal",
+    names.METRIC_CLUSTER_STALE_EPOCH:
+        "Requests fenced with 409 stale-epoch",
 }
 
 

@@ -54,12 +54,24 @@ __all__ = [
     "METRIC_CLUSTER_WORKER_QUEUE_DEPTH",
     "METRIC_CLUSTER_REDISPATCHES",
     "METRIC_CLUSTER_QUARANTINES",
+    "METRIC_CLUSTER_FAILOVERS",
+    "METRIC_CLUSTER_EPOCH",
+    "METRIC_CLUSTER_LEASE_REMAINING",
+    "METRIC_CLUSTER_JOURNAL_ENTRIES",
+    "METRIC_CLUSTER_REPLAY_SECONDS",
+    "METRIC_CLUSTER_STALE_EPOCH",
     "EVENT_WORKER_REGISTERED",
     "EVENT_WORKER_STATE",
     "EVENT_WORKER_QUARANTINED",
     "EVENT_JOB_REDISPATCHED",
     "EVENT_SHARD_HANDOFF",
     "EVENT_SWEEP_STEP",
+    "EVENT_LEADER_ELECTED",
+    "EVENT_LEADER_DEPOSED",
+    "EVENT_LEADER_RESIGNED",
+    "EVENT_JOURNAL_REPLAYED",
+    "EVENT_STALE_EPOCH",
+    "EVENT_SWEEP_RECOVERED",
     "CLUSTER_EVENTS",
 ]
 
@@ -151,6 +163,31 @@ METRIC_CLUSTER_REDISPATCHES = "cluster.redispatches"
 #: Workers quarantined by the limplock detector (counter).
 METRIC_CLUSTER_QUARANTINES = "cluster.limplock_quarantines"
 
+# -- coordinator high availability (docs/cluster-ha.md) -----------------
+
+#: Leadership takeovers completed by this coordinator (counter).  The
+#: HA smoke test asserts ``repro_cluster_failovers_total >= 1`` after a
+#: SIGKILL of the active coordinator.
+METRIC_CLUSTER_FAILOVERS = "cluster.failovers"
+
+#: Current leader epoch (gauge).  Monotonic across failovers; every
+#: dispatch and heartbeat is fenced against it.
+METRIC_CLUSTER_EPOCH = "cluster.epoch"
+
+#: Seconds left on the leadership lease (gauge; 0 when not leading).
+METRIC_CLUSTER_LEASE_REMAINING = "cluster.lease_remaining_seconds"
+
+#: Entries in the control-plane journal (gauge).
+METRIC_CLUSTER_JOURNAL_ENTRIES = "cluster.journal_entries"
+
+#: Wall-clock seconds the last takeover spent replaying the journal
+#: (gauge; 0 until the first takeover).
+METRIC_CLUSTER_REPLAY_SECONDS = "cluster.takeover_replay_seconds"
+
+#: Requests fenced with 409 ``stale-epoch`` (counter) — evidence a
+#: deposed leader tried to keep dispatching.
+METRIC_CLUSTER_STALE_EPOCH = "cluster.stale_epoch_rejections"
+
 # -- cluster structured-log / flight-recorder event names ---------------
 
 EVENT_WORKER_REGISTERED = "worker.registered"
@@ -159,6 +196,12 @@ EVENT_WORKER_QUARANTINED = "worker.quarantined"
 EVENT_JOB_REDISPATCHED = "job.redispatched"
 EVENT_SHARD_HANDOFF = "shard.handoff"
 EVENT_SWEEP_STEP = "sweep.step"
+EVENT_LEADER_ELECTED = "leader.elected"
+EVENT_LEADER_DEPOSED = "leader.deposed"
+EVENT_LEADER_RESIGNED = "leader.resigned"
+EVENT_JOURNAL_REPLAYED = "journal.replayed"
+EVENT_STALE_EPOCH = "epoch.stale_rejected"
+EVENT_SWEEP_RECOVERED = "sweep.recovered"
 
 #: Every event name the service can emit — the schema contract the
 #: docs and the lint-adjacent tests check against.
@@ -191,4 +234,10 @@ CLUSTER_EVENTS: Tuple[str, ...] = (
     EVENT_JOB_REDISPATCHED,
     EVENT_SHARD_HANDOFF,
     EVENT_SWEEP_STEP,
+    EVENT_LEADER_ELECTED,
+    EVENT_LEADER_DEPOSED,
+    EVENT_LEADER_RESIGNED,
+    EVENT_JOURNAL_REPLAYED,
+    EVENT_STALE_EPOCH,
+    EVENT_SWEEP_RECOVERED,
 )

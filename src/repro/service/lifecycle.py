@@ -48,17 +48,41 @@ class DrainController:
         self._event = threading.Event()
         self._lock = threading.Lock()
         self.reason: Optional[str] = None
+        self._hooks: List[Callable[[str], None]] = []
+        self._requested = False
 
     @property
     def draining(self) -> bool:
         return self._event.is_set()
 
+    def add_hook(self, hook: Callable[[str], None]) -> None:
+        """Register a callback fired once when the drain is requested.
+
+        Hooks run *before* the drain event wakes the waiters, in
+        registration order, on the requesting thread — the HA
+        coordinator uses this to resign leadership (journal the tip,
+        release the lease) while the server is still answering, so a
+        successor can elect immediately instead of waiting out the
+        lease TTL.  A hook that raises is swallowed: a broken hand-off
+        must never block the shutdown itself.
+        """
+        with self._lock:
+            self._hooks.append(hook)
+
     def request_drain(self, reason: str = "requested") -> bool:
         """Flip to draining; returns False if already draining."""
         with self._lock:
-            if self._event.is_set():
+            if self._requested:
                 return False
+            self._requested = True
             self.reason = reason
+            hooks = list(self._hooks)
+        for hook in hooks:
+            try:
+                hook(reason)
+            except Exception:  # noqa: BLE001 - shutdown must proceed
+                pass
+        with self._lock:
             self._event.set()
             return True
 

@@ -1,0 +1,218 @@
+"""Unit tests of the control-plane journal (repro.cluster.journal).
+
+The crash contract is the point: an acknowledged entry survives, a
+torn tail from a crash mid-append is discarded (it was never
+acknowledged), and corruption anywhere *else* refuses to run.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.journal import (
+    KIND_CACHE_ADOPTED,
+    KIND_LEADER_ELECTED,
+    KIND_LEADER_RESIGNED,
+    KIND_SWEEP_COMPLETED,
+    KIND_SWEEP_STARTED,
+    KIND_WORKER_REGISTERED,
+    KIND_WORKER_STATE,
+    ControlPlaneJournal,
+    JournalEntry,
+    JournalError,
+    entries_to_wire,
+)
+
+
+def journal_at(tmp_path, name="journal", **kwargs):
+    return ControlPlaneJournal(str(tmp_path / name), **kwargs)
+
+
+def segment_files(journal):
+    return sorted(
+        name for name in os.listdir(journal.directory)
+        if name.startswith("segment-")
+    )
+
+
+def test_append_and_reopen_round_trips(tmp_path):
+    journal = journal_at(tmp_path)
+    first = journal.append(KIND_LEADER_ELECTED,
+                           {"coordinator_id": "a"}, epoch=1)
+    second = journal.append(KIND_WORKER_REGISTERED,
+                            {"worker_id": "w0", "url": "http://w0"},
+                            epoch=1)
+    assert (first.seq, second.seq) == (1, 2)
+    assert journal.tip_seq() == 2
+    assert journal.tip_epoch() == 1
+
+    reopened = journal_at(tmp_path)
+    assert len(reopened) == 2
+    assert [e.kind for e in reopened.entries()] == [
+        KIND_LEADER_ELECTED, KIND_WORKER_REGISTERED,
+    ]
+    assert reopened.entries()[1].payload["url"] == "http://w0"
+    assert reopened.discarded_tail_entries == 0
+
+
+def test_entries_since_is_the_tail_query(tmp_path):
+    journal = journal_at(tmp_path)
+    for index in range(4):
+        journal.append(KIND_WORKER_STATE, {"worker_id": "w%d" % index},
+                       epoch=1)
+    assert [e.seq for e in journal.entries_since(2)] == [3, 4]
+    assert journal.entries_since(4) == []
+
+
+def test_wire_round_trip_and_checksum_rejects_tampering(tmp_path):
+    entry = JournalEntry(seq=3, epoch=2, kind=KIND_SWEEP_STARTED,
+                         payload={"sweep_id": "abc"})
+    wire = entry.to_wire()
+    assert JournalEntry.from_wire(wire) == entry
+    tampered = dict(wire, payload={"sweep_id": "evil"})
+    with pytest.raises(JournalError):
+        JournalEntry.from_wire(tampered)
+
+
+def test_crash_mid_write_discards_only_the_torn_tail(tmp_path):
+    """Satellite: a torn final line (crash between write and fsync) is
+    dropped on replay, and the segment is rewritten so the torn bytes
+    never shadow a future append."""
+    journal = journal_at(tmp_path)
+    journal.append(KIND_LEADER_ELECTED, {"coordinator_id": "a"}, epoch=1)
+    journal.append(KIND_SWEEP_STARTED, {"sweep_id": "s1"}, epoch=1)
+    segment = os.path.join(journal.directory, segment_files(journal)[-1])
+    with open(segment, "a", encoding="utf-8") as handle:
+        handle.write('{"seq": 3, "epoch": 1, "kind": "sweep-comp')  # torn
+
+    reopened = journal_at(tmp_path)
+    assert len(reopened) == 2
+    assert reopened.tip_seq() == 2
+    assert reopened.discarded_tail_entries == 1
+    # The segment was rewritten: no torn bytes remain on disk.
+    with open(segment, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    assert len(lines) == 2
+    assert all(json.loads(line)["crc"] for line in lines)
+    # The freed sequence number is reusable.
+    entry = reopened.append(KIND_SWEEP_COMPLETED, {"sweep_id": "s1"},
+                            epoch=1)
+    assert entry.seq == 3
+    assert len(journal_at(tmp_path)) == 3
+
+
+def test_corrupt_entry_mid_journal_refuses_to_run(tmp_path):
+    journal = journal_at(tmp_path, segment_entries=2)
+    for index in range(5):  # three segments: 2 + 2 + 1
+        journal.append(KIND_WORKER_STATE, {"worker_id": "w%d" % index},
+                       epoch=1)
+    first_segment = os.path.join(journal.directory,
+                                 segment_files(journal)[0])
+    with open(first_segment, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    document = json.loads(lines[0])
+    document["payload"] = {"worker_id": "forged"}  # crc now wrong
+    lines[0] = json.dumps(document) + "\n"
+    with open(first_segment, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    with pytest.raises(JournalError):
+        journal_at(tmp_path)
+
+
+def test_segments_roll_over_and_reload_in_order(tmp_path):
+    journal = journal_at(tmp_path, segment_entries=2)
+    for index in range(5):
+        journal.append(KIND_WORKER_STATE, {"worker_id": "w%d" % index},
+                       epoch=index + 1)
+    assert segment_files(journal) == [
+        "segment-00000001.jsonl",
+        "segment-00000002.jsonl",
+        "segment-00000003.jsonl",
+    ]
+    reopened = journal_at(tmp_path, segment_entries=2)
+    assert [e.seq for e in reopened.entries()] == [1, 2, 3, 4, 5]
+    assert reopened.tip_epoch() == 5
+
+
+def test_append_replicated_preserves_numbering_idempotently(tmp_path):
+    leader = journal_at(tmp_path, "leader")
+    for index in range(3):
+        leader.append(KIND_WORKER_STATE, {"worker_id": "w%d" % index},
+                      epoch=2)
+    replica = journal_at(tmp_path, "replica")
+    wire = entries_to_wire(leader.entries())
+    assert [replica.append_replicated(doc) for doc in wire] == [
+        True, True, True,
+    ]
+    assert [e.seq for e in replica.entries()] == [1, 2, 3]
+    assert replica.tip_epoch() == 2
+    # Tailing the same window again appends nothing (idempotent).
+    assert [replica.append_replicated(doc) for doc in wire] == [
+        False, False, False,
+    ]
+    assert len(replica) == 3
+
+
+def test_append_replicated_refuses_gaps(tmp_path):
+    leader = journal_at(tmp_path, "leader")
+    for index in range(3):
+        leader.append(KIND_WORKER_STATE, {"worker_id": "w%d" % index},
+                      epoch=1)
+    replica = journal_at(tmp_path, "replica")
+    wire = entries_to_wire(leader.entries())
+    replica.append_replicated(wire[0])
+    with pytest.raises(JournalError):
+        replica.append_replicated(wire[2])  # seq 3 after tip 1
+
+
+def test_state_fold_tracks_membership_cache_and_sweeps(tmp_path):
+    journal = journal_at(tmp_path)
+    journal.append(KIND_LEADER_ELECTED, {"coordinator_id": "a"}, epoch=1)
+    journal.append(KIND_WORKER_REGISTERED,
+                   {"worker_id": "w0", "url": "http://w0"}, epoch=1)
+    journal.append(KIND_WORKER_REGISTERED,
+                   {"worker_id": "w1", "url": "http://w1"}, epoch=1)
+    journal.append(KIND_WORKER_STATE,
+                   {"worker_id": "w1", "state": "dead"}, epoch=1)
+    cache_state = {"cache": {"entries": [1]}, "fingerprints": {"f": "1"}}
+    journal.append(KIND_CACHE_ADOPTED,
+                   {"key": "k", "state": cache_state, "entries": 1,
+                    "worker": "w0", "updates": 1}, epoch=1)
+    journal.append(KIND_SWEEP_STARTED,
+                   {"sweep_id": "s1", "params": {"dma": [2]}}, epoch=1)
+    journal.append(KIND_SWEEP_STARTED,
+                   {"sweep_id": "s2", "params": {"dma": [8]}}, epoch=1)
+    journal.append(KIND_SWEEP_COMPLETED, {"sweep_id": "s2"}, epoch=1)
+
+    state = journal.replay()
+    assert state.leader_id == "a"
+    assert state.epoch == 1
+    assert state.workers["w0"] == {"url": "http://w0", "state": "live"}
+    assert state.workers["w1"]["state"] == "dead"
+    assert state.cache_tier["k"]["entries"] == 1
+    assert set(state.sweeps) == {"s1", "s2"}
+    assert set(state.orphaned_sweeps()) == {"s1"}
+    assert state.orphaned_sweeps()["s1"]["params"] == {"dma": [2]}
+
+
+def test_state_fold_leadership_history(tmp_path):
+    journal = journal_at(tmp_path)
+    journal.append(KIND_LEADER_ELECTED, {"coordinator_id": "a"}, epoch=1)
+    journal.append(KIND_LEADER_RESIGNED, {"coordinator_id": "a"}, epoch=1)
+    journal.append(KIND_LEADER_ELECTED, {"coordinator_id": "b"}, epoch=2)
+    state = journal.replay()
+    assert state.leader_id == "b"
+    assert state.epoch == 2
+    assert state.previous_leaders("b") == ["a"]
+    assert state.previous_leaders("c") == ["a", "b"]
+    assert state.previous_leaders("a") == ["b"]
+
+
+def test_unknown_entry_kinds_are_skipped_not_fatal(tmp_path):
+    journal = journal_at(tmp_path)
+    journal.append("future-kind", {"anything": True}, epoch=7)
+    state = journal.replay()
+    assert state.applied == 1
+    assert state.epoch == 7
+    assert state.workers == {} and state.sweeps == {}

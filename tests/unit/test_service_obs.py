@@ -114,6 +114,17 @@ def recorded_events(service, name):
             if event["event"] == name]
 
 
+def wait_for_dumps(directory, count=1, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        dumps = [name for name in os.listdir(directory)
+                 if name.startswith(DUMP_PREFIX)
+                 and name.endswith(".json")]
+        if len(dumps) >= count or time.monotonic() >= deadline:
+            return dumps
+        time.sleep(0.01)
+
+
 class TestTraceCorrelation:
     def test_response_carries_trace_id_header(self, service_factory):
         service, _ = service_factory()
@@ -270,8 +281,10 @@ class TestFlightDumps:
         assert doomed.headers["X-Trace-Id"] == doomed.trace_id
         (event,) = recorded_events(service, EVENT_DEADLINE_EXPIRED)
         assert event["trace_id"] == doomed.trace_id
-        dumps = [name for name in os.listdir(str(tmp_path))
-                 if name.startswith(DUMP_PREFIX)]
+        # The response resolves before the worker thread writes the
+        # postmortem, so poll for a *complete* dump (the atomic-write
+        # temp file shares the prefix but not the .json suffix).
+        dumps = wait_for_dumps(str(tmp_path))
         assert len(dumps) == 1
         with open(os.path.join(str(tmp_path), dumps[0])) as handle:
             document = json.load(handle)
